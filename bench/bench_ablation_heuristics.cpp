@@ -1,0 +1,76 @@
+// Ablation: the two search heuristics (paper §2.4) — "Neither of the
+// heuristics can be claimed to be better than the other in terms of the
+// quality of results or run-time but they explore the design space
+// differently."
+//
+// We sweep both experiments, partition counts and packages and compare
+// trials, wall time, best II and best delay side by side.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace chop;
+
+void print_table() {
+  bench::print_header(
+      "Ablation: enumeration (E) vs iterative (I) heuristic",
+      "paper Table 4/6: E trials 5-2912, I trials 9-99; same feasible IIs "
+      "on most rows");
+  TablePrinter table({"Experiment", "Partitions", "Package", "H", "Trials",
+                      "Best II", "Best Delay", "Time (ms)"});
+  for (auto exp : {bench::Experiment::One, bench::Experiment::Two}) {
+    for (int nparts : {1, 2, 3}) {
+      for (int package : {2, 1}) {
+        if (exp == bench::Experiment::Two && package == 1) continue;
+        for (core::Heuristic h :
+             {core::Heuristic::Enumeration, core::Heuristic::Iterative}) {
+          core::ChopSession session = bench::make_experiment_session(
+              exp, nparts, bench::package_by_paper_index(package));
+          session.predict_partitions();
+          core::SearchOptions options;
+          options.heuristic = h;
+          Timer timer;
+          const core::SearchResult r = session.search(options);
+          const double ms = timer.elapsed_ms();
+          table.row(
+              exp == bench::Experiment::One ? 1 : 2, nparts, package,
+              std::string(1, core::to_char(h)), r.trials,
+              r.designs.empty()
+                  ? std::string("-")
+                  : std::to_string(r.designs.front().integration.ii_main),
+              r.designs.empty()
+                  ? std::string("-")
+                  : std::to_string(
+                        r.designs.front().integration.system_delay_main),
+              ms);
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_heuristic(benchmark::State& state) {
+  const auto h = static_cast<core::Heuristic>(state.range(0));
+  core::ChopSession session =
+      bench::make_experiment_session(bench::Experiment::Two, 3);
+  session.predict_partitions();
+  core::SearchOptions options;
+  options.heuristic = h;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.search(options));
+  }
+}
+BENCHMARK(BM_heuristic)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation: pin counts as the multi-chip bottleneck (paper §3.1) —
+// "Partitioning a design onto more chips generally increases the usage of
+// chip pins to transfer data between the chips and chip pins become the
+// bottleneck in high-performance designs", and the 64- vs 84-pin delay
+// effect of Table 4.
+//
+// We sweep hypothetical packages with decreasing pin counts on a
+// transfer-heavy wide workload (a doubled AR filter: two independent
+// lattices per partition boundary) and report how the best feasible delay
+// degrades and where feasibility is lost entirely.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "dfg/generator.hpp"
+
+namespace {
+
+using namespace chop;
+
+/// A pin-hungry workload: a wide random DAG whose inputs/outputs dwarf the
+/// AR filter's, split into two level-order halves.
+core::ChopSession wide_session(Pins pins) {
+  static Rng rng(7777);
+  static const dfg::BenchmarkGraph wide = [] {
+    Rng local(4242);
+    dfg::RandomDagSpec spec;
+    spec.operations = 32;
+    spec.depth = 4;
+    spec.mul_fraction = 0.3;
+    spec.extra_inputs = 24;  // 24 x 16 = 384 input bits to deliver
+    return dfg::random_dag(local, spec);
+  }();
+  chip::ChipPackage pkg = chip::mosis_package_84();
+  pkg.name = "pins" + std::to_string(pins);
+  pkg.pin_count = pins;
+  pkg.validate();
+  std::vector<chip::ChipInstance> chips{{"c0", pkg}, {"c1", pkg}};
+  core::Partitioning pt(wide.graph, std::move(chips));
+  pt.add_partition("P1", wide.layer_span(0, 1), 0);
+  pt.add_partition("P2", wide.layer_span(2, 3), 1);
+  core::ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = {30000.0, 30000.0};
+  return core::ChopSession(bench::experiment_library(), std::move(pt), config);
+}
+
+void print_table() {
+  bench::print_header(
+      "Ablation: pin count vs delay and feasibility (2-chip wide workload)",
+      "paper: fewer pins -> longer transfers -> longer system delay; pins "
+      "bottleneck high-performance designs");
+  TablePrinter table({"Pins/package", "Feasible", "Best II", "Best Delay",
+                      "Clock ns"});
+  for (Pins pins : {84, 64, 48, 40, 32, 24, 16}) {
+    core::ChopSession session = wide_session(pins);
+    session.predict_partitions();
+    core::SearchOptions options;
+    options.heuristic = core::Heuristic::Enumeration;
+    const core::SearchResult r = session.search(options);
+    if (r.designs.empty()) {
+      table.row(pins, 0, "-", "-", "-");
+    } else {
+      const auto& d = r.designs.front().integration;
+      table.row(pins, r.designs.size(), d.ii_main, d.system_delay_main,
+                d.clock_ns());
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_pin_sweep(benchmark::State& state) {
+  const Pins pins = static_cast<Pins>(state.range(0));
+  for (auto _ : state) {
+    core::ChopSession session = wide_session(pins);
+    session.predict_partitions();
+    core::SearchOptions options;
+    benchmark::DoNotOptimize(session.search(options));
+  }
+}
+BENCHMARK(BM_pin_sweep)->Arg(84)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: the clock/style sweep behind the paper's two experiments, run
+// systematically by the clock explorer. Reproduced claims:
+//  * "a multi-cycle-operation architecture allows a more efficient use of
+//    a faster clock ... resulting in higher performance designs" (§3.2) —
+//    the best absolute performance point is a multi-cycle candidate;
+//  * "the faster the data path clock, the more design possibilities exist
+//    for a given set of design constraints" — raw prediction counts grow
+//    as the datapath multiplier shrinks.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/clock_explorer.hpp"
+
+namespace {
+
+using namespace chop;
+
+void print_table() {
+  bench::print_header(
+      "Clock/style sweep over the 2-chip AR filter (30 us budgets)",
+      "experiment 1 = single-cycle x10; experiment 2 = multi-cycle x1");
+  core::ChopSession session =
+      bench::make_experiment_session(bench::Experiment::One, 2);
+  // A common constraint set for the whole sweep (the exp-1 budgets).
+  const auto candidates = core::default_clock_candidates(300.0);
+  const core::ClockExplorationResult sweep =
+      core::explore_clocks(session, candidates);
+
+  TablePrinter table({"Candidate", "Predictions", "Eligible", "Best II",
+                      "Best Delay", "Performance ns", "Delay ns"});
+  for (const core::ClockPoint& p : sweep.points) {
+    if (p.feasible) {
+      table.row(p.candidate.label(), p.predictions, p.eligible, p.best_ii,
+                p.best_delay, p.best_performance_ns, p.best_delay_ns);
+    } else {
+      table.row(p.candidate.label(), p.predictions, p.eligible, "-", "-",
+                "-", "-");
+    }
+  }
+  table.print(std::cout);
+  if (const core::ClockPoint* best = sweep.best()) {
+    std::cout << "\nbest clocking: " << best->candidate.label() << " at "
+              << best->best_performance_ns << " ns per iteration\n\n";
+  } else {
+    std::cout << "\nno feasible clocking in the sweep\n\n";
+  }
+}
+
+void BM_clock_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ChopSession session =
+        bench::make_experiment_session(bench::Experiment::One, 2);
+    benchmark::DoNotOptimize(
+        core::explore_clocks(session, core::default_clock_candidates()));
+  }
+}
+BENCHMARK(BM_clock_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

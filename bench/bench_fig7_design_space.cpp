@@ -1,0 +1,106 @@
+// Regenerates Figure 7 of the paper: "Designs considered during
+// experiment 1" — the same searches as Table 4, but with pruning disabled
+// so every encountered design is kept, counted and plotted. The paper
+// reports 13411 total (699 unique) designs and 61.40 CPU seconds,
+// "showing the advantage of the pruning techniques used in CHOP".
+//
+// We run the identical sweep (partition counts 1-3, both heuristics, both
+// packages) in keep-all mode, print the totals and an ASCII rendering of
+// the delay-vs-II scatter, and write the raw points to
+// fig7_design_space.csv for external re-plotting.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/recorder.hpp"
+
+namespace {
+
+using namespace chop;
+
+void run_figure() {
+  bench::print_header(
+      "Figure 7: designs considered during experiment 1 (no pruning)",
+      "paper: 13411 total, 699 unique, 61.40 CPU s vs ~3 s pruned");
+
+  core::DesignSpaceRecorder merged;
+  std::size_t total = 0;
+  double keep_all_ms = 0.0;
+  double pruned_ms = 0.0;
+
+  struct Run {
+    int nparts;
+    int package;
+  };
+  const Run runs[] = {{1, 2}, {2, 2}, {2, 1}, {3, 2}};
+  for (const Run& run : runs) {
+    for (core::Heuristic h :
+         {core::Heuristic::Enumeration, core::Heuristic::Iterative}) {
+      core::ChopSession session = bench::make_experiment_session(
+          bench::Experiment::One, run.nparts,
+          bench::package_by_paper_index(run.package));
+      session.predict_partitions();
+
+      core::SearchOptions keep_all;
+      keep_all.heuristic = h;
+      keep_all.prune = false;
+      keep_all.record_all = true;
+      keep_all.max_trials = 500000;
+      Timer timer;
+      const core::SearchResult r = session.search(keep_all);
+      keep_all_ms += timer.elapsed_ms();
+      total += r.recorder.total();
+      for (const core::DesignPoint& p : r.recorder.points()) {
+        merged.record(p);
+      }
+
+      core::SearchOptions pruned;
+      pruned.heuristic = h;
+      timer.reset();
+      (void)session.search(pruned);
+      pruned_ms += timer.elapsed_ms();
+    }
+  }
+
+  // Every BAD-level prediction is also a "design considered".
+  std::size_t bad_predictions = 0;
+  for (int nparts : {1, 2, 3}) {
+    core::ChopSession session =
+        bench::make_experiment_session(bench::Experiment::One, nparts);
+    bad_predictions += session.predict_partitions().total;
+  }
+
+  TablePrinter table({"Quantity", "Value"});
+  table.row("global designs encountered (keep-all)", total);
+  table.row("unique design points", merged.unique());
+  table.row("feasible global designs seen", merged.feasible_count());
+  table.row("BAD-level predictions generated", bad_predictions);
+  table.row("keep-all sweep time (ms)", keep_all_ms);
+  table.row("pruned sweep time (ms)", pruned_ms);
+  table.print(std::cout);
+  std::cout << "\n" << merged.ascii_scatter() << "\n";
+  merged.to_csv().write_file("fig7_design_space.csv");
+  std::cout << "raw points written to fig7_design_space.csv\n\n";
+}
+
+void BM_keep_all_search(benchmark::State& state) {
+  core::ChopSession session =
+      bench::make_experiment_session(bench::Experiment::One, 2);
+  session.predict_partitions();
+  core::SearchOptions options;
+  options.prune = false;
+  options.record_all = true;
+  options.max_trials = 500000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.search(options));
+  }
+}
+BENCHMARK(BM_keep_all_search);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Regenerates Figure 8 of the paper: "Some of designs considered during
+// experiment 2" — the keep-all (no pruning) view of the multi-cycle
+// design space. The paper could only show the 1-partition case (21828
+// designs, 8764 unique, 65.89 CPU s) because the full unpruned sweep ran
+// out of swap space; we reproduce exactly that scoping, with the same
+// safety cap the 1990 run lacked.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/recorder.hpp"
+
+namespace {
+
+using namespace chop;
+
+void run_figure() {
+  bench::print_header(
+      "Figure 8: designs considered during experiment 2 (1 partition, no "
+      "pruning)",
+      "paper: 21828 total, 8764 unique, 65.89 CPU s; full sweep died of "
+      "swap space");
+
+  core::ChopSession session =
+      bench::make_experiment_session(bench::Experiment::Two, 1);
+  const core::PredictionStats stats = session.predict_partitions();
+
+  // The 1-partition design space is BAD's own sweep: record every raw
+  // prediction as a design point (the global search adds nothing for a
+  // single partition).
+  core::DesignSpaceRecorder recorder;
+  Timer timer;
+  for (const auto& p : session.predictions().raw[0]) {
+    core::DesignPoint point;
+    point.ii_main = p.ii_main;
+    point.delay_main = p.latency_main;
+    point.area_likely = p.total_area.likely();
+    point.clock_ns = 300.0 + p.clock_overhead_ns;
+    point.feasible = false;
+    recorder.record(point);
+  }
+  const double ms = timer.elapsed_ms();
+
+  TablePrinter table({"Quantity", "Value"});
+  table.row("designs considered (1 partition)", stats.total);
+  table.row("unique design points", recorder.unique());
+  table.row("feasible after level-1 pruning", stats.feasible);
+  table.row("recording time (ms)", ms);
+  table.print(std::cout);
+  std::cout << "\n" << recorder.ascii_scatter() << "\n";
+  recorder.to_csv().write_file("fig8_design_space.csv");
+  std::cout << "raw points written to fig8_design_space.csv\n\n";
+}
+
+void BM_multicycle_bad_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ChopSession session =
+        bench::make_experiment_session(bench::Experiment::Two, 1);
+    benchmark::DoNotOptimize(session.predict_partitions());
+  }
+}
+BENCHMARK(BM_multicycle_bad_sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Regenerates Table 3 of the paper: "Statistics on the results from BAD
+// for experiment 1" — total predictions and feasible (level-1-surviving)
+// predictions per partition count, under the single-cycle style.
+//
+// Paper reference rows: 1 partition: 111/5; 2: 207/25; 3: 236/32. Our BAD
+// sweep enumerates more pipelined II variants than the 1990 tool, so raw
+// totals are larger; the shape (totals in the hundreds-to-thousands,
+// feasible sets in the single-to-low-double digits, growing with the
+// partition count) is the reproduced claim.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace chop;
+
+void print_table() {
+  bench::print_header(
+      "Table 3: statistics on the results from BAD (experiment 1)",
+      "paper: totals 111/207/236, feasible 5/25/32");
+  TablePrinter table({"Partition Count", "Total number of predictions",
+                      "Number of feasible predictions"});
+  for (int nparts : {1, 2, 3}) {
+    core::ChopSession session =
+        bench::make_experiment_session(bench::Experiment::One, nparts);
+    const core::PredictionStats stats = session.predict_partitions();
+    table.row(nparts, stats.total, stats.feasible);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_bad_prediction_pass(benchmark::State& state) {
+  const int nparts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ChopSession session =
+        bench::make_experiment_session(bench::Experiment::One, nparts);
+    benchmark::DoNotOptimize(session.predict_partitions());
+  }
+}
+BENCHMARK(BM_bad_prediction_pass)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

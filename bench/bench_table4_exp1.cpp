@@ -1,0 +1,95 @@
+// Regenerates Table 4 of the paper: "Results of experiment 1" — for each
+// (partition count, package, heuristic): search cost, implementation
+// trials, feasible designs, and per-design initiation interval / system
+// delay / adjusted clock, under the single-cycle architecture style.
+//
+// Paper reference shape: 1 partition feasible at II=60 (clock 312);
+// 2 partitions reach II=30 (~2x) and 3 partitions II=30; 64-pin packaging
+// only lengthens delays slightly; the iterative heuristic needs an order
+// of magnitude fewer trials than enumeration (9 vs 156/1050).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace chop;
+
+void print_table() {
+  bench::print_header(
+      "Table 4: results of experiment 1 (single-cycle style)",
+      "paper: II 60 -> 30 with 2-3 chips; clock 308-312 ns; I-trials << "
+      "E-trials");
+  TablePrinter table({"Partition Count", "Package", "H", "CPU Time (ms)",
+                      "Partitioning Imp. Trials", "Feasible Trials",
+                      "Initiation Interval", "Delay", "Clock Cycle ns"});
+
+  struct Row {
+    int nparts;
+    int package;
+  };
+  const Row rows[] = {{1, 2}, {2, 2}, {2, 1}, {3, 2}};
+  for (const Row& row : rows) {
+    for (core::Heuristic h :
+         {core::Heuristic::Enumeration, core::Heuristic::Iterative}) {
+      core::ChopSession session = bench::make_experiment_session(
+          bench::Experiment::One, row.nparts,
+          bench::package_by_paper_index(row.package));
+      session.predict_partitions();
+      core::SearchOptions options;
+      options.heuristic = h;
+      Timer timer;
+      const core::SearchResult result = session.search(options);
+      const double ms = timer.elapsed_ms();
+      if (result.designs.empty()) {
+        table.row(row.nparts, row.package, core::to_char(h), ms,
+                  result.trials, 0, "-", "-", "-");
+        continue;
+      }
+      bool first = true;
+      for (const core::GlobalDesign& d : result.designs) {
+        table.row(first ? std::to_string(row.nparts) : std::string(),
+                  first ? std::to_string(row.package) : std::string(),
+                  first ? std::string(1, core::to_char(h)) : std::string(),
+                  first ? std::to_string(ms).substr(0, 5) : std::string(),
+                  first ? std::to_string(result.trials) : std::string(),
+                  first ? std::to_string(result.designs.size()) : std::string(),
+                  std::to_string(d.integration.ii_main),
+                  std::to_string(d.integration.system_delay_main),
+                  std::to_string(d.integration.clock_ns()).substr(0, 6));
+        first = false;
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_search(benchmark::State& state) {
+  const int nparts = static_cast<int>(state.range(0));
+  const auto heuristic = static_cast<core::Heuristic>(state.range(1));
+  core::ChopSession session =
+      bench::make_experiment_session(bench::Experiment::One, nparts);
+  session.predict_partitions();
+  core::SearchOptions options;
+  options.heuristic = heuristic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.search(options));
+  }
+}
+BENCHMARK(BM_search)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared setup for the benchmark harnesses: the paper's two experiment
+// configurations (§3.1/§3.2) on the AR lattice filter, plus pretty
+// printing. Every bench binary regenerates one table or figure of the
+// paper; see EXPERIMENTS.md for paper-vs-measured.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chip/mosis_packages.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace chop::bench {
+
+/// Which of the paper's two experiments to configure.
+enum class Experiment { One, Two };
+
+inline const lib::ComponentLibrary& experiment_library() {
+  static const lib::ComponentLibrary lib = lib::dac91_experiment_library();
+  return lib;
+}
+
+/// The AR filter partitioned into `nparts` (1, 2 or 3) partitions, one per
+/// chip of package `pkg`, configured per experiment 1 (single-cycle,
+/// datapath clock 10x, 30 us budgets) or experiment 2 (multi-cycle, all
+/// clocks 300 ns, 20 us performance budget).
+inline core::ChopSession make_experiment_session(
+    Experiment exp, int nparts,
+    chip::ChipPackage pkg = chip::mosis_package_84()) {
+  static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  std::vector<chip::ChipInstance> chips;
+  for (int c = 0; c < nparts; ++c) {
+    chips.push_back({"chip" + std::to_string(c), pkg});
+  }
+  core::Partitioning pt(ar.graph, std::move(chips));
+  const auto cuts =
+      nparts == 1
+          ? std::vector<std::vector<dfg::NodeId>>{ar.all_operations()}
+          : (nparts == 2 ? dfg::ar_two_way_cut(ar) : dfg::ar_three_way_cut(ar));
+  for (int p = 0; p < nparts; ++p) {
+    pt.add_partition("P" + std::to_string(p + 1),
+                     cuts[static_cast<std::size_t>(p)], p);
+  }
+  core::ChopConfig config;
+  if (exp == Experiment::One) {
+    config.style.clocking = bad::ClockingStyle::SingleCycle;
+    config.clocks = {300.0, 10, 1};
+    config.constraints = {30000.0, 30000.0};
+  } else {
+    config.style.clocking = bad::ClockingStyle::MultiCycle;
+    config.clocks = {300.0, 1, 1};
+    config.constraints = {20000.0, 20000.0};
+  }
+  return core::ChopSession(experiment_library(), std::move(pt), config);
+}
+
+/// Package index naming used by the paper's tables (1 = 64-pin, 2 = 84-pin).
+inline chip::ChipPackage package_by_paper_index(int index) {
+  return index == 1 ? chip::mosis_package_64() : chip::mosis_package_84();
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "==== " << title << " ====\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace chop::bench

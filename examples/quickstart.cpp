@@ -1,0 +1,68 @@
+// Quickstart: partition a 16-tap FIR filter onto two MOSIS chips and ask
+// CHOP whether the partitioning is feasible under area/pin/performance/
+// delay constraints — the whole pipeline in ~60 lines.
+//
+//   $ ./quickstart
+//
+// Walks through: build the behavioral spec -> describe the chip set ->
+// create partitions -> predict per-partition implementations (BAD) ->
+// search for feasible global implementations -> print the designer
+// guideline for the best one.
+#include <iostream>
+
+#include "chip/mosis_packages.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+
+int main() {
+  using namespace chop;
+
+  // 1. The behavioral specification: a 16-tap FIR filter (16 mul, 15 add).
+  const dfg::BenchmarkGraph fir = dfg::fir16();
+
+  // 2. The component library (the paper's Table 1, 3-micron modules).
+  const lib::ComponentLibrary library = lib::dac91_experiment_library();
+
+  // 3. The target chip set: two 84-pin MOSIS packages.
+  std::vector<chip::ChipInstance> chips{
+      {"chip0", chip::mosis_package_84()},
+      {"chip1", chip::mosis_package_84()},
+  };
+
+  // 4. Partitions: the multiplier bank on chip0, the adder tree on chip1.
+  core::Partitioning pt(fir.graph, std::move(chips));
+  pt.add_partition("taps", fir.layer_span(0, 0), /*chip=*/0);
+  pt.add_partition("tree", fir.layer_span(1, fir.layers.size() - 1), 1);
+
+  // 5. Constraints and style: single-cycle ops, 300 ns main clock,
+  //    datapath clock 10x slower, 30 us performance, 60 us delay budgets.
+  core::ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, /*datapath=*/10, /*transfer=*/1};
+  config.constraints = {30000.0, 60000.0};
+
+  core::ChopSession session(library, std::move(pt), config);
+
+  // 6. Predict each partition's implementations with BAD.
+  const core::PredictionStats stats = session.predict_partitions();
+  std::cout << "BAD predictions: " << stats.total << " total, "
+            << stats.feasible << " feasible after level-1 pruning\n";
+
+  // 7. Search for feasible global implementations (iterative heuristic).
+  core::SearchOptions options;
+  options.heuristic = core::Heuristic::Iterative;
+  const core::SearchResult result = session.search(options);
+  std::cout << "search trials: " << result.trials
+            << ", feasible designs: " << result.designs.size() << "\n\n";
+
+  if (result.designs.empty()) {
+    std::cout << "No feasible partitioning — relax the constraints or use "
+                 "bigger packages.\n";
+    return 1;
+  }
+
+  // 8. The designer guideline for the fastest feasible design.
+  std::cout << session.guideline(result.designs.front());
+  return 0;
+}

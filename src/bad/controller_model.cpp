@@ -1,0 +1,74 @@
+#include "bad/controller_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chop::bad {
+
+namespace {
+
+int state_bits(Cycles states) {
+  int bits = 1;
+  while ((Cycles{1} << bits) < states) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+PlaEstimate size_pla(int inputs, int outputs, int product_terms,
+                     const lib::TechnologyParams& tech) {
+  CHOP_REQUIRE(inputs >= 1 && outputs >= 1 && product_terms >= 1,
+               "PLA personality dimensions must be positive");
+  PlaEstimate out;
+  out.inputs = inputs;
+  out.outputs = outputs;
+  out.product_terms = product_terms;
+  const double crosspoints =
+      static_cast<double>(2 * inputs + outputs) *
+      static_cast<double>(product_terms);
+  const double likely = crosspoints * tech.pla_crosspoint_area;
+  out.area = StatVal(0.85 * likely, likely, 1.15 * likely);
+  out.delay = tech.pla_base_delay +
+              tech.pla_delay_per_term * static_cast<double>(product_terms);
+  return out;
+}
+
+PlaEstimate estimate_controller(Cycles control_steps, int fu_count,
+                                int register_words, int mux_selects,
+                                const lib::TechnologyParams& tech) {
+  CHOP_REQUIRE(control_steps >= 1, "controller needs at least one state");
+  const int sbits = state_bits(control_steps);
+  // Inputs: state feedback plus start/status lines.
+  const int inputs = sbits + 2;
+  // Outputs: next-state plus enables for units, register words and mux
+  // select lines (one line can select a group; log-compress large counts).
+  const int outputs =
+      sbits + std::max(1, fu_count) + std::max(1, register_words) +
+      std::max(1, static_cast<int>(std::ceil(
+                      std::sqrt(static_cast<double>(std::max(1, mux_selects))))));
+  // Terms: one per state transition plus one per state's asserted bundle.
+  const int terms = static_cast<int>(2 * control_steps + 2);
+  return size_pla(inputs, outputs, terms, tech);
+}
+
+PlaEstimate estimate_transfer_controller(Cycles wait_cycles,
+                                         Cycles transfer_cycles,
+                                         int data_pins,
+                                         const lib::TechnologyParams& tech) {
+  CHOP_REQUIRE(wait_cycles >= 0 && transfer_cycles >= 1,
+               "transfer controller needs a positive transfer time");
+  // States: the wait counter collapses to a loop state; the transfer
+  // sequences word-slices over the shared pins.
+  const Cycles states = 2 + transfer_cycles;
+  const int sbits = state_bits(states);
+  const int inputs = sbits + 2;  // state + start + pins-available
+  const int outputs =
+      sbits + 1 +
+      std::max(1, static_cast<int>(std::ceil(
+                      std::log2(static_cast<double>(std::max(2, data_pins))))));
+  const int terms =
+      static_cast<int>(2 * states + (wait_cycles > 0 ? 2 : 0));
+  return size_pla(inputs, outputs, terms, tech);
+}
+
+}  // namespace chop::bad

@@ -1,0 +1,44 @@
+// PLA controller prediction (paper §2.4/§2.5): BAD predicts "PLA-based
+// controller area" and its delay from the number of inputs, outputs and
+// product terms of the control PLA; the same model sizes the data transfer
+// module controllers at system integration ("The wait and data transfer
+// times are used to predict the number of inputs, outputs and product
+// terms of a PLA to control the data transfer, from which PLA size and
+// delay are predicted by the same methods used in BAD").
+#pragma once
+
+#include "library/component_library.hpp"
+#include "util/statval.hpp"
+#include "util/units.hpp"
+
+namespace chop::bad {
+
+/// A predicted PLA: personality dimensions plus area/delay.
+struct PlaEstimate {
+  int inputs = 0;
+  int outputs = 0;
+  int product_terms = 0;
+  StatVal area;   ///< mil^2, (0.85x, 1x, 1.15x) uncertainty.
+  Ns delay = 0.0;
+};
+
+/// Sizes a PLA with the given personality under `tech`.
+PlaEstimate size_pla(int inputs, int outputs, int product_terms,
+                     const lib::TechnologyParams& tech);
+
+/// Controller for a datapath with `control_steps` states driving
+/// `fu_count` unit enables, `register_words` register loads and
+/// `mux_selects` steering selects.
+PlaEstimate estimate_controller(Cycles control_steps, int fu_count,
+                                int register_words, int mux_selects,
+                                const lib::TechnologyParams& tech);
+
+/// Controller for a data transfer module that waits `wait_cycles`, then
+/// transfers for `transfer_cycles`, steering `data_pins` shared pins
+/// (paper §2.5).
+PlaEstimate estimate_transfer_controller(Cycles wait_cycles,
+                                         Cycles transfer_cycles,
+                                         int data_pins,
+                                         const lib::TechnologyParams& tech);
+
+}  // namespace chop::bad

@@ -1,0 +1,44 @@
+// Datapath estimation: register and multiplexer allocation predictions and
+// the steering-path delay they add to the clock (paper §2.4: BAD
+// "performs detailed predictions on register and multiplexer allocation
+// ... as well as the additional delays introduced to the clock cycle
+// (register, multiplexer, wiring ...)").
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "library/component_library.hpp"
+#include "schedule/op_schedule.hpp"
+#include "util/statval.hpp"
+
+namespace chop::bad {
+
+/// Register/mux/steering predictions for one scheduled design point.
+struct DatapathEstimate {
+  Bits register_bits = 0;   ///< Peak live bits across control steps.
+  StatVal mux_count;        ///< 1-bit 2:1 multiplexer equivalents.
+  int mux_levels = 1;       ///< Steering depth on the register-to-FU path.
+  StatVal register_area;    ///< mil^2.
+  StatVal mux_area;         ///< mil^2.
+  Ns steering_delay = 0.0;  ///< Register + mux-tree delay per cycle.
+};
+
+/// Estimates the datapath for graph `g` scheduled as `schedule` with
+/// functional-unit allocation `fu_alloc` (units per op kind).
+///
+/// Multiplexers come from three sources: operand steering of shared
+/// functional units ((ops - units) * operands * width per kind), register
+/// input sharing (one 2:1 per stored bit, most likely), and explicit
+/// Select operations (width muxes each). The mux count carries
+/// (0.85x, 1x, 1.1x) uncertainty — exact steering depends on binding, which
+/// prediction intentionally skips.
+DatapathEstimate estimate_datapath(const dfg::Graph& g,
+                                   std::span<const Cycles> latency,
+                                   const sched::OpSchedule& schedule,
+                                   const std::map<dfg::OpKind, int>& fu_alloc,
+                                   const lib::ComponentLibrary& library);
+
+}  // namespace chop::bad

@@ -1,0 +1,41 @@
+#include "bad/latency_model.hpp"
+
+#include <cmath>
+
+namespace chop::bad {
+
+std::optional<std::vector<Cycles>> operation_latencies(
+    const dfg::Graph& g, const lib::ModuleSet& set, ClockingStyle clocking,
+    const ClockSpec& clocks, Ns overhead_ns,
+    const std::vector<Ns>& memory_access_time) {
+  clocks.validate();
+  const Ns period = clocks.datapath_period();
+  std::vector<Cycles> lat(g.node_count(), 0);
+
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const dfg::Node& n = g.node(static_cast<dfg::NodeId>(i));
+    if (dfg::needs_functional_unit(n.kind)) {
+      const Ns path = set.module_for(n.kind).delay + overhead_ns;
+      if (clocking == ClockingStyle::SingleCycle) {
+        if (path > period) return std::nullopt;  // module set ineligible
+        lat[i] = 1;
+      } else {
+        lat[i] = static_cast<Cycles>(std::ceil(path / period));
+        CHOP_ASSERT(lat[i] >= 1, "multi-cycle latency must be at least one");
+      }
+    } else if (n.kind == dfg::OpKind::MemRead ||
+               n.kind == dfg::OpKind::MemWrite) {
+      Ns access = period;  // default: one cycle
+      const auto block = static_cast<std::size_t>(n.memory_block);
+      if (block < memory_access_time.size() &&
+          memory_access_time[block] > 0.0) {
+        access = memory_access_time[block];
+      }
+      lat[i] = std::max<Cycles>(
+          1, static_cast<Cycles>(std::ceil((access + overhead_ns) / period)));
+    }
+  }
+  return lat;
+}
+
+}  // namespace chop::bad

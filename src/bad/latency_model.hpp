@@ -1,0 +1,30 @@
+// Operation latency model: binds a module set and clocking style to
+// per-node latencies in datapath cycles, and decides module-set
+// eligibility under the single-cycle style.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bad/style.hpp"
+#include "dfg/graph.hpp"
+#include "library/module_set.hpp"
+
+namespace chop::bad {
+
+/// Per-node datapath-cycle latencies for `g` under `set` and `style`.
+///
+/// Functional-unit ops take one cycle (single-cycle style; the set is
+/// ineligible — nullopt — if any chosen module's delay plus `overhead_ns`
+/// exceeds the datapath period) or ceil((delay + overhead) / period)
+/// cycles (multi-cycle style). Memory ops take
+/// ceil((access_time + overhead) / period) cycles, at least one; callers
+/// pass each block's access time via `memory_access_time` (indexed by
+/// block id; missing blocks default to one cycle). Inputs, outputs and
+/// selects take zero cycles.
+std::optional<std::vector<Cycles>> operation_latencies(
+    const dfg::Graph& g, const lib::ModuleSet& set, ClockingStyle clocking,
+    const ClockSpec& clocks, Ns overhead_ns,
+    const std::vector<Ns>& memory_access_time = {});
+
+}  // namespace chop::bad

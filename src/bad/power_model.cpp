@@ -1,0 +1,68 @@
+#include "bad/power_model.hpp"
+
+#include <algorithm>
+
+namespace chop::bad {
+
+double module_active_power_mw(const lib::ModuleSpec& module,
+                              const lib::TechnologyParams& tech) {
+  if (module.active_power_mw > 0.0) return module.active_power_mw;
+  return module.area * tech.power_per_area_mw;
+}
+
+std::map<dfg::OpKind, Cycles> busy_cycles_by_kind(
+    const dfg::Graph& g, std::span<const Cycles> latency) {
+  CHOP_REQUIRE(latency.size() == g.node_count(),
+               "latency vector size must match node count");
+  std::map<dfg::OpKind, Cycles> busy;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const dfg::Node& n = g.node(static_cast<dfg::NodeId>(i));
+    if (dfg::needs_functional_unit(n.kind)) {
+      busy[n.kind] += latency[i];
+    }
+  }
+  return busy;
+}
+
+StatVal estimate_datapath_power(const lib::ModuleSet& set,
+                                const std::map<dfg::OpKind, int>& fu_alloc,
+                                const std::map<dfg::OpKind, Cycles>& busy_cycles,
+                                Cycles ii_dp, AreaMil2 support_area,
+                                const lib::TechnologyParams& tech) {
+  CHOP_REQUIRE(ii_dp >= 1, "initiation interval must be positive");
+  double likely = 0.0;
+  for (const auto& [kind, units] : fu_alloc) {
+    CHOP_REQUIRE(units >= 1, "allocation must be positive");
+    const double active = module_active_power_mw(set.module_for(kind), tech);
+    auto it = busy_cycles.find(kind);
+    const double busy =
+        it == busy_cycles.end() ? 0.0 : static_cast<double>(it->second);
+    // Utilization of the unit pool, clamped: modulo scheduling can fill at
+    // most every cycle of every unit.
+    const double capacity = static_cast<double>(units) *
+                            static_cast<double>(ii_dp);
+    const double utilization = std::min(1.0, busy / capacity);
+    const double pool =
+        static_cast<double>(units) * active *
+        (utilization + (1.0 - utilization) * tech.idle_power_fraction);
+    likely += pool;
+  }
+  likely += support_area * tech.support_power_per_area_mw;
+  return StatVal(0.85 * likely, likely, 1.2 * likely);
+}
+
+StatVal estimate_transfer_power(Pins pins, Cycles transfer_cycles, Cycles ii,
+                                AreaMil2 module_area,
+                                const lib::TechnologyParams& tech) {
+  CHOP_REQUIRE(ii >= 1, "initiation interval must be positive");
+  CHOP_REQUIRE(pins >= 0 && transfer_cycles >= 0,
+               "transfer shape cannot be negative");
+  const double duty =
+      std::min(1.0, static_cast<double>(transfer_cycles) /
+                        static_cast<double>(ii));
+  const double likely = static_cast<double>(pins) * tech.pad_power_mw * duty +
+                        module_area * tech.support_power_per_area_mw;
+  return StatVal(0.85 * likely, likely, 1.2 * likely);
+}
+
+}  // namespace chop::bad

@@ -1,0 +1,54 @@
+// Power prediction — the paper's §5 extension ("the partitioning
+// methodology currently works with area, delay, performance and pin count
+// characteristics and needs to be extended to include power consumption
+// constraints"), implemented with the same prediction philosophy as the
+// rest of BAD: fast, schedule-aware, triplet-valued.
+//
+// Model: a functional unit draws its active power while it computes and
+// an idle fraction of it the rest of the iteration; utilization comes
+// from the schedule (busy cycles / (units * II)). Registers, steering and
+// the controller draw power proportional to their predicted area. The
+// transfer side (pads, buffers) is charged at system integration with the
+// same coefficients and the transfer duty cycle X / II.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "dfg/graph.hpp"
+#include "library/component_library.hpp"
+#include "library/module_set.hpp"
+#include "util/statval.hpp"
+#include "util/units.hpp"
+
+namespace chop::bad {
+
+/// Datapath power for one scheduled design point, in mW, with
+/// (0.85x, 1x, 1.2x) estimation spread.
+///
+/// `busy_cycles` maps each op kind to the total functional-unit busy
+/// cycles per iteration (sum of latencies of its ops); `support_area` is
+/// the predicted register + mux + controller area.
+StatVal estimate_datapath_power(const lib::ModuleSet& set,
+                                const std::map<dfg::OpKind, int>& fu_alloc,
+                                const std::map<dfg::OpKind, Cycles>& busy_cycles,
+                                Cycles ii_dp, AreaMil2 support_area,
+                                const lib::TechnologyParams& tech);
+
+/// Busy cycles per op kind implied by `latency` over graph `g`.
+std::map<dfg::OpKind, Cycles> busy_cycles_by_kind(
+    const dfg::Graph& g, std::span<const Cycles> latency);
+
+/// Active power of one module: its measured figure, or area-derived when
+/// the library carries none (the Table 1 case).
+double module_active_power_mw(const lib::ModuleSpec& module,
+                              const lib::TechnologyParams& tech);
+
+/// Power of one data transfer module: `pins` pad drivers switching for
+/// `transfer_cycles` out of every `ii` cycles, plus its buffer/controller
+/// area at the support coefficient.
+StatVal estimate_transfer_power(Pins pins, Cycles transfer_cycles, Cycles ii,
+                                AreaMil2 module_area,
+                                const lib::TechnologyParams& tech);
+
+}  // namespace chop::bad

@@ -1,0 +1,207 @@
+#include "baseline/kernighan_lin.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace chop::baseline {
+
+KlGraph KlGraph::from_operations(const dfg::Graph& g,
+                                 const std::vector<dfg::NodeId>& ops) {
+  KlGraph out;
+  out.vertex_count = static_cast<int>(ops.size());
+  out.adjacency.resize(ops.size());
+
+  std::map<dfg::NodeId, int> vertex_of;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    CHOP_REQUIRE(!vertex_of.count(ops[i]), "duplicate operation in KL input");
+    vertex_of[ops[i]] = static_cast<int>(i);
+  }
+
+  std::map<std::pair<int, int>, Bits> weight;
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const dfg::Edge& edge = g.edge(static_cast<dfg::EdgeId>(e));
+    auto s = vertex_of.find(edge.src);
+    auto d = vertex_of.find(edge.dst);
+    if (s == vertex_of.end() || d == vertex_of.end()) continue;
+    const int a = std::min(s->second, d->second);
+    const int b = std::max(s->second, d->second);
+    if (a == b) continue;
+    weight[{a, b}] += edge.width;
+  }
+  for (const auto& [pair, w] : weight) {
+    out.adjacency[static_cast<std::size_t>(pair.first)].emplace_back(
+        pair.second, w);
+    out.adjacency[static_cast<std::size_t>(pair.second)].emplace_back(
+        pair.first, w);
+  }
+  return out;
+}
+
+Bits cut_cost(const KlGraph& g, const std::vector<int>& side) {
+  CHOP_REQUIRE(side.size() == static_cast<std::size_t>(g.vertex_count),
+               "side vector size mismatch");
+  Bits cost = 0;
+  for (int v = 0; v < g.vertex_count; ++v) {
+    for (const auto& [u, w] : g.adjacency[static_cast<std::size_t>(v)]) {
+      if (u > v && side[static_cast<std::size_t>(u)] !=
+                       side[static_cast<std::size_t>(v)]) {
+        cost += w;
+      }
+    }
+  }
+  return cost;
+}
+
+std::vector<int> random_bisection(int vertex_count, Rng& rng) {
+  CHOP_REQUIRE(vertex_count >= 2, "bisection needs at least two vertices");
+  std::vector<int> side(static_cast<std::size_t>(vertex_count), 0);
+  for (int i = vertex_count / 2; i < vertex_count; ++i) {
+    side[static_cast<std::size_t>(i)] = 1;
+  }
+  // Fisher-Yates shuffle of the assignment.
+  for (int i = vertex_count - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform(0, i));
+    std::swap(side[static_cast<std::size_t>(i)], side[j]);
+  }
+  return side;
+}
+
+namespace {
+
+/// External minus internal cost of vertex v under `side`.
+Bits d_value(const KlGraph& g, const std::vector<int>& side, int v) {
+  Bits external = 0, internal = 0;
+  for (const auto& [u, w] : g.adjacency[static_cast<std::size_t>(v)]) {
+    if (side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) {
+      internal += w;
+    } else {
+      external += w;
+    }
+  }
+  return external - internal;
+}
+
+/// Weight between two vertices (0 if not adjacent).
+Bits edge_weight(const KlGraph& g, int a, int b) {
+  for (const auto& [u, w] : g.adjacency[static_cast<std::size_t>(a)]) {
+    if (u == b) return w;
+  }
+  return 0;
+}
+
+}  // namespace
+
+KlResult kernighan_lin(const KlGraph& g, std::vector<int> initial) {
+  CHOP_REQUIRE(initial.size() == static_cast<std::size_t>(g.vertex_count),
+               "initial assignment size mismatch");
+  const int ones = static_cast<int>(
+      std::count(initial.begin(), initial.end(), 1));
+  CHOP_REQUIRE(std::abs(2 * ones - g.vertex_count) <= 1,
+               "KL initial assignment must be balanced");
+
+  KlResult result;
+  result.side = std::move(initial);
+
+  while (true) {
+    ++result.passes;
+    std::vector<int> side = result.side;
+    std::vector<bool> locked(static_cast<std::size_t>(g.vertex_count), false);
+    std::vector<Bits> d(static_cast<std::size_t>(g.vertex_count));
+    for (int v = 0; v < g.vertex_count; ++v) {
+      d[static_cast<std::size_t>(v)] = d_value(g, side, v);
+    }
+
+    std::vector<std::pair<int, int>> swaps;  // chosen (a, b) per step
+    std::vector<Bits> gains;
+
+    const int steps = g.vertex_count / 2;
+    for (int step = 0; step < steps; ++step) {
+      Bits best_gain = std::numeric_limits<Bits>::min();
+      int best_a = -1, best_b = -1;
+      for (int a = 0; a < g.vertex_count; ++a) {
+        if (locked[static_cast<std::size_t>(a)] ||
+            side[static_cast<std::size_t>(a)] != 0) {
+          continue;
+        }
+        for (int b = 0; b < g.vertex_count; ++b) {
+          if (locked[static_cast<std::size_t>(b)] ||
+              side[static_cast<std::size_t>(b)] != 1) {
+            continue;
+          }
+          const Bits gain = d[static_cast<std::size_t>(a)] +
+                            d[static_cast<std::size_t>(b)] -
+                            2 * edge_weight(g, a, b);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a < 0) break;  // one side ran out of unlocked vertices
+      swaps.emplace_back(best_a, best_b);
+      gains.push_back(best_gain);
+      locked[static_cast<std::size_t>(best_a)] = true;
+      locked[static_cast<std::size_t>(best_b)] = true;
+      // Update D values as if the swap happened.
+      std::swap(side[static_cast<std::size_t>(best_a)],
+                side[static_cast<std::size_t>(best_b)]);
+      for (int v = 0; v < g.vertex_count; ++v) {
+        if (!locked[static_cast<std::size_t>(v)]) {
+          d[static_cast<std::size_t>(v)] = d_value(g, side, v);
+        }
+      }
+    }
+
+    // Best prefix of the swap sequence.
+    Bits best_total = 0, running = 0;
+    std::size_t best_k = 0;
+    for (std::size_t k = 0; k < gains.size(); ++k) {
+      running += gains[k];
+      if (running > best_total) {
+        best_total = running;
+        best_k = k + 1;
+      }
+    }
+    if (best_total <= 0) break;  // no improvement: done
+    for (std::size_t k = 0; k < best_k; ++k) {
+      std::swap(result.side[static_cast<std::size_t>(swaps[k].first)],
+                result.side[static_cast<std::size_t>(swaps[k].second)]);
+    }
+  }
+
+  result.cut_cost = cut_cost(g, result.side);
+  return result;
+}
+
+std::vector<std::vector<dfg::NodeId>> kl_partition(
+    const dfg::Graph& g, const std::vector<dfg::NodeId>& ops, int k,
+    Rng& rng) {
+  CHOP_REQUIRE(k >= 1, "partition count must be positive");
+  CHOP_REQUIRE(static_cast<int>(ops.size()) >= k,
+               "cannot split fewer operations than partitions");
+  std::vector<std::vector<dfg::NodeId>> parts{ops};
+  while (static_cast<int>(parts.size()) < k) {
+    // Split the largest current part.
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      if (parts[i].size() > parts[largest].size()) largest = i;
+    }
+    CHOP_REQUIRE(parts[largest].size() >= 2,
+                 "cannot split a single-operation partition");
+    const std::vector<dfg::NodeId> victim = parts[largest];
+    const KlGraph kg = KlGraph::from_operations(g, victim);
+    const KlResult kl =
+        kernighan_lin(kg, random_bisection(kg.vertex_count, rng));
+    std::vector<dfg::NodeId> left, right;
+    for (std::size_t v = 0; v < victim.size(); ++v) {
+      (kl.side[v] == 0 ? left : right).push_back(victim[v]);
+    }
+    parts[largest] = std::move(left);
+    parts.push_back(std::move(right));
+  }
+  return parts;
+}
+
+}  // namespace chop::baseline

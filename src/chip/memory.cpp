@@ -1,0 +1,22 @@
+#include "chip/memory.hpp"
+
+namespace chop::chip {
+
+int MemorySubsystem::placement(int b) const {
+  CHOP_REQUIRE(b >= 0 && static_cast<std::size_t>(b) < chip_of_block.size(),
+               "memory block index out of range");
+  return chip_of_block[static_cast<std::size_t>(b)];
+}
+
+void MemorySubsystem::validate(int chip_count) const {
+  CHOP_REQUIRE(blocks.size() == chip_of_block.size(),
+               "every memory block needs a placement");
+  for (const MemoryModule& block : blocks) block.validate();
+  for (int placement : chip_of_block) {
+    CHOP_REQUIRE(placement == kOffTheShelfChip ||
+                     (placement >= 0 && placement < chip_count),
+                 "memory placement names a nonexistent chip");
+  }
+}
+
+}  // namespace chop::chip

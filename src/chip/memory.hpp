@@ -1,0 +1,57 @@
+// Memory modules and their chip assignments (paper §2.2 input group 4).
+//
+// "It is assumed that the memory hierarchy is designed prior to
+// partitioning" — CHOP takes the blocks and their placements as input.
+// Off-the-shelf memory chips are supported: a block placed on
+// kOffTheShelfChip lives in its own package and every access crosses chip
+// pins. Each block needs unshared Select/R-W control pins on every chip
+// that accesses it (§2.4), and its ports bound the words transferable per
+// data-transfer clock cycle (the memory-bandwidth side of §2.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace chop::chip {
+
+/// Placement marker: the block is a dedicated off-the-shelf memory chip
+/// rather than an on-chip macro.
+inline constexpr int kOffTheShelfChip = -1;
+
+/// One memory block of the pre-designed memory hierarchy.
+struct MemoryModule {
+  std::string name;
+  Bits word_bits = 16;   ///< Width of one word (one access moves one word).
+  int words = 256;       ///< Capacity, for reports only.
+  int ports = 1;         ///< Simultaneous accesses per transfer cycle.
+  Ns access_time = 0.0;  ///< Added to the transfer path when accessed.
+  AreaMil2 area = 0.0;   ///< Macro area when placed on a chip.
+  Pins control_pins = 3; ///< Unshared Select/R-W/enable lines per accessor.
+
+  void validate() const {
+    CHOP_REQUIRE(!name.empty(), "memory block needs a name");
+    CHOP_REQUIRE(word_bits > 0, "memory word width must be positive");
+    CHOP_REQUIRE(ports >= 1, "memory needs at least one port");
+    CHOP_REQUIRE(control_pins >= 0, "control pin count cannot be negative");
+  }
+};
+
+/// The memory subsystem: blocks plus their placements. Block index is the
+/// `memory_block` id used by dfg::Graph memory operations.
+struct MemorySubsystem {
+  std::vector<MemoryModule> blocks;
+  /// chip index per block, or kOffTheShelfChip.
+  std::vector<int> chip_of_block;
+
+  /// Placement of block `b`; throws if `b` is out of range.
+  int placement(int b) const;
+
+  /// Checks sizes agree and placements are within [0, chip_count) or
+  /// off-the-shelf.
+  void validate(int chip_count) const;
+};
+
+}  // namespace chop::chip

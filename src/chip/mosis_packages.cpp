@@ -1,0 +1,25 @@
+#include "chip/mosis_packages.hpp"
+
+namespace chop::chip {
+
+namespace {
+
+ChipPackage mosis_base(std::string name, Pins pins) {
+  ChipPackage pkg;
+  pkg.name = std::move(name);
+  pkg.width_mil = 311.02;
+  pkg.height_mil = 362.20;
+  pkg.pin_count = pins;
+  pkg.pad_delay = 25.0;
+  pkg.io_pad_area = 297.60;
+  pkg.validate();
+  return pkg;
+}
+
+}  // namespace
+
+ChipPackage mosis_package_64() { return mosis_base("MOSIS-64", 64); }
+
+ChipPackage mosis_package_84() { return mosis_base("MOSIS-84", 84); }
+
+}  // namespace chop::chip

@@ -1,0 +1,16 @@
+// The paper's Table 2: "A subset of MOSIS Standard Chip Packages" — two
+// packages with identical 311.02 x 362.20 mil project areas, 25 ns pad
+// delay and 297.60 mil^2 pads, differing only in pin count (64 vs 84).
+#pragma once
+
+#include "chip/package.hpp"
+
+namespace chop::chip {
+
+/// Table 2 row 1: the 64-pin package.
+ChipPackage mosis_package_64();
+
+/// Table 2 row 2: the 84-pin package.
+ChipPackage mosis_package_84();
+
+}  // namespace chop::chip

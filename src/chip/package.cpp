@@ -1,0 +1,18 @@
+#include "chip/package.hpp"
+
+namespace chop::chip {
+
+void ChipPackage::validate() const {
+  CHOP_REQUIRE(!name.empty(), "package needs a name");
+  CHOP_REQUIRE(width_mil > 0.0 && height_mil > 0.0,
+               "package project area must be positive");
+  CHOP_REQUIRE(pin_count > 0, "package must have pins");
+  CHOP_REQUIRE(infrastructure_pins >= 0 && infrastructure_pins < pin_count,
+               "infrastructure pin reserve must leave signal pins");
+  CHOP_REQUIRE(pad_delay >= 0.0, "pad delay cannot be negative");
+  CHOP_REQUIRE(io_pad_area >= 0.0, "I/O pad area cannot be negative");
+  CHOP_REQUIRE(usable_area() > 0.0,
+               "I/O pads consume the whole project area");
+}
+
+}  // namespace chop::chip

@@ -1,0 +1,50 @@
+// Chip packages (paper §2.2 input group 3): "The information about each
+// chip includes the dimensions of the project area and the pin count of
+// the chip, pad delays, and I/O pad area."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace chop::chip {
+
+/// One package type from the target chip set (Table 2 rows).
+struct ChipPackage {
+  std::string name;
+  double width_mil = 0.0;   ///< Project-area width.
+  double height_mil = 0.0;  ///< Project-area height.
+  Pins pin_count = 0;       ///< Total package pins.
+  Ns pad_delay = 0.0;       ///< Delay through an I/O pad, charged to transfers.
+  AreaMil2 io_pad_area = 0.0;  ///< Area consumed per bonded I/O pad.
+
+  /// Pins permanently reserved for power/ground/clock and therefore never
+  /// available for data or control. A fixed overhead of the package.
+  Pins infrastructure_pins = 8;
+
+  /// Total project area of the die.
+  AreaMil2 project_area() const { return width_mil * height_mil; }
+
+  /// Area left for logic after the I/O pads of every *signal* pin are
+  /// placed (infrastructure pads are part of the periphery either way).
+  AreaMil2 usable_area() const {
+    return project_area() - io_pad_area * static_cast<double>(pin_count);
+  }
+
+  /// Pins available for signals (data + unshared control).
+  Pins signal_pins() const { return pin_count - infrastructure_pins; }
+
+  /// Validates the package description; throws chop::Error on nonsense.
+  void validate() const;
+};
+
+/// One physical chip in the design: a named instance of a package.
+/// Partitions and memory blocks are assigned to instances by index.
+struct ChipInstance {
+  std::string name;
+  ChipPackage package;
+};
+
+}  // namespace chop::chip

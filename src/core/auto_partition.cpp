@@ -1,0 +1,241 @@
+#include "core/auto_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "baseline/kernighan_lin.hpp"
+#include "baseline/partition_builders.hpp"
+
+namespace chop::core {
+
+namespace {
+
+/// Comparable quality of one evaluated partitioning; smaller-is-better
+/// fields folded into better_than().
+struct Score {
+  bool feasible = false;
+  Cycles ii = std::numeric_limits<Cycles>::max();
+  Cycles delay = std::numeric_limits<Cycles>::max();
+  std::size_t eligible = 0;
+  Bits cut_bits = 0;  // infeasible-plateau gradient: thinner cut is better
+
+  bool better_than(const Score& other) const {
+    if (feasible != other.feasible) return feasible;
+    if (feasible) {
+      if (ii != other.ii) return ii < other.ii;
+      return delay < other.delay;
+    }
+    if (eligible != other.eligible) return eligible > other.eligible;
+    return cut_bits < other.cut_bits;
+  }
+
+  std::string describe() const {
+    std::ostringstream os;
+    if (feasible) {
+      os << "feasible II=" << ii << "c delay=" << delay << "c";
+    } else {
+      os << "infeasible (" << eligible << " eligible predictions)";
+    }
+    return os.str();
+  }
+};
+
+/// One candidate migration: move `op` from partition `from` to `to`.
+struct Move {
+  dfg::NodeId op = dfg::kNoNode;
+  int from = -1;
+  int to = -1;
+  Bits cut_width = 0;  // width of the crossing edges this op touches
+};
+
+/// Builds a session over `members` (partition p -> chip p). Returns
+/// nullopt when the member lists violate the structural rules (e.g. a
+/// migration created a quotient cycle).
+std::optional<ChopSession> make_session(
+    const dfg::Graph& spec, const lib::ComponentLibrary& library,
+    const std::vector<chip::ChipInstance>& chips,
+    const chip::MemorySubsystem& memory, const ChopConfig& config,
+    const std::vector<std::vector<dfg::NodeId>>& members) {
+  try {
+    Partitioning pt(spec, chips, memory);
+    for (std::size_t p = 0; p < members.size(); ++p) {
+      pt.add_partition("P" + std::to_string(p + 1), members[p],
+                       static_cast<int>(p));
+    }
+    pt.validate();
+    return ChopSession(library, std::move(pt), config);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+Score evaluate(ChopSession& session, const SearchOptions& options,
+               SearchResult& out) {
+  Score score;
+  score.eligible = session.predict_partitions().feasible;
+  for (const DataTransfer& t : session.transfer_tasks()) {
+    if (t.crosses_pins()) score.cut_bits += t.bits;
+  }
+  out = session.search(options);
+  if (!out.designs.empty()) {
+    score.feasible = true;
+    score.ii = out.designs.front().integration.ii_main;
+    score.delay = out.designs.front().integration.system_delay_main;
+  }
+  return score;
+}
+
+/// Boundary operations of the current cut, widest crossing traffic first.
+std::vector<Move> boundary_moves(
+    const dfg::Graph& spec,
+    const std::vector<std::vector<dfg::NodeId>>& members) {
+  std::vector<int> owner(spec.node_count(), -1);
+  for (std::size_t p = 0; p < members.size(); ++p) {
+    for (dfg::NodeId id : members[p]) {
+      owner[static_cast<std::size_t>(id)] = static_cast<int>(p);
+    }
+  }
+  std::map<std::pair<dfg::NodeId, int>, Bits> crossing;  // (op, other side)
+  for (std::size_t e = 0; e < spec.edge_count(); ++e) {
+    const dfg::Edge& edge = spec.edge(static_cast<dfg::EdgeId>(e));
+    const int a = owner[static_cast<std::size_t>(edge.src)];
+    const int b = owner[static_cast<std::size_t>(edge.dst)];
+    if (a < 0 || b < 0 || a == b) continue;
+    crossing[{edge.src, b}] += edge.width;  // producer could move forward
+    crossing[{edge.dst, a}] += edge.width;  // consumer could move backward
+  }
+  std::vector<Move> moves;
+  for (const auto& [key, width] : crossing) {
+    const auto& [op, to] = key;
+    const int from = owner[static_cast<std::size_t>(op)];
+    // Never empty a partition.
+    if (members[static_cast<std::size_t>(from)].size() <= 1) continue;
+    moves.push_back(Move{op, from, to, width});
+  }
+  std::sort(moves.begin(), moves.end(), [](const Move& x, const Move& y) {
+    if (x.cut_width != y.cut_width) return x.cut_width > y.cut_width;
+    if (x.op != y.op) return x.op < y.op;
+    return x.to < y.to;
+  });
+  return moves;
+}
+
+std::vector<std::vector<dfg::NodeId>> apply_move(
+    std::vector<std::vector<dfg::NodeId>> members, const Move& move) {
+  auto& from = members[static_cast<std::size_t>(move.from)];
+  from.erase(std::find(from.begin(), from.end(), move.op));
+  members[static_cast<std::size_t>(move.to)].push_back(move.op);
+  return members;
+}
+
+}  // namespace
+
+AutoPartitionResult auto_partition(const dfg::Graph& spec,
+                                   const lib::ComponentLibrary& library,
+                                   std::vector<chip::ChipInstance> chips,
+                                   chip::MemorySubsystem memory,
+                                   const ChopConfig& config,
+                                   const AutoPartitionOptions& options) {
+  CHOP_REQUIRE(!chips.empty(), "auto_partition needs at least one chip");
+  CHOP_REQUIRE(options.max_iterations >= 0 &&
+                   options.max_candidates_per_iteration >= 1,
+               "auto_partition option out of range");
+
+  // Seed: level-order cut, one partition per chip.
+  std::vector<dfg::NodeId> ops;
+  for (std::size_t i = 0; i < spec.node_count(); ++i) {
+    const dfg::Node& n = spec.node(static_cast<dfg::NodeId>(i));
+    if (dfg::needs_functional_unit(n.kind) ||
+        n.kind == dfg::OpKind::Select || n.kind == dfg::OpKind::MemRead ||
+        n.kind == dfg::OpKind::MemWrite) {
+      ops.push_back(static_cast<dfg::NodeId>(i));
+    }
+  }
+  AutoPartitionResult result;
+  const int k = static_cast<int>(chips.size());
+  Rng rng(options.rng_seed);
+
+  // Diverse seeds; each must be quotient-acyclic before use.
+  std::vector<std::pair<std::string, std::vector<std::vector<dfg::NodeId>>>>
+      seeds;
+  seeds.emplace_back("level-order cut",
+                     baseline::level_order_partition(spec, ops, k));
+  if (options.restarts >= 2 && static_cast<int>(ops.size()) >= 2 * k) {
+    seeds.emplace_back(
+        "kernighan-lin cut (repaired)",
+        baseline::make_acyclic(spec,
+                               baseline::kl_partition(spec, ops, k, rng)));
+  }
+  for (int r = static_cast<int>(seeds.size()); r < options.restarts; ++r) {
+    seeds.emplace_back(
+        "random cut (repaired)",
+        baseline::make_acyclic(spec, baseline::random_partition(ops, k, rng)));
+  }
+
+  Score global_best;
+  bool have_global = false;
+
+  for (const auto& [seed_name, seed_members] : seeds) {
+    if (static_cast<int>(seed_members.size()) != k) continue;  // repair merged
+    std::vector<std::vector<dfg::NodeId>> members = seed_members;
+    auto session =
+        make_session(spec, library, chips, memory, config, members);
+    if (!session) continue;
+    std::vector<std::string> log;
+    SearchResult search;
+    Score best = evaluate(*session, options.search, search);
+    ++result.evaluations;
+    log.push_back("seed (" + seed_name + "): " + best.describe());
+    int moves_accepted = 0;
+
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      const std::vector<Move> moves = boundary_moves(spec, members);
+      bool improved = false;
+      int considered = 0;
+      for (const Move& move : moves) {
+        if (considered >= options.max_candidates_per_iteration) break;
+        auto candidate_members = apply_move(members, move);
+        auto candidate = make_session(spec, library, chips, memory, config,
+                                      candidate_members);
+        if (!candidate) continue;  // migration created a quotient cycle
+        ++considered;
+        SearchResult candidate_search;
+        const Score score =
+            evaluate(*candidate, options.search, candidate_search);
+        ++result.evaluations;
+        if (score.better_than(best)) {
+          best = score;
+          members = std::move(candidate_members);
+          search = std::move(candidate_search);
+          ++moves_accepted;
+          std::ostringstream os;
+          os << "move " << spec.node(move.op).name << " (op " << move.op
+             << ") P" << move.from + 1 << " -> P" << move.to + 1 << ": "
+             << best.describe();
+          log.push_back(os.str());
+          improved = true;
+          break;  // greedy: re-derive the boundary after each accepted move
+        }
+      }
+      if (!improved) break;  // local optimum for this seed
+    }
+
+    if (!have_global || best.better_than(global_best)) {
+      have_global = true;
+      global_best = best;
+      result.members = std::move(members);
+      result.search = std::move(search);
+      result.accepted_moves = moves_accepted;
+      result.log = std::move(log);
+    }
+    // Feasible and as fast as a single datapath cycle? Nothing can beat it.
+    if (global_best.feasible && global_best.ii <= 1) break;
+  }
+
+  CHOP_REQUIRE(have_global, "no valid seed partitioning could be built");
+  result.log.push_back("final: " + global_best.describe());
+  return result;
+}
+
+}  // namespace chop::core

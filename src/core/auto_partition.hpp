@@ -1,0 +1,67 @@
+// Automatic constraint-driven partitioning — the paper's "immediate
+// applications" (§1): "behavioral partitioning, system-level advising and
+// task creation based on a custom-designed processor style." CHOP itself
+// keeps the designer in the loop; this module closes that loop with the
+// same moves a designer makes in §2.7 (operation migration between
+// partitions), driven by the predict-and-search feedback.
+//
+// Algorithm: start from a level-order cut (one partition per chip),
+// evaluate it, then greedily try migrating boundary operations — an
+// operation with a cut edge — into the partition on the other side of the
+// cut. A move is kept when it improves the score (feasibility first, then
+// best II, then best delay, then level-1-feasible prediction count as a
+// gradient when everything is infeasible). Stops at a local optimum or
+// the iteration cap. Every accepted move is logged in designer-readable
+// form — the "system-level advisor" output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace chop::core {
+
+/// Knobs for auto_partition().
+struct AutoPartitionOptions {
+  SearchOptions search;     ///< Evaluation search (iterative by default).
+  int max_iterations = 64;  ///< Accepted-move budget per restart.
+  /// Evaluate at most this many candidate moves per iteration (boundary
+  /// operations are ordered by cut width, widest first).
+  int max_candidates_per_iteration = 12;
+  /// Greedy restarts from diverse seeds: the level-order cut, a repaired
+  /// Kernighan-Lin cut, then repaired random cuts. Greedy migration only
+  /// reaches a local optimum, so seed diversity is the escape hatch.
+  int restarts = 3;
+  std::uint64_t rng_seed = 1;
+
+  AutoPartitionOptions() { search.heuristic = Heuristic::Iterative; }
+};
+
+/// Result of the automatic partitioning run.
+struct AutoPartitionResult {
+  /// Best member lists found, indexed by partition (= chip) index.
+  std::vector<std::vector<dfg::NodeId>> members;
+  /// Search result at the best partitioning.
+  SearchResult search;
+  int accepted_moves = 0;
+  std::size_t evaluations = 0;  ///< predict+search pipeline runs.
+  /// Designer-readable decision trail.
+  std::vector<std::string> log;
+
+  bool feasible() const { return !search.designs.empty(); }
+};
+
+/// Automatically partitions `spec` onto `chips` (one partition per chip)
+/// under `config`, starting from a level-order cut. The memory subsystem
+/// placement is taken as given (combine with optimize_memory_placement()
+/// for the full interleaved loop).
+AutoPartitionResult auto_partition(const dfg::Graph& spec,
+                                   const lib::ComponentLibrary& library,
+                                   std::vector<chip::ChipInstance> chips,
+                                   chip::MemorySubsystem memory,
+                                   const ChopConfig& config,
+                                   const AutoPartitionOptions& options = {});
+
+}  // namespace chop::core

@@ -1,0 +1,62 @@
+// Clock and architecture-style exploration — automating the sweep behind
+// the paper's two experiments. §2.2 makes the clock family an *input*
+// ("The clock cycle is an input to the system ... determination of the
+// system clock cycle is also influenced by other design factors"), and
+// §3.2 observes that "the faster the data path clock, the more design
+// possibilities exist for a given set of design constraints". This module
+// evaluates a list of (style, clock-family) candidates over one
+// partitioning and reports the feasibility frontier, so the designer can
+// pick the clocking the same way CHOP lets them pick partitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace chop::core {
+
+/// One clocking candidate to evaluate.
+struct ClockCandidate {
+  bad::ArchitectureStyle style;
+  bad::ClockSpec clocks;
+
+  std::string label() const;
+};
+
+/// Outcome of one candidate.
+struct ClockPoint {
+  ClockCandidate candidate;
+  std::size_t predictions = 0;  ///< Raw BAD predictions (design richness).
+  std::size_t eligible = 0;     ///< After level-1 pruning.
+  bool feasible = false;
+  Cycles best_ii = 0;
+  Cycles best_delay = 0;
+  Ns best_performance_ns = 0.0;  ///< II x adjusted clock, absolute.
+  Ns best_delay_ns = 0.0;
+};
+
+/// Full sweep result. `best_index` is the feasible point with the lowest
+/// absolute performance (then delay), or -1 when nothing is feasible.
+struct ClockExplorationResult {
+  std::vector<ClockPoint> points;
+  int best_index = -1;
+
+  const ClockPoint* best() const {
+    return best_index < 0 ? nullptr
+                          : &points[static_cast<std::size_t>(best_index)];
+  }
+};
+
+/// The two clockings of the paper's experiments plus denser multipliers —
+/// a reasonable default sweep around a main clock.
+std::vector<ClockCandidate> default_clock_candidates(Ns main_clock = 300.0);
+
+/// Evaluates every candidate on `session`'s current partitioning. Leaves
+/// the session configured with the best candidate (or the last evaluated
+/// when none is feasible) and its predictions installed.
+ClockExplorationResult explore_clocks(
+    ChopSession& session, const std::vector<ClockCandidate>& candidates,
+    const SearchOptions& search = {});
+
+}  // namespace chop::core

@@ -1,0 +1,365 @@
+#include "core/integration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bad/power_model.hpp"
+#include "schedule/task_schedule.hpp"
+
+namespace chop::core {
+
+Cycles combination_ii(
+    const std::vector<const bad::DesignPrediction*>& selection) {
+  Cycles ii = 1;
+  for (const bad::DesignPrediction* p : selection) {
+    CHOP_REQUIRE(p != nullptr, "combination has an unselected partition");
+    ii = std::max(ii, p->ii_main);
+  }
+  return ii;
+}
+
+bool rates_compatible(
+    const std::vector<const bad::DesignPrediction*>& selection) {
+  Cycles pipelined_rate = 0;
+  for (const bad::DesignPrediction* p : selection) {
+    if (p == nullptr || p->style != bad::DesignStyle::Pipelined) continue;
+    if (pipelined_rate == 0) {
+      pipelined_rate = p->ii_main;
+    } else if (p->ii_main != pipelined_rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Pin-sharing statistics per chip: how many pin-crossing transfers
+/// multiplex the chip's data pins, and the mux depth that implies.
+struct PinSharing {
+  int transfers = 0;
+  int mux_levels() const {
+    return transfers <= 1
+               ? 0
+               : static_cast<int>(std::ceil(std::log2(transfers)));
+  }
+};
+
+}  // namespace
+
+IntegrationResult integrate(
+    const Partitioning& pt,
+    const std::vector<const bad::DesignPrediction*>& selection,
+    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
+    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
+    Cycles ii_main, Pins extra_reserved_pins_per_chip) {
+  const auto& partitions = pt.partitions();
+  const auto& chips = pt.chips();
+  CHOP_REQUIRE(selection.size() == partitions.size(),
+               "selection size must match partition count");
+  for (const bad::DesignPrediction* p : selection) {
+    CHOP_REQUIRE(p != nullptr, "selection has an unselected partition");
+  }
+  constraints.validate();
+  criteria.validate();
+  clocks.validate();
+  CHOP_REQUIRE(ii_main >= 1, "system initiation interval must be positive");
+  CHOP_REQUIRE(extra_reserved_pins_per_chip >= 0,
+               "extra pin reserve cannot be negative");
+
+  IntegrationResult out;
+  out.ii_main = ii_main;
+  auto fail = [&](std::string why) {
+    out.feasible = false;
+    out.reason = std::move(why);
+    return out;
+  };
+
+  if (!rates_compatible(selection)) {
+    return fail("pipelined data-rate mismatch");
+  }
+  for (const bad::DesignPrediction* p : selection) {
+    if (p->ii_main > ii_main) {
+      return fail("partition slower than the system initiation interval");
+    }
+  }
+
+  // --- pin budgets -------------------------------------------------------
+  const std::vector<Pins> reserved = reserved_control_pins(pt, transfers);
+  std::vector<Pins> data_pins(chips.size(), 0);
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    data_pins[c] = chips[c].package.signal_pins() - reserved[c] -
+                   extra_reserved_pins_per_chip;
+    if (data_pins[c] <= 0) {
+      return fail("chip " + chips[c].name +
+                  " has no data pins left after control reservations");
+    }
+  }
+
+  std::vector<PinSharing> sharing(chips.size());
+  for (const DataTransfer& t : transfers) {
+    for (int c : t.chips) sharing[static_cast<std::size_t>(c)].transfers++;
+  }
+
+  // --- transfer bandwidth and duration ------------------------------------
+  out.transfers.reserve(transfers.size());
+  for (const DataTransfer& t : transfers) {
+    TransferPlan plan;
+    plan.task = t;
+    if (t.crosses_pins()) {
+      Pins bw = std::numeric_limits<Pins>::max();
+      for (int c : t.chips) {
+        bw = std::min(bw, data_pins[static_cast<std::size_t>(c)]);
+      }
+      plan.pins = static_cast<Pins>(
+          std::min<Bits>(bw, std::max<Bits>(1, t.bits)));
+      const Cycles transfer_clocks = static_cast<Cycles>(
+          (t.bits + plan.pins - 1) / std::max<Pins>(1, plan.pins));
+      // Pad traversal (out of one chip, into the other) lengthens the
+      // transfer rather than the clock — the paper attributes pin-count
+      // effects to system delay, not cycle time.
+      Ns pad_path = 0.0;
+      for (int c : t.chips) {
+        pad_path += chips[static_cast<std::size_t>(c)].package.pad_delay;
+      }
+      const Cycles pad_cycles = static_cast<Cycles>(
+          std::ceil(pad_path / clocks.transfer_period()));
+      plan.transfer_cycles = std::max<Cycles>(
+          1, transfer_clocks * clocks.transfer_multiplier + pad_cycles);
+      // Hard data-clash rule: X must fit within the initiation interval.
+      if (plan.transfer_cycles > ii_main) {
+        return fail("transfer " + t.name +
+                    " cannot fit in the initiation interval (pins)");
+      }
+    } else {
+      plan.pins = 0;
+      plan.transfer_cycles = 0;  // on-chip move: absorbed in the datapath
+    }
+    out.transfers.push_back(std::move(plan));
+  }
+
+  // --- system task graph and urgency schedule -----------------------------
+  sched::TaskGraph tg;
+  // Resources: one per chip (data pins), one per memory block (ports).
+  std::vector<int> pin_res(chips.size());
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    pin_res[c] = tg.add_resource(data_pins[c]);
+  }
+  std::map<int, int> mem_res;
+  for (std::size_t b = 0; b < pt.memory().blocks.size(); ++b) {
+    mem_res[static_cast<int>(b)] =
+        tg.add_resource(pt.memory().blocks[b].ports);
+  }
+
+  std::vector<int> pu_task(partitions.size());
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    sched::Task task;
+    task.name = partitions[p].name;
+    task.duration = selection[p]->latency_main;
+    // Local memory port occupancy while the PU runs.
+    for (const auto& [block, accesses] : selection[p]->memory_accesses) {
+      (void)accesses;
+      const int mem_chip = pt.memory().placement(block);
+      if (mem_chip == partitions[p].chip) {
+        task.demands.emplace_back(mem_res.at(block), 1);
+      }
+    }
+    pu_task[p] = tg.add_task(std::move(task));
+  }
+
+  std::vector<int> transfer_task(out.transfers.size(), -1);
+  for (std::size_t i = 0; i < out.transfers.size(); ++i) {
+    const TransferPlan& plan = out.transfers[i];
+    sched::Task task;
+    task.name = plan.task.name;
+    task.duration = plan.transfer_cycles;
+    for (int c : plan.task.chips) {
+      task.demands.emplace_back(pin_res[static_cast<std::size_t>(c)],
+                                plan.pins);
+    }
+    if (plan.task.memory_block >= 0 && plan.task.crosses_pins()) {
+      task.demands.emplace_back(mem_res.at(plan.task.memory_block), 1);
+    }
+    transfer_task[i] = tg.add_task(std::move(task));
+
+    // Precedence: producer -> transfer -> consumer.
+    const DataTransfer& t = plan.task;
+    switch (t.kind) {
+      case DataTransfer::Kind::InputDelivery:
+        tg.add_precedence(transfer_task[i],
+                          pu_task[static_cast<std::size_t>(t.dst_partition)]);
+        break;
+      case DataTransfer::Kind::OutputCollection:
+        tg.add_precedence(pu_task[static_cast<std::size_t>(t.src_partition)],
+                          transfer_task[i]);
+        break;
+      case DataTransfer::Kind::Interpartition:
+        tg.add_precedence(pu_task[static_cast<std::size_t>(t.src_partition)],
+                          transfer_task[i]);
+        tg.add_precedence(transfer_task[i],
+                          pu_task[static_cast<std::size_t>(t.dst_partition)]);
+        break;
+      case DataTransfer::Kind::MemoryRead:
+        tg.add_precedence(transfer_task[i],
+                          pu_task[static_cast<std::size_t>(t.dst_partition)]);
+        break;
+      case DataTransfer::Kind::MemoryWrite:
+        tg.add_precedence(pu_task[static_cast<std::size_t>(t.src_partition)],
+                          transfer_task[i]);
+        break;
+    }
+  }
+
+  const sched::TaskSchedule schedule = sched::urgency_schedule(tg, ii_main);
+  if (!schedule.feasible) {
+    return fail("urgency schedule found no feasible pin/memory sharing");
+  }
+  out.system_delay_main = schedule.makespan;
+
+  // --- wait times and buffers ---------------------------------------------
+  const lib::TechnologyParams tech;  // transfer modules use default tech
+  for (std::size_t i = 0; i < out.transfers.size(); ++i) {
+    TransferPlan& plan = out.transfers[i];
+    if (!plan.task.crosses_pins()) continue;
+    const Cycles t_start = schedule.start[static_cast<std::size_t>(
+        transfer_task[i])];
+
+    // Output-side wait: data ready (producer end) until transfer starts.
+    Cycles ready = 0;
+    if (plan.task.src_partition != kEnvironment) {
+      const auto sp = static_cast<std::size_t>(plan.task.src_partition);
+      ready = schedule.start[static_cast<std::size_t>(pu_task[sp])] +
+              selection[sp]->latency_main;
+    }
+    const Cycles wait_out = std::max<Cycles>(0, t_start - ready);
+
+    // Input-side wait: transfer end until the consumer can accept.
+    Cycles wait_in = 0;
+    if (plan.task.dst_partition != kEnvironment) {
+      const auto dp = static_cast<std::size_t>(plan.task.dst_partition);
+      wait_in = std::max<Cycles>(
+          0, schedule.start[static_cast<std::size_t>(pu_task[dp])] -
+                 (t_start + plan.transfer_cycles));
+    }
+    plan.wait_cycles = wait_out + wait_in;
+
+    // B = D * (ceil(W/l) + X/l)  (paper §2.5).
+    const double d = static_cast<double>(plan.task.bits);
+    const double w = static_cast<double>(plan.wait_cycles);
+    const double x = static_cast<double>(plan.transfer_cycles);
+    const double l = static_cast<double>(ii_main);
+    plan.buffer_bits =
+        static_cast<Bits>(std::ceil(d * (std::ceil(w / l) + x / l)));
+
+    plan.controller = bad::estimate_transfer_controller(
+        plan.wait_cycles, plan.transfer_cycles, plan.pins, tech);
+    plan.module_power_mw = bad::estimate_transfer_power(
+        plan.pins, plan.transfer_cycles, ii_main, plan.module_area.likely(),
+        tech);
+
+    // Module area: buffer registers + per-pin multiplexing + controller.
+    const lib::BitCellSpec reg{31.0, 5.0};
+    const lib::BitCellSpec mux{18.0, 4.0};
+    const double buffer_area = static_cast<double>(plan.buffer_bits) * reg.area;
+    double mux_area = 0.0;
+    for (int c : plan.task.chips) {
+      const int levels = sharing[static_cast<std::size_t>(c)].mux_levels();
+      mux_area = std::max(mux_area, static_cast<double>(plan.pins) *
+                                        static_cast<double>(levels) * mux.area);
+    }
+    const StatVal buffers(0.9 * buffer_area, buffer_area, 1.15 * buffer_area);
+    plan.module_area =
+        buffers + StatVal(mux_area) + plan.controller.area;
+  }
+
+  // --- per-chip area feasibility ------------------------------------------
+  out.chip_area.assign(chips.size(), StatVal{});
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    out.chip_area[static_cast<std::size_t>(partitions[p].chip)] +=
+        selection[p]->total_area;
+  }
+  for (const TransferPlan& plan : out.transfers) {
+    for (int c : plan.task.chips) {
+      out.chip_area[static_cast<std::size_t>(c)] += plan.module_area;
+    }
+  }
+  for (std::size_t b = 0; b < pt.memory().blocks.size(); ++b) {
+    const int placement = pt.memory().placement(static_cast<int>(b));
+    if (placement != chip::kOffTheShelfChip) {
+      out.chip_area[static_cast<std::size_t>(placement)] +=
+          StatVal(pt.memory().blocks[b].area);
+    }
+  }
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    if (!criteria.area_ok(out.chip_area[c], chips[c].package.usable_area())) {
+      out.violated_chips.push_back(static_cast<int>(c));
+    }
+  }
+
+  // --- per-chip and system power (the §5 power extension) -----------------
+  out.chip_power_mw.assign(chips.size(), StatVal{});
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    out.chip_power_mw[static_cast<std::size_t>(partitions[p].chip)] +=
+        selection[p]->power_mw;
+  }
+  for (const TransferPlan& plan : out.transfers) {
+    for (int c : plan.task.chips) {
+      out.chip_power_mw[static_cast<std::size_t>(c)] += plan.module_power_mw;
+    }
+  }
+  for (const StatVal& p : out.chip_power_mw) out.system_power_mw += p;
+
+  // --- clock adjustment and absolute feasibility ---------------------------
+  Ns partition_charge = 0.0;
+  for (const bad::DesignPrediction* p : selection) {
+    partition_charge = std::max(partition_charge, p->clock_overhead_ns);
+  }
+  Ns transfer_charge = 0.0;
+  const lib::BitCellSpec mux{18.0, 4.0};
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    if (sharing[c].transfers == 0) continue;
+    // Only the on-chip pin-multiplexing tree stretches the clock; pad
+    // delay is charged to the transfer duration above.
+    const Ns path = static_cast<double>(sharing[c].mux_levels()) * mux.delay;
+    transfer_charge = std::max(
+        transfer_charge,
+        path / static_cast<double>(clocks.transfer_multiplier));
+  }
+  const Ns likely_clock = clocks.main_clock + partition_charge + transfer_charge;
+  out.adjusted_clock_ns =
+      StatVal(clocks.main_clock + 0.9 * (partition_charge + transfer_charge),
+              likely_clock, clocks.main_clock +
+                                1.15 * (partition_charge + transfer_charge));
+
+  out.performance_ns =
+      out.adjusted_clock_ns * static_cast<double>(out.ii_main);
+  out.delay_ns =
+      out.adjusted_clock_ns * static_cast<double>(out.system_delay_main);
+
+  if (!out.violated_chips.empty()) {
+    return fail("chip area constraint violated");
+  }
+  if (!criteria.performance_ok(out.performance_ns, constraints.performance_ns)) {
+    return fail("performance constraint violated");
+  }
+  if (!criteria.delay_ok(out.delay_ns, constraints.delay_ns)) {
+    return fail("system delay constraint violated");
+  }
+  if (constraints.power_constrained()) {
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+      if (!criteria.power_ok(out.chip_power_mw[c],
+                             constraints.chip_power_mw)) {
+        return fail("chip power budget violated on " + chips[c].name);
+      }
+    }
+    if (!criteria.power_ok(out.system_power_mw,
+                           constraints.system_power_mw)) {
+      return fail("system power budget violated");
+    }
+  }
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace chop::core

@@ -1,0 +1,91 @@
+// System integration prediction (paper §2.5-§2.6): given one selected
+// implementation per partition, predict the data transfer module
+// characteristics, the clock-cycle overhead, the overall system
+// performance and delay, and run the probabilistic feasibility analysis
+// per chip-area / performance / delay constraint.
+//
+// The model follows the paper:
+//  * each transfer uses the maximum possible bandwidth — the minimum
+//    available data pins over the chips involved;
+//  * transfer time X = ceil(D / pins) transfer-clock cycles, and X must not
+//    exceed the initiation interval (pin counts are hard; longer would
+//    cause data clashes);
+//  * an urgency schedule over shared chip pins and memory ports yields the
+//    system delay (the overall process is treated as pipelined, so demand
+//    is folded modulo the initiation interval);
+//  * buffer size B = D * (ceil(W / l) + X / l);
+//  * each transfer places one module on every involved chip (output mode
+//    at the source, input mode at destinations); module area = buffers +
+//    pin multiplexing + a PLA controller sized from the wait/transfer
+//    times by the same methods used in BAD.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bad/controller_model.hpp"
+#include "bad/prediction.hpp"
+#include "bad/style.hpp"
+#include "core/constraints.hpp"
+#include "core/transfer.hpp"
+#include "util/statval.hpp"
+
+namespace chop::core {
+
+/// Predicted implementation of one data transfer task.
+struct TransferPlan {
+  DataTransfer task;
+  Pins pins = 0;              ///< Bandwidth actually allocated.
+  Cycles transfer_cycles = 0; ///< X, in main-clock cycles.
+  Cycles wait_cycles = 0;     ///< W, from the urgency schedule.
+  Bits buffer_bits = 0;       ///< B = D * (ceil(W/l) + X/l).
+  bad::PlaEstimate controller;
+  StatVal module_area;        ///< Per involved chip (buffers + mux + PLA).
+  StatVal module_power_mw;    ///< Pads at duty X/l + support logic.
+};
+
+/// Everything the integration predicts for one global implementation.
+struct IntegrationResult {
+  bool feasible = false;
+  std::string reason;  ///< First failure, empty when feasible.
+
+  Cycles ii_main = 0;           ///< System initiation interval (main cycles).
+  Cycles system_delay_main = 0; ///< Input-to-output makespan (main cycles).
+  StatVal adjusted_clock_ns;    ///< Main clock after overhead adjustment.
+  StatVal performance_ns;       ///< ii * clock.
+  StatVal delay_ns;             ///< makespan * clock.
+
+  std::vector<StatVal> chip_area;  ///< Predicted used area per chip.
+  std::vector<int> violated_chips; ///< Chips whose area check failed.
+  std::vector<StatVal> chip_power_mw;  ///< Predicted power per chip.
+  StatVal system_power_mw;             ///< Sum over chips.
+  std::vector<TransferPlan> transfers;
+
+  /// Clock cycle column of Tables 4/6 (most-likely adjusted clock).
+  Ns clock_ns() const { return adjusted_clock_ns.likely(); }
+};
+
+/// Integrates `selection` (one prediction per partition, indexed like
+/// pt.partitions()) at system initiation interval `ii_main` main-clock
+/// cycles. `transfers` must come from create_transfer_tasks(pt).
+/// `extra_reserved_pins_per_chip` removes unshared pins from every chip's
+/// data budget before bandwidth allocation (e.g. scan-test access pins,
+/// §5 extension).
+IntegrationResult integrate(
+    const Partitioning& pt,
+    const std::vector<const bad::DesignPrediction*>& selection,
+    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
+    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
+    Cycles ii_main, Pins extra_reserved_pins_per_chip = 0);
+
+/// The performance bound a combination implies: the slowest selected
+/// implementation ("the performance of each combination is upper bounded
+/// and set by the slowest partition implementation").
+Cycles combination_ii(const std::vector<const bad::DesignPrediction*>& selection);
+
+/// The paper's data-rate-mismatch rule: two or more *pipelined*
+/// implementations with different initiation intervals cannot be
+/// integrated. Returns true when the combination is rate-compatible.
+bool rates_compatible(const std::vector<const bad::DesignPrediction*>& selection);
+
+}  // namespace chop::core

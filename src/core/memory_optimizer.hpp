@@ -1,0 +1,48 @@
+// Automated memory/behavior interleaving — the paper's §2.2 note: "It is
+// assumed that the memory hierarchy is designed prior to partitioning
+// although, in practice, designers interleave iterations of memory and
+// behavior partitioning, a step we intend to automate in the future."
+//
+// This module automates the memory half of that loop: given a fixed
+// behavioral partitioning, it enumerates placements of every memory block
+// (each chip, or an off-the-shelf memory package), evaluates each
+// placement through the full predict-and-search pipeline, and installs
+// the best feasible placement in the session.
+#pragma once
+
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace chop::core {
+
+/// Knobs for optimize_memory_placement().
+struct MemoryPlacementOptions {
+  SearchOptions search;       ///< Search used to evaluate each placement.
+  bool allow_off_the_shelf = true;
+  /// Safety cap on enumerated placements (chips+1 per block multiply up).
+  std::size_t max_placements = 4096;
+};
+
+/// Outcome of the placement sweep.
+struct MemoryPlacementResult {
+  /// Best placement found (chip index or chip::kOffTheShelfChip per
+  /// block); equals the starting placement when nothing beat it.
+  std::vector<int> placement;
+  /// Search result at the best placement.
+  SearchResult search;
+  /// Placements evaluated (= predict+search pipeline runs).
+  std::size_t evaluated = 0;
+  /// True when the sweep hit the max_placements cap.
+  bool truncated = false;
+};
+
+/// Sweeps memory placements for `session`'s current partitioning, leaves
+/// the best placement installed in the session, and returns it. Placements
+/// are ranked: any feasible beats any infeasible; among feasible, lower
+/// best-II then lower best-delay wins; among infeasible, more
+/// level-1-feasible predictions wins (a usable gradient for the designer).
+MemoryPlacementResult optimize_memory_placement(
+    ChopSession& session, const MemoryPlacementOptions& options = {});
+
+}  // namespace chop::core

@@ -1,0 +1,159 @@
+#include "core/partitioning.hpp"
+
+#include <algorithm>
+
+namespace chop::core {
+
+Partitioning::Partitioning(const dfg::Graph& spec,
+                           std::vector<chip::ChipInstance> chips,
+                           chip::MemorySubsystem memory)
+    : spec_(&spec), chips_(std::move(chips)), memory_(std::move(memory)) {
+  CHOP_REQUIRE(!chips_.empty(), "partitioning needs at least one chip");
+  for (const chip::ChipInstance& c : chips_) c.package.validate();
+  memory_.validate(static_cast<int>(chips_.size()));
+}
+
+int Partitioning::add_partition(std::string name,
+                                std::vector<dfg::NodeId> members, int chip) {
+  CHOP_REQUIRE(chip >= 0 && static_cast<std::size_t>(chip) < chips_.size(),
+               "partition assigned to a nonexistent chip");
+  CHOP_REQUIRE(!members.empty(), "partition must not be empty");
+  partitions_.push_back(Partition{std::move(name), std::move(members), chip});
+  return static_cast<int>(partitions_.size() - 1);
+}
+
+void Partitioning::move_operation(dfg::NodeId op, int to_partition) {
+  CHOP_REQUIRE(to_partition >= 0 &&
+                   static_cast<std::size_t>(to_partition) < partitions_.size(),
+               "destination partition does not exist");
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    auto& members = partitions_[p].members;
+    auto it = std::find(members.begin(), members.end(), op);
+    if (it == members.end()) continue;
+    if (static_cast<int>(p) == to_partition) return;  // already there
+    CHOP_REQUIRE(members.size() > 1,
+                 "cannot empty a partition by migration; delete it instead");
+    members.erase(it);
+    partitions_[static_cast<std::size_t>(to_partition)].members.push_back(op);
+    return;
+  }
+  throw Error("chop: operation is not assigned to any partition");
+}
+
+void Partitioning::move_partition_to_chip(int partition, int chip) {
+  CHOP_REQUIRE(partition >= 0 &&
+                   static_cast<std::size_t>(partition) < partitions_.size(),
+               "partition does not exist");
+  CHOP_REQUIRE(chip >= 0 && static_cast<std::size_t>(chip) < chips_.size(),
+               "chip does not exist");
+  partitions_[static_cast<std::size_t>(partition)].chip = chip;
+}
+
+void Partitioning::set_memory_placement(int block, int placement) {
+  CHOP_REQUIRE(block >= 0 && static_cast<std::size_t>(block) <
+                                 memory_.chip_of_block.size(),
+               "memory block does not exist");
+  CHOP_REQUIRE(placement == chip::kOffTheShelfChip ||
+                   (placement >= 0 &&
+                    static_cast<std::size_t>(placement) < chips_.size()),
+               "memory placement names a nonexistent chip");
+  memory_.chip_of_block[static_cast<std::size_t>(block)] = placement;
+}
+
+void Partitioning::replace_chip_package(int chip, chip::ChipPackage package) {
+  CHOP_REQUIRE(chip >= 0 && static_cast<std::size_t>(chip) < chips_.size(),
+               "chip does not exist");
+  package.validate();
+  chips_[static_cast<std::size_t>(chip)].package = std::move(package);
+}
+
+std::vector<int> Partitioning::partition_of_node() const {
+  std::vector<int> owner(spec_->node_count(), -1);
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    for (dfg::NodeId id : partitions_[p].members) {
+      CHOP_REQUIRE(id >= 0 &&
+                       static_cast<std::size_t>(id) < spec_->node_count(),
+                   "partition member id out of range");
+      CHOP_REQUIRE(owner[static_cast<std::size_t>(id)] == -1,
+                   "operation assigned to two partitions");
+      owner[static_cast<std::size_t>(id)] = static_cast<int>(p);
+    }
+  }
+  return owner;
+}
+
+dfg::Subgraph Partitioning::subgraph(int p) const {
+  CHOP_REQUIRE(p >= 0 && static_cast<std::size_t>(p) < partitions_.size(),
+               "partition index out of range");
+  return dfg::induced_subgraph(*spec_,
+                               partitions_[static_cast<std::size_t>(p)].members);
+}
+
+std::vector<int> Partitioning::partitions_on_chip(int chip) const {
+  std::vector<int> out;
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    if (partitions_[p].chip == chip) out.push_back(static_cast<int>(p));
+  }
+  return out;
+}
+
+void Partitioning::validate() const {
+  CHOP_REQUIRE(!partitions_.empty(), "partitioning has no partitions");
+  const std::vector<int> owner = partition_of_node();  // checks disjointness
+
+  for (std::size_t i = 0; i < spec_->node_count(); ++i) {
+    const dfg::Node& n = spec_->node(static_cast<dfg::NodeId>(i));
+    const bool is_operation = dfg::needs_functional_unit(n.kind) ||
+                              n.kind == dfg::OpKind::Select ||
+                              n.kind == dfg::OpKind::MemRead ||
+                              n.kind == dfg::OpKind::MemWrite;
+    if (is_operation) {
+      CHOP_REQUIRE(owner[i] >= 0, "operation not assigned to any partition");
+    } else {
+      CHOP_REQUIRE(owner[i] == -1,
+                   "graph boundary nodes cannot be partition members");
+    }
+  }
+
+  for (const Partition& p : partitions_) {
+    CHOP_REQUIRE(p.chip >= 0 && static_cast<std::size_t>(p.chip) < chips_.size(),
+                 "partition assigned to a nonexistent chip");
+  }
+  memory_.validate(static_cast<int>(chips_.size()));
+
+  // Quotient graph acyclicity: "no two partitions should have mutual data
+  // dependency" and no cycles among same-chip partitions either.
+  const std::size_t n = partitions_.size();
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indeg(n, 0);
+  std::vector<std::vector<bool>> seen(n, std::vector<bool>(n, false));
+  for (std::size_t e = 0; e < spec_->edge_count(); ++e) {
+    const dfg::Edge& edge = spec_->edge(static_cast<dfg::EdgeId>(e));
+    const int a = owner[static_cast<std::size_t>(edge.src)];
+    const int b = owner[static_cast<std::size_t>(edge.dst)];
+    if (a < 0 || b < 0 || a == b) continue;
+    if (!seen[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) {
+      seen[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+      succ[static_cast<std::size_t>(a)].push_back(b);
+      indeg[static_cast<std::size_t>(b)]++;
+    }
+  }
+  std::vector<int> ready;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (indeg[p] == 0) ready.push_back(static_cast<int>(p));
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const int p = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (int s : succ[static_cast<std::size_t>(p)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  CHOP_REQUIRE(processed == n,
+               "partitions have mutual data dependency (quotient graph "
+               "cycle); split differently");
+}
+
+}  // namespace chop::core

@@ -1,0 +1,90 @@
+// The partitioning model: partitions of the behavioral specification,
+// their chip assignments, the target chip set and the memory subsystem
+// (paper §2.2 input groups 3-5 and the structural rules of §2.3/§2.4):
+//
+//  * there can be multiple partitions assigned to a single chip;
+//  * partitions on the same chip may depend on each other as long as there
+//    are no cycles;
+//  * no two partitions may have *mutual* data dependency (the partition
+//    quotient graph must be acyclic) — predictions assume independent
+//    implementation of each partition;
+//  * memory blocks can share chips with partitions, or be off-the-shelf
+//    memory chips.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chip/memory.hpp"
+#include "chip/package.hpp"
+#include "dfg/graph.hpp"
+#include "dfg/subgraph.hpp"
+
+namespace chop::core {
+
+/// One partition: a named set of operation nodes assigned to a chip.
+struct Partition {
+  std::string name;
+  std::vector<dfg::NodeId> members;
+  int chip = 0;  ///< Index into Partitioning::chips.
+};
+
+/// The complete tentative partitioning a designer manipulates. The
+/// specification graph is referenced, not owned, and must outlive the
+/// Partitioning.
+class Partitioning {
+ public:
+  Partitioning(const dfg::Graph& spec, std::vector<chip::ChipInstance> chips,
+               chip::MemorySubsystem memory = {});
+
+  const dfg::Graph& spec() const { return *spec_; }
+  const std::vector<chip::ChipInstance>& chips() const { return chips_; }
+  const chip::MemorySubsystem& memory() const { return memory_; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// Adds a partition; returns its index. Members are validated lazily by
+  /// validate().
+  int add_partition(std::string name, std::vector<dfg::NodeId> members,
+                    int chip);
+
+  // --- the §2.7 modification groups -------------------------------------
+
+  /// Behavioral modification: migrate one operation between partitions.
+  void move_operation(dfg::NodeId op, int to_partition);
+
+  /// Behavioral modification: migrate a whole partition to another chip.
+  void move_partition_to_chip(int partition, int chip);
+
+  /// Memory modification: re-place a memory block (chip index or
+  /// chip::kOffTheShelfChip).
+  void set_memory_placement(int block, int placement);
+
+  /// Target-chip-set modification: swap the package of chip `chip`.
+  void replace_chip_package(int chip, chip::ChipPackage package);
+
+  // --- derived views -----------------------------------------------------
+
+  /// Partition index per spec node (-1 for unassigned/boundary nodes).
+  std::vector<int> partition_of_node() const;
+
+  /// Standalone subgraph of partition `p` (the unit BAD predicts).
+  dfg::Subgraph subgraph(int p) const;
+
+  /// Partition indices assigned to `chip`.
+  std::vector<int> partitions_on_chip(int chip) const;
+
+  /// Checks all structural rules: members in range, disjoint, every
+  /// functional operation assigned, chips in range, memory placements
+  /// valid, and the partition quotient graph acyclic ("no two partitions
+  /// should have mutual data dependency"). Throws chop::Error.
+  void validate() const;
+
+ private:
+  const dfg::Graph* spec_;
+  std::vector<chip::ChipInstance> chips_;
+  chip::MemorySubsystem memory_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace chop::core

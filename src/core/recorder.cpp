@@ -1,0 +1,70 @@
+#include "core/recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace chop::core {
+
+namespace {
+
+/// Rounds to three significant digits for unique-point bucketing.
+double round_sig3(double v) {
+  if (v == 0.0) return 0.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(std::fabs(v))) - 2);
+  return std::round(v / mag) * mag;
+}
+
+}  // namespace
+
+void DesignSpaceRecorder::record(const DesignPoint& point) {
+  points_.push_back(point);
+  if (point.feasible) ++feasible_;
+  char key[96];
+  std::snprintf(key, sizeof key, "%lld/%lld/%g",
+                static_cast<long long>(point.ii_main),
+                static_cast<long long>(point.delay_main),
+                round_sig3(point.area_likely));
+  unique_keys_.insert(key);
+}
+
+CsvWriter DesignSpaceRecorder::to_csv() const {
+  CsvWriter csv({"ii_main_cycles", "delay_main_cycles", "area_mil2",
+                 "clock_ns", "feasible"});
+  for (const DesignPoint& p : points_) {
+    csv.add_row({std::to_string(p.ii_main), std::to_string(p.delay_main),
+                 std::to_string(p.area_likely), std::to_string(p.clock_ns),
+                 p.feasible ? "1" : "0"});
+  }
+  return csv;
+}
+
+std::string DesignSpaceRecorder::ascii_scatter(int cols, int rows) const {
+  if (points_.empty()) return "(no design points recorded)\n";
+  Cycles max_ii = 1, max_delay = 1;
+  for (const DesignPoint& p : points_) {
+    max_ii = std::max(max_ii, p.ii_main);
+    max_delay = std::max(max_delay, p.delay_main);
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+  for (const DesignPoint& p : points_) {
+    const int x = static_cast<int>((p.ii_main * (cols - 1)) / max_ii);
+    const int y = static_cast<int>((p.delay_main * (rows - 1)) / max_delay);
+    char& cell = grid[static_cast<std::size_t>(rows - 1 - y)]
+                     [static_cast<std::size_t>(x)];
+    cell = p.feasible ? '*' : (cell == '*' ? '*' : '.');
+  }
+  std::string out = "delay (max " + std::to_string(max_delay) +
+                    " cycles) ^  vs  II (max " + std::to_string(max_ii) +
+                    " cycles) ->   '.'=considered '*'=feasible\n";
+  for (const std::string& row : grid) {
+    out += '|';
+    out += row;
+    out += '\n';
+  }
+  out += '+' + std::string(static_cast<std::size_t>(cols), '-') + '\n';
+  return out;
+}
+
+}  // namespace chop::core

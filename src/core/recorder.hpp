@@ -1,0 +1,53 @@
+// Design-space recorder (paper Figures 7/8): when the designer asks CHOP
+// to keep every implementation it encounters instead of discarding
+// infeasible/inferior ones, the recorder accumulates each design point so
+// the explored space can be plotted and counted ("a total of 13411 (699
+// unique) designs").
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+namespace chop::core {
+
+/// One recorded design point: the axes of the paper's scatter plots.
+struct DesignPoint {
+  Cycles ii_main = 0;
+  Cycles delay_main = 0;
+  double area_likely = 0.0;
+  Ns clock_ns = 0.0;
+  bool feasible = false;
+};
+
+/// Accumulates design points and tracks the unique count (points rounded
+/// onto the plotting grid — II, delay, and area to 3 significant digits).
+class DesignSpaceRecorder {
+ public:
+  void record(const DesignPoint& point);
+
+  std::size_t total() const { return points_.size(); }
+  std::size_t unique() const { return unique_keys_.size(); }
+  std::size_t feasible_count() const { return feasible_; }
+
+  const std::vector<DesignPoint>& points() const { return points_; }
+
+  /// CSV with one row per recorded point (ii, delay, area, clock,
+  /// feasible) for external re-plotting.
+  CsvWriter to_csv() const;
+
+  /// Compact textual scatter of delay (rows) vs II (columns) — the shape
+  /// of Figures 7/8 rendered for a terminal. `cols`/`rows` set the grid.
+  std::string ascii_scatter(int cols = 64, int rows = 20) const;
+
+ private:
+  std::vector<DesignPoint> points_;
+  std::set<std::string> unique_keys_;
+  std::size_t feasible_ = 0;
+};
+
+}  // namespace chop::core

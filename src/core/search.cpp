@@ -1,0 +1,308 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace chop::core {
+
+std::size_t PartitionPredictions::raw_total() const {
+  std::size_t total = 0;
+  for (const auto& list : raw) total += list.size();
+  return total;
+}
+
+std::size_t PartitionPredictions::eligible_total() const {
+  std::size_t total = 0;
+  for (const auto& list : eligible) total += list.size();
+  return total;
+}
+
+std::vector<bad::DesignPrediction> prune_level1(
+    std::vector<bad::DesignPrediction> predictions, AreaMil2 chip_usable_area,
+    const bad::ClockSpec& clocks, const DesignConstraints& constraints,
+    const FeasibilityCriteria& criteria) {
+  constraints.validate();
+  criteria.validate();
+
+  std::vector<bad::DesignPrediction> feasible;
+  for (auto& p : predictions) {
+    if (!criteria.area_ok(p.total_area, chip_usable_area)) continue;
+    // Optimistic clock (the partition's own overhead only — integration
+    // can only make it worse, so this prune is conservative/safe).
+    const Ns base = clocks.main_clock + p.clock_overhead_ns;
+    const StatVal clock(clocks.main_clock + 0.9 * p.clock_overhead_ns, base,
+                        clocks.main_clock + 1.15 * p.clock_overhead_ns);
+    const StatVal perf = clock * static_cast<double>(p.ii_main);
+    if (!criteria.performance_ok(perf, constraints.performance_ns)) continue;
+    const StatVal delay = clock * static_cast<double>(p.latency_main);
+    if (!criteria.delay_ok(delay, constraints.delay_ns)) continue;
+    // Power: a partition alone already over a budget can never integrate.
+    if (constraints.power_constrained()) {
+      if (!criteria.power_ok(p.power_mw, constraints.chip_power_mw)) continue;
+      if (!criteria.power_ok(p.power_mw, constraints.system_power_mw)) {
+        continue;
+      }
+    }
+    feasible.push_back(std::move(p));
+  }
+  return bad::pareto_filter(std::move(feasible));
+}
+
+namespace {
+
+/// Records an integration attempt in the recorder (record_all mode).
+void record_point(DesignSpaceRecorder& recorder,
+                  const std::vector<const bad::DesignPrediction*>& selection,
+                  const IntegrationResult& result) {
+  DesignPoint point;
+  point.ii_main = result.ii_main;
+  point.delay_main = result.system_delay_main;
+  double area = 0.0;
+  for (const bad::DesignPrediction* p : selection) {
+    area += p->total_area.likely();
+  }
+  point.area_likely = area;
+  point.clock_ns = result.clock_ns();
+  point.feasible = result.feasible;
+  recorder.record(point);
+}
+
+/// Keeps only Pareto-optimal (ii, delay) designs, II ascending.
+std::vector<GlobalDesign> non_inferior(std::vector<GlobalDesign> designs) {
+  std::sort(designs.begin(), designs.end(),
+            [](const GlobalDesign& a, const GlobalDesign& b) {
+              if (a.integration.ii_main != b.integration.ii_main) {
+                return a.integration.ii_main < b.integration.ii_main;
+              }
+              return a.integration.system_delay_main <
+                     b.integration.system_delay_main;
+            });
+  std::vector<GlobalDesign> kept;
+  Cycles best_delay = std::numeric_limits<Cycles>::max();
+  Cycles last_ii = -1;
+  for (auto& d : designs) {
+    if (d.integration.ii_main == last_ii) continue;  // same II, worse delay
+    if (d.integration.system_delay_main >= best_delay) continue;  // inferior
+    best_delay = d.integration.system_delay_main;
+    last_ii = d.integration.ii_main;
+    kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+const std::vector<std::vector<bad::DesignPrediction>>& search_lists(
+    const PartitionPredictions& pred, const SearchOptions& options) {
+  return options.prune ? pred.eligible : pred.raw;
+}
+
+SearchResult search_enumeration(
+    const Partitioning& pt, const PartitionPredictions& pred,
+    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
+    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
+    const SearchOptions& options, Pins extra_pins) {
+  SearchResult out;
+  const auto& lists = search_lists(pred, options);
+  CHOP_REQUIRE(lists.size() == pt.partitions().size(),
+               "prediction lists must match partition count");
+  for (const auto& list : lists) {
+    if (list.empty()) return out;  // some partition has no implementation
+  }
+
+  std::vector<GlobalDesign> feasible;
+  std::vector<std::size_t> odo(lists.size(), 0);
+  std::vector<const bad::DesignPrediction*> selection(lists.size());
+
+  bool done = false;
+  while (!done) {
+    if (options.max_trials > 0 && out.trials >= options.max_trials) {
+      out.truncated = true;
+      break;
+    }
+    ++out.trials;
+    for (std::size_t p = 0; p < lists.size(); ++p) {
+      selection[p] = &lists[p][odo[p]];
+    }
+
+    const Cycles ii = combination_ii(selection);
+    const IntegrationResult result =
+        integrate(pt, selection, transfers, clocks, constraints, criteria, ii,
+                  extra_pins);
+    if (options.record_all) record_point(out.recorder, selection, result);
+    if (result.feasible) {
+      ++out.feasible_raw;
+      feasible.push_back(GlobalDesign{odo, result});
+    }
+
+    // Advance the odometer.
+    for (std::size_t p = 0;; ++p) {
+      if (p == odo.size()) {
+        done = true;
+        break;
+      }
+      if (++odo[p] < lists[p].size()) break;
+      odo[p] = 0;
+    }
+  }
+
+  out.designs = non_inferior(std::move(feasible));
+  return out;
+}
+
+SearchResult search_iterative(
+    const Partitioning& pt, const PartitionPredictions& pred,
+    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
+    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
+    const SearchOptions& options, Pins extra_pins) {
+  SearchResult out;
+  const auto& input_lists = search_lists(pred, options);
+  CHOP_REQUIRE(input_lists.size() == pt.partitions().size(),
+               "prediction lists must match partition count");
+  for (const auto& list : input_lists) {
+    if (list.empty()) return out;
+  }
+
+  // "Sort all predicted implementations for all Pi in increasing order
+  // first for the initiation interval and then for the circuit delay."
+  std::vector<std::vector<const bad::DesignPrediction*>> lists(
+      input_lists.size());
+  for (std::size_t p = 0; p < input_lists.size(); ++p) {
+    for (const auto& pr : input_lists[p]) lists[p].push_back(&pr);
+    std::sort(lists[p].begin(), lists[p].end(),
+              [](const bad::DesignPrediction* a,
+                 const bad::DesignPrediction* b) {
+                if (a->ii_main != b->ii_main) return a->ii_main < b->ii_main;
+                return a->latency_main < b->latency_main;
+              });
+  }
+
+  // Candidate initiation intervals: every distinct achievable II within
+  // the performance budget (optimistically at the nominal clock).
+  std::set<Cycles> candidate_iis;
+  for (const auto& list : lists) {
+    for (const bad::DesignPrediction* p : list) {
+      if (static_cast<double>(p->ii_main) * clocks.main_clock <=
+          constraints.performance_ns) {
+        candidate_iis.insert(p->ii_main);
+      }
+    }
+  }
+
+  std::vector<GlobalDesign> feasible;
+  std::vector<const bad::DesignPrediction*> selection(lists.size());
+
+  auto integrate_at = [&](const std::vector<std::size_t>& w) {
+    for (std::size_t p = 0; p < lists.size(); ++p) {
+      selection[p] = lists[p][w[p]];
+    }
+    const Cycles ii = combination_ii(selection);
+    return integrate(pt, selection, transfers, clocks, constraints, criteria,
+                     ii, extra_pins);
+  };
+
+  for (Cycles l : candidate_iis) {
+    // Acceptance at rate l (Figure 5's advance condition, made rate-safe):
+    // a nonpipelined implementation sustains any rate at or above its
+    // latency (it idles), a pipelined one only its designed rate — the
+    // data-rate-mismatch rule. Both the initial advance and every
+    // serialization step move Wi to the next acceptable position, so the
+    // walk stays inside rate-compatible space.
+    auto acceptable = [l](const bad::DesignPrediction* cand) {
+      if (cand->style == bad::DesignStyle::Nonpipelined) {
+        return cand->ii_main <= l;
+      }
+      return cand->ii_main == l;
+    };
+    auto next_acceptable = [&](std::size_t p, std::size_t from) {
+      while (from < lists[p].size() && !acceptable(lists[p][from])) ++from;
+      return from;
+    };
+
+    // Initialize Wi to the fastest acceptable implementation.
+    std::vector<std::size_t> w(lists.size(), 0);
+    bool exhausted = false;
+    for (std::size_t p = 0; p < lists.size(); ++p) {
+      w[p] = next_acceptable(p, 0);
+      if (w[p] == lists[p].size()) exhausted = true;
+    }
+    if (exhausted) continue;  // no implementation sustains rate l
+
+    while (true) {
+      if (options.max_trials > 0 && out.trials >= options.max_trials) {
+        out.truncated = true;
+        break;
+      }
+      ++out.trials;
+      const IntegrationResult result = integrate_at(w);
+      if (options.record_all) record_point(out.recorder, selection, result);
+
+      if (result.feasible) {
+        ++out.feasible_raw;
+        // Map sorted positions back to indices in the searched list so
+        // GlobalDesign::choice means the same thing for both heuristics.
+        std::vector<std::size_t> original(w.size());
+        for (std::size_t p = 0; p < w.size(); ++p) {
+          original[p] = static_cast<std::size_t>(lists[p][w[p]] -
+                                                 input_lists[p].data());
+        }
+        feasible.push_back(GlobalDesign{std::move(original), result});
+        break;
+      }
+
+      // Q: partitions residing on chips whose area constraint is violated.
+      std::vector<std::size_t> q;
+      for (int chip : result.violated_chips) {
+        for (int p : pt.partitions_on_chip(chip)) {
+          q.push_back(static_cast<std::size_t>(p));
+        }
+      }
+      if (q.empty()) break;  // not an area problem; serializing won't help
+
+      // Pick the serialization with the minimum expected system delay
+      // (urgency scheduling probes, Figure 5). A serialization step moves
+      // Wi to the next rate-acceptable, more serial implementation.
+      std::size_t best_partition = lists.size();
+      std::size_t best_position = 0;
+      Cycles best_delay = std::numeric_limits<Cycles>::max();
+      for (std::size_t p : q) {
+        const std::size_t next = next_acceptable(p, w[p] + 1);
+        if (next >= lists[p].size()) continue;
+        std::vector<std::size_t> probe = w;
+        probe[p] = next;
+        const IntegrationResult probed = integrate_at(probe);
+        const Cycles delay = probed.system_delay_main > 0
+                                 ? probed.system_delay_main
+                                 : std::numeric_limits<Cycles>::max() / 2;
+        if (delay < best_delay) {
+          best_delay = delay;
+          best_partition = p;
+          best_position = next;
+        }
+      }
+      if (best_partition == lists.size()) break;  // nothing to serialize
+      w[best_partition] = best_position;
+    }
+    if (out.truncated) break;
+  }
+
+  out.designs = non_inferior(std::move(feasible));
+  return out;
+}
+
+}  // namespace
+
+SearchResult find_feasible_implementations(
+    const Partitioning& pt, const PartitionPredictions& pred,
+    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
+    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
+    const SearchOptions& options, Pins extra_reserved_pins_per_chip) {
+  return options.heuristic == Heuristic::Enumeration
+             ? search_enumeration(pt, pred, transfers, clocks, constraints,
+                                  criteria, options,
+                                  extra_reserved_pins_per_chip)
+             : search_iterative(pt, pred, transfers, clocks, constraints,
+                                criteria, options,
+                                extra_reserved_pins_per_chip);
+}
+
+}  // namespace chop::core

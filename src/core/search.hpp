@@ -1,0 +1,86 @@
+// CHOP's global search: selecting one predicted implementation per
+// partition such that the integrated system is feasible (paper §2.4).
+//
+// Two run-time selectable heuristics, per the paper: explicit enumeration
+// over all combinations of per-partition implementations (with immediate
+// pruning of infeasible/inferior global designs), and the iterative
+// algorithm of Figure 5 that walks feasible initiation intervals from
+// fastest implementations toward more serial ones, serializing partitions
+// on area-violated chips by minimum incremental system delay. "Neither of
+// the heuristics can be claimed to be better than the other in terms of
+// the quality of results or run-time but they explore the design space
+// differently."
+#pragma once
+
+#include <vector>
+
+#include "bad/prediction.hpp"
+#include "core/integration.hpp"
+#include "core/recorder.hpp"
+
+namespace chop::core {
+
+/// Which search heuristic to run ("H" column of Tables 4/6).
+enum class Heuristic { Enumeration, Iterative };
+
+inline char to_char(Heuristic h) {
+  return h == Heuristic::Enumeration ? 'E' : 'I';
+}
+
+/// Search knobs.
+struct SearchOptions {
+  Heuristic heuristic = Heuristic::Enumeration;
+  /// Discard infeasible/inferior designs immediately (the paper's default;
+  /// disabling reproduces the Figures 7/8 "keep all implementations" runs).
+  bool prune = true;
+  /// Record every encountered global design in the result's recorder.
+  bool record_all = false;
+  /// Safety cap on integration attempts (0 = unlimited). The paper's own
+  /// unpruned experiment-2 run died of swap space; we fail gracefully.
+  std::size_t max_trials = 0;
+};
+
+/// Per-partition prediction lists: BAD's raw output and the level-1-pruned
+/// eligible lists the search consumes.
+struct PartitionPredictions {
+  std::vector<std::vector<bad::DesignPrediction>> raw;
+  std::vector<std::vector<bad::DesignPrediction>> eligible;
+
+  std::size_t raw_total() const;
+  std::size_t eligible_total() const;
+};
+
+/// One feasible global implementation found by a search.
+struct GlobalDesign {
+  std::vector<std::size_t> choice;  ///< Index into the searched list, per partition.
+  IntegrationResult integration;
+};
+
+/// Search outcome and statistics (the Tables 4/6 columns).
+struct SearchResult {
+  std::vector<GlobalDesign> designs;  ///< Feasible, non-inferior, II-ascending.
+  std::size_t trials = 0;             ///< "Partitioning Imp. Trials".
+  std::size_t feasible_raw = 0;       ///< Feasible integrations seen.
+  bool truncated = false;             ///< Hit SearchOptions::max_trials.
+  DesignSpaceRecorder recorder;       ///< Populated when record_all.
+};
+
+/// Level-1 pruning (paper §2.1): drops predictions that are infeasible on
+/// their own — area beyond their chip's usable area, initiation interval
+/// or latency beyond the absolute constraints even before integration —
+/// and then removes Pareto-inferior predictions.
+std::vector<bad::DesignPrediction> prune_level1(
+    std::vector<bad::DesignPrediction> predictions, AreaMil2 chip_usable_area,
+    const bad::ClockSpec& clocks, const DesignConstraints& constraints,
+    const FeasibilityCriteria& criteria);
+
+/// Runs the selected heuristic over `pred` (uses `eligible` when
+/// options.prune, else `raw`). `extra_reserved_pins_per_chip` is forwarded
+/// to every integration (scan-test pins, §5 extension).
+SearchResult find_feasible_implementations(
+    const Partitioning& pt, const PartitionPredictions& pred,
+    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
+    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
+    const SearchOptions& options, Pins extra_reserved_pins_per_chip = 0);
+
+}  // namespace chop::core

@@ -1,0 +1,146 @@
+#include "core/session.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace chop::core {
+
+ChopSession::ChopSession(const lib::ComponentLibrary& library,
+                         Partitioning partitioning, ChopConfig config)
+    : library_(&library),
+      partitioning_(std::move(partitioning)),
+      config_(std::move(config)) {
+  config_.clocks.validate();
+  config_.constraints.validate();
+  config_.criteria.validate();
+  partitioning_.validate();
+}
+
+void ChopSession::set_constraints(const DesignConstraints& constraints) {
+  constraints.validate();
+  config_.constraints = constraints;
+  predictions_valid_ = false;  // level-1 pruning depends on the budget
+}
+
+void ChopSession::set_clocking(const bad::ArchitectureStyle& style,
+                               const bad::ClockSpec& clocks) {
+  clocks.validate();
+  config_.style = style;
+  config_.clocks = clocks;
+  predictions_valid_ = false;  // every prediction depends on the clocks
+}
+
+PredictionStats ChopSession::predict_partitions() {
+  partitioning_.validate();
+  predictions_ = PartitionPredictions{};
+
+  const auto& partitions = partitioning_.partitions();
+  const auto& chips = partitioning_.chips();
+
+  // Cap pipelined II enumeration from the performance budget (§3.2).
+  const Cycles max_ii_main = static_cast<Cycles>(
+      config_.constraints.performance_ns / config_.clocks.main_clock);
+  const Cycles max_ii_dp = std::max<Cycles>(
+      1, max_ii_main / config_.clocks.datapath_multiplier);
+
+  bad::Predictor predictor(config_.predictor);
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const dfg::Subgraph sub = partitioning_.subgraph(static_cast<int>(p));
+
+    bad::PredictionRequest request;
+    request.graph = &sub.graph;
+    request.library = library_;
+    request.style = config_.style;
+    request.clocks = config_.clocks;
+    request.max_ii_dp = max_ii_dp;
+    request.testability = config_.testability;
+    for (std::size_t b = 0; b < partitioning_.memory().blocks.size(); ++b) {
+      request.memory_ports[static_cast<int>(b)] =
+          partitioning_.memory().blocks[b].ports;
+      request.memory_access_time.push_back(
+          partitioning_.memory().blocks[b].access_time);
+    }
+
+    std::vector<bad::DesignPrediction> raw = predictor.predict(request);
+    const AreaMil2 usable =
+        chips[static_cast<std::size_t>(partitions[p].chip)]
+            .package.usable_area();
+    std::vector<bad::DesignPrediction> eligible = prune_level1(
+        raw, usable, config_.clocks, config_.constraints, config_.criteria);
+    predictions_.raw.push_back(std::move(raw));
+    predictions_.eligible.push_back(std::move(eligible));
+  }
+
+  predictions_valid_ = true;
+  return PredictionStats{predictions_.raw_total(),
+                         predictions_.eligible_total()};
+}
+
+std::vector<DataTransfer> ChopSession::transfer_tasks() const {
+  return create_transfer_tasks(partitioning_);
+}
+
+SearchResult ChopSession::search(const SearchOptions& options) const {
+  CHOP_REQUIRE(predictions_valid_,
+               "call predict_partitions() before search()");
+  const Pins test_pins = config_.testability.scan_design
+                             ? config_.testability.test_pins_per_chip
+                             : 0;
+  return find_feasible_implementations(
+      partitioning_, predictions_, transfer_tasks(), config_.clocks,
+      config_.constraints, config_.criteria, options, test_pins);
+}
+
+std::string ChopSession::guideline(const GlobalDesign& design) const {
+  CHOP_REQUIRE(predictions_valid_, "no predictions to render");
+  const auto& partitions = partitioning_.partitions();
+  CHOP_REQUIRE(design.choice.size() == partitions.size(),
+               "design does not match the current partitioning");
+
+  std::ostringstream os;
+  os << "Feasible predicted design: II=" << design.integration.ii_main
+     << " cycles, delay=" << design.integration.system_delay_main
+     << " cycles, clock=" << design.integration.clock_ns() << " ns\n";
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    // Guidelines are rendered from the list the search consumed.
+    const auto& list = predictions_.eligible[p].empty()
+                           ? predictions_.raw[p]
+                           : predictions_.eligible[p];
+    CHOP_REQUIRE(design.choice[p] < list.size(),
+                 "design choice index out of range");
+    const bad::DesignPrediction& sel = list[design.choice[p]];
+    os << "* " << partitions[p].name << " (chip "
+       << partitioning_.chips()[static_cast<std::size_t>(partitions[p].chip)]
+              .name
+       << ")\n";
+    os << "    - a " << to_string(sel.style) << " design style with "
+       << sel.stages << " stages,\n";
+    os << "    - module library of " << sel.module_set_label << ",\n";
+    os << "    - ";
+    bool first = true;
+    for (const auto& [kind, count] : sel.fu_alloc) {
+      if (!first) os << " and ";
+      first = false;
+      os << count << ' ' << dfg::to_string(kind)
+         << (count == 1 ? " unit" : " units");
+    }
+    os << ",\n";
+    os << "    - " << sel.register_bits << " bits of registers for the data "
+       << "path,\n";
+    os << "    - " << static_cast<long long>(std::llround(sel.mux_count_likely))
+       << " 1-bit 2-to-1 multiplexers,\n";
+    os << "    - predicted area " << sel.total_area << " mil^2.\n";
+  }
+  for (const TransferPlan& plan : design.integration.transfers) {
+    if (!plan.task.crosses_pins()) continue;
+    os << "* data transfer module " << plan.task.name << ": " << plan.pins
+       << " pins, X=" << plan.transfer_cycles << " cycles, W="
+       << plan.wait_cycles << " cycles, buffer=" << plan.buffer_bits
+       << " bits, PLA " << plan.controller.inputs << "x"
+       << plan.controller.outputs << "x" << plan.controller.product_terms
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace chop::core

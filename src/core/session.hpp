@@ -1,0 +1,90 @@
+// ChopSession — the public facade of the partitioner, mirroring the
+// designer loop of the paper's Figure 1: create/modify partitions, run
+// BAD per partition (with level-1 pruning), search for feasible global
+// implementations, inspect the guideline output, modify, repeat.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bad/predictor.hpp"
+#include "core/partitioning.hpp"
+#include "core/search.hpp"
+
+namespace chop::core {
+
+/// Complete experiment configuration (paper §2.2 input group 6, plus the
+/// §5 testability extension).
+struct ChopConfig {
+  bad::ArchitectureStyle style;
+  bad::ClockSpec clocks;
+  DesignConstraints constraints;
+  FeasibilityCriteria criteria;
+  bad::PredictorOptions predictor;
+  bad::TestabilityOptions testability;
+};
+
+/// Statistics of one predict-partitions pass (Tables 3/5 rows).
+struct PredictionStats {
+  std::size_t total = 0;     ///< Raw predictions from BAD.
+  std::size_t feasible = 0;  ///< After level-1 pruning (feasible, non-inferior).
+};
+
+/// The interactive partitioning session. Owns the partitioning state;
+/// references the specification and library, which must outlive it.
+class ChopSession {
+ public:
+  ChopSession(const lib::ComponentLibrary& library, Partitioning partitioning,
+              ChopConfig config);
+
+  /// The library is referenced, not copied — a temporary would dangle.
+  ChopSession(lib::ComponentLibrary&&, Partitioning, ChopConfig) = delete;
+
+  const Partitioning& partitioning() const { return partitioning_; }
+
+  /// Mutable access for applying §2.7 modifications; invalidates any
+  /// stored predictions so a stale search cannot follow a structural edit.
+  Partitioning& mutate_partitioning() {
+    predictions_valid_ = false;
+    return partitioning_;
+  }
+
+  const ChopConfig& config() const { return config_; }
+
+  /// Replaces the constraint budget (a §2.7 "Constraints" modification).
+  void set_constraints(const DesignConstraints& constraints);
+
+  /// Replaces the architecture style and clock family (§2.2 input group 6
+  /// — "the clock cycle is an input to the system"). Invalidates stored
+  /// predictions.
+  void set_clocking(const bad::ArchitectureStyle& style,
+                    const bad::ClockSpec& clocks);
+
+  /// Runs BAD on every partition and applies level-1 pruning. Stores the
+  /// lists for subsequent search() calls and returns the Table-3/5 stats.
+  PredictionStats predict_partitions();
+
+  /// Per-partition prediction lists from the last predict_partitions().
+  const PartitionPredictions& predictions() const { return predictions_; }
+
+  /// Data transfer tasks of the current partitioning.
+  std::vector<DataTransfer> transfer_tasks() const;
+
+  /// Runs a search over the stored predictions. predict_partitions() must
+  /// have been called since the last structural modification.
+  SearchResult search(const SearchOptions& options) const;
+
+  /// Renders the designer guideline for one feasible design (the §3.1
+  /// bullet-list output: per-partition style, module library, allocation,
+  /// registers, muxes, plus per-transfer-module predictions).
+  std::string guideline(const GlobalDesign& design) const;
+
+ private:
+  const lib::ComponentLibrary* library_;
+  Partitioning partitioning_;
+  ChopConfig config_;
+  PartitionPredictions predictions_;
+  bool predictions_valid_ = false;
+};
+
+}  // namespace chop::core

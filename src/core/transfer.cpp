@@ -1,0 +1,157 @@
+#include "core/transfer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace chop::core {
+
+namespace {
+
+/// Adds `chip` to the transfer's chip list if not present.
+void touch_chip(DataTransfer& t, int chip) {
+  if (std::find(t.chips.begin(), t.chips.end(), chip) == t.chips.end()) {
+    t.chips.push_back(chip);
+  }
+}
+
+}  // namespace
+
+std::vector<DataTransfer> create_transfer_tasks(const Partitioning& pt) {
+  const dfg::Graph& g = pt.spec();
+  const std::vector<int> owner = pt.partition_of_node();
+  const auto& partitions = pt.partitions();
+
+  std::vector<DataTransfer> out;
+
+  // --- inter-partition and environment transfers, grouped per ordered
+  // (src, dst) pair with distinct values counted once ------------------
+  const std::size_t np = partitions.size();
+  // Distinct producing nodes per (src, dst) channel; src/dst may be env.
+  std::map<std::pair<int, int>, std::set<dfg::NodeId>> channel_values;
+
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const dfg::Edge& edge = g.edge(static_cast<dfg::EdgeId>(e));
+    const dfg::Node& src_node = g.node(edge.src);
+    const dfg::Node& dst_node = g.node(edge.dst);
+    const int sp = owner[static_cast<std::size_t>(edge.src)];
+    const int dp = owner[static_cast<std::size_t>(edge.dst)];
+
+    if (src_node.kind == dfg::OpKind::Input && dp >= 0) {
+      if (src_node.constant) continue;  // preloaded, never transferred
+      channel_values[{kEnvironment, dp}].insert(edge.src);
+    } else if (dst_node.kind == dfg::OpKind::Output && sp >= 0) {
+      channel_values[{sp, kEnvironment}].insert(edge.src);
+    } else if (sp >= 0 && dp >= 0 && sp != dp) {
+      channel_values[{sp, dp}].insert(edge.src);
+    }
+  }
+
+  for (const auto& [channel, values] : channel_values) {
+    const auto& [sp, dp] = channel;
+    DataTransfer t;
+    t.src_partition = sp;
+    t.dst_partition = dp;
+    for (dfg::NodeId v : values) t.bits += g.node(v).width;
+    if (sp == kEnvironment) {
+      t.kind = DataTransfer::Kind::InputDelivery;
+      t.name = "env->" + partitions[static_cast<std::size_t>(dp)].name;
+      touch_chip(t, partitions[static_cast<std::size_t>(dp)].chip);
+    } else if (dp == kEnvironment) {
+      t.kind = DataTransfer::Kind::OutputCollection;
+      t.name = partitions[static_cast<std::size_t>(sp)].name + "->env";
+      touch_chip(t, partitions[static_cast<std::size_t>(sp)].chip);
+    } else {
+      t.kind = DataTransfer::Kind::Interpartition;
+      t.name = partitions[static_cast<std::size_t>(sp)].name + "->" +
+               partitions[static_cast<std::size_t>(dp)].name;
+      const int sc = partitions[static_cast<std::size_t>(sp)].chip;
+      const int dc = partitions[static_cast<std::size_t>(dp)].chip;
+      if (sc != dc) {
+        touch_chip(t, sc);
+        touch_chip(t, dc);
+      }
+      // Same-chip transfers keep an empty chip list: no pins crossed.
+    }
+    out.push_back(std::move(t));
+  }
+
+  // --- memory transfers: per (partition, block, direction) ---------------
+  std::map<std::tuple<int, int, bool>, Bits> memory_traffic;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const dfg::NodeId id = static_cast<dfg::NodeId>(i);
+    const dfg::Node& n = g.node(id);
+    if (n.kind != dfg::OpKind::MemRead && n.kind != dfg::OpKind::MemWrite) {
+      continue;
+    }
+    const int p = owner[i];
+    CHOP_ASSERT(p >= 0, "memory operation must be assigned to a partition");
+    const bool is_write = n.kind == dfg::OpKind::MemWrite;
+    const Bits word =
+        pt.memory().blocks[static_cast<std::size_t>(n.memory_block)].word_bits;
+    memory_traffic[{p, n.memory_block, is_write}] += word;
+  }
+  (void)np;
+
+  for (const auto& [key, bits] : memory_traffic) {
+    const auto& [p, block, is_write] = key;
+    const int part_chip = partitions[static_cast<std::size_t>(p)].chip;
+    const int mem_chip = pt.memory().placement(block);
+
+    DataTransfer t;
+    t.kind = is_write ? DataTransfer::Kind::MemoryWrite
+                      : DataTransfer::Kind::MemoryRead;
+    t.memory_block = block;
+    t.bits = bits;
+    const std::string& block_name =
+        pt.memory().blocks[static_cast<std::size_t>(block)].name;
+    if (is_write) {
+      t.src_partition = p;
+      t.name = partitions[static_cast<std::size_t>(p)].name + "->" + block_name;
+    } else {
+      t.dst_partition = p;
+      t.name = block_name + "->" + partitions[static_cast<std::size_t>(p)].name;
+    }
+    if (mem_chip != part_chip) {
+      touch_chip(t, part_chip);
+      if (mem_chip != chip::kOffTheShelfChip) touch_chip(t, mem_chip);
+      // An off-the-shelf memory chip has dedicated data pins sized for its
+      // word; only the partition's chip pins constrain the transfer.
+    }
+    out.push_back(std::move(t));
+  }
+
+  return out;
+}
+
+std::vector<Pins> reserved_control_pins(
+    const Partitioning& pt, const std::vector<DataTransfer>& transfers,
+    Pins handshake_pins_per_transfer) {
+  CHOP_REQUIRE(handshake_pins_per_transfer >= 0,
+               "handshake pin reserve cannot be negative");
+  std::vector<Pins> reserved(pt.chips().size(), 0);
+
+  // Memory Select/R-W lines: a chip reserves the block's control pins when
+  // it talks to a block that lives elsewhere, and when it hosts a block
+  // that is accessed from elsewhere (one bundle per remote relationship).
+  std::set<std::pair<int, int>> chip_block_lines;  // (chip, block)
+  for (const DataTransfer& t : transfers) {
+    if (t.memory_block < 0 || !t.crosses_pins()) continue;
+    for (int c : t.chips) chip_block_lines.insert({c, t.memory_block});
+  }
+  for (const auto& [c, block] : chip_block_lines) {
+    reserved[static_cast<std::size_t>(c)] +=
+        pt.memory().blocks[static_cast<std::size_t>(block)].control_pins;
+  }
+
+  // Distributed-controller handshake lines per pin-crossing transfer.
+  for (const DataTransfer& t : transfers) {
+    for (int c : t.chips) {
+      reserved[static_cast<std::size_t>(c)] += handshake_pins_per_transfer;
+    }
+  }
+  return reserved;
+}
+
+}  // namespace chop::core

@@ -1,0 +1,57 @@
+// Data transfer task creation (paper §2.4 / Figure 3): "When the
+// information about partition and memory block assignments is available,
+// data transfer tasks are created by CHOP to transfer data among
+// partitions ... determining the manner and the amount of data to be
+// transferred, reserving enough pins for control signals ... and also for
+// other necessary signal pins which are not shared (Select, R/W lines for
+// memory blocks)."
+//
+// Four transfer flavours exist: environment -> partition (primary inputs),
+// partition -> partition (cut values), partition -> environment (primary
+// outputs), and partition <-> memory when the block lives off the
+// partition's chip. Same-chip transfers move no pins but still appear as
+// tasks (zero pin demand) so precedence is uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partitioning.hpp"
+
+namespace chop::core {
+
+/// Endpoint marker for environment-side transfers.
+inline constexpr int kEnvironment = -1;
+
+/// One data transfer task.
+struct DataTransfer {
+  enum class Kind { InputDelivery, Interpartition, OutputCollection,
+                    MemoryRead, MemoryWrite };
+
+  Kind kind = Kind::Interpartition;
+  std::string name;
+  int src_partition = kEnvironment;  ///< Producing partition (or environment).
+  int dst_partition = kEnvironment;  ///< Consuming partition (or environment).
+  int memory_block = -1;             ///< For memory transfers.
+  Bits bits = 0;                     ///< D: data moved per iteration.
+
+  /// Chips whose pins the transfer crosses (empty for same-chip traffic).
+  std::vector<int> chips;
+
+  /// True when the transfer crosses chip pins at all.
+  bool crosses_pins() const { return !chips.empty(); }
+};
+
+/// Derives every data transfer task implied by the partitioning. The
+/// partitioning must validate() cleanly first.
+std::vector<DataTransfer> create_transfer_tasks(const Partitioning& pt);
+
+/// Unshared control pins each chip must reserve: the Select/R-W lines of
+/// every memory block it accesses remotely or serves remotely, plus
+/// `handshake_pins_per_transfer` distributed-control lines per
+/// pin-crossing transfer touching the chip. Indexed by chip.
+std::vector<Pins> reserved_control_pins(
+    const Partitioning& pt, const std::vector<DataTransfer>& transfers,
+    Pins handshake_pins_per_transfer = 2);
+
+}  // namespace chop::core

@@ -1,0 +1,58 @@
+#include "dfg/analysis.hpp"
+
+#include <algorithm>
+
+namespace chop::dfg {
+
+std::vector<Cycles> unit_latencies(const Graph& g) {
+  std::vector<Cycles> lat(g.node_count(), 0);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (needs_functional_unit(g.node(static_cast<NodeId>(i)).kind)) lat[i] = 1;
+  }
+  return lat;
+}
+
+Levels compute_levels(const Graph& g, std::span<const Cycles> latency) {
+  CHOP_REQUIRE(latency.size() == g.node_count(),
+               "latency vector size must match node count");
+  const std::vector<NodeId> order = g.topological_order();
+  Levels out;
+  out.asap.assign(g.node_count(), 0);
+  out.alap.assign(g.node_count(), 0);
+
+  for (NodeId id : order) {
+    const auto i = static_cast<std::size_t>(id);
+    Cycles start = 0;
+    for (EdgeId e : g.fanin(id)) {
+      const NodeId src = g.edge(e).src;
+      const auto s = static_cast<std::size_t>(src);
+      start = std::max(start, out.asap[s] + latency[s]);
+    }
+    out.asap[i] = start;
+    out.length = std::max(out.length, start + latency[i]);
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    const auto i = static_cast<std::size_t>(id);
+    Cycles latest = out.length - latency[i];
+    for (EdgeId e : g.fanout(id)) {
+      const NodeId dst = g.edge(e).dst;
+      const auto d = static_cast<std::size_t>(dst);
+      latest = std::min(latest, out.alap[d] - latency[i]);
+    }
+    out.alap[i] = latest;
+  }
+  return out;
+}
+
+Cycles critical_path(const Graph& g, std::span<const Cycles> latency) {
+  return compute_levels(g, latency).length;
+}
+
+Cycles operation_depth(const Graph& g) {
+  const std::vector<Cycles> lat = unit_latencies(g);
+  return critical_path(g, lat);
+}
+
+}  // namespace chop::dfg

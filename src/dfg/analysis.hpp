@@ -1,0 +1,46 @@
+// Timing analyses over validated data flow graphs: ASAP/ALAP levels,
+// critical path, mobility. These feed both BAD's schedulers and the
+// partition-quality heuristics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "util/units.hpp"
+
+namespace chop::dfg {
+
+/// Per-node latency vector where functional-unit operations cost one cycle
+/// and boundary/steering nodes (inputs, outputs, selects, memory hooks)
+/// cost zero. The common input to the level analyses when module latencies
+/// are not yet known.
+std::vector<Cycles> unit_latencies(const Graph& g);
+
+/// ASAP/ALAP schedule bounds under unlimited resources.
+struct Levels {
+  std::vector<Cycles> asap;      ///< Earliest start cycle per node.
+  std::vector<Cycles> alap;      ///< Latest start cycle per node.
+  Cycles length = 0;             ///< Critical path length in cycles.
+
+  /// Scheduling freedom of a node; 0 on the critical path.
+  Cycles mobility(NodeId id) const {
+    return alap[static_cast<std::size_t>(id)] -
+           asap[static_cast<std::size_t>(id)];
+  }
+};
+
+/// Computes ASAP and ALAP start times given per-node latencies (indexed by
+/// NodeId). ALAP is computed against the critical-path length, so
+/// critical-path nodes have zero mobility.
+Levels compute_levels(const Graph& g, std::span<const Cycles> latency);
+
+/// Critical path length in cycles under the given latencies.
+Cycles critical_path(const Graph& g, std::span<const Cycles> latency);
+
+/// Depth of the graph counted in functional-unit operations (unit
+/// latencies); the minimum number of control steps any nonpipelined
+/// single-cycle schedule needs.
+Cycles operation_depth(const Graph& g);
+
+}  // namespace chop::dfg

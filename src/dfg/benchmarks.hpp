@@ -1,0 +1,72 @@
+// Benchmark behavioral specifications used by the paper's experiments and
+// by this repo's examples/tests.
+//
+// The paper evaluates CHOP on the AR lattice filter of its Figure 6 — a
+// 28-operation graph (16 multiplications, 12 additions) with no memory or
+// I/O operations. The original figure is not machine-readable; we
+// reconstruct the canonical lattice structurally (same op counts, lattice
+// topology, shallow mul/add critical path) — see DESIGN.md §3 for why this
+// substitution preserves the experiments.
+//
+// Each builder also exposes the graph's ASAP layers of functional-unit
+// operations so the paper's partitioning schemes ("a horizontal cut from
+// the middle of the graph", "three partitions of approximately equal
+// size") can be formed deterministically.
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace chop::dfg {
+
+/// A benchmark graph bundled with its operation layers (ASAP levels of
+/// functional-unit ops, inputs excluded) for forming reference partitions.
+struct BenchmarkGraph {
+  Graph graph;
+  std::vector<std::vector<NodeId>> layers;
+
+  /// Concatenates layers [first, last] into one partition member list.
+  std::vector<NodeId> layer_span(std::size_t first, std::size_t last) const;
+
+  /// All functional-unit/memory operation nodes (a single partition).
+  std::vector<NodeId> all_operations() const;
+};
+
+/// The AR lattice filter element of the paper's Figure 6: 16
+/// multiplications and 12 additions over 16-bit data, six operation layers
+/// (mul, add, mul, add, add, add).
+BenchmarkGraph ar_lattice_filter(Bits width = 16);
+
+/// The paper's experiment partitionings of the AR filter:
+///  * two partitions — "a horizontal cut from the middle of the graph"
+///    (layers 1-2 vs layers 3-6);
+///  * three partitions — "approximately equal size" (layer 1 / layers 2-3 /
+///    layers 4-6, sizes 8/12/8).
+std::vector<std::vector<NodeId>> ar_two_way_cut(const BenchmarkGraph& ar);
+std::vector<std::vector<NodeId>> ar_three_way_cut(const BenchmarkGraph& ar);
+
+/// A fifth-order elliptic wave filter in the spirit of the classic HLS
+/// benchmark: 26 additions, 8 multiplications, two parallel four-section
+/// chains merged at the end (depth 18).
+BenchmarkGraph elliptic_wave_filter(Bits width = 16);
+
+/// A 16-tap FIR filter: 16 multiplications and a 15-add balanced reduction
+/// tree (depth 5). The quickstart workload.
+BenchmarkGraph fir16(Bits width = 16);
+
+/// The classic HAL differential-equation benchmark (Paulin's diffeq, the
+/// workload of the force-directed-scheduling paper the paper cites as
+/// [9]): one Euler step of y'' + 3xy' + 3y = 0 — 6 multiplications, 2
+/// additions, 2 subtractions and a compare, depth 4. Exercises operation
+/// kinds beyond the AR filter's add/mul mix.
+BenchmarkGraph diffeq(Bits width = 16);
+
+/// AR lattice filter variant whose coefficients stream from memory block 0
+/// and whose outputs are written to memory block 1 — exercises the memory
+/// bandwidth and pin-reservation paths the plain AR filter cannot
+/// (the paper notes its example "does not have any memory or I/O
+/// operations and unfortunately ... does not demonstrate all features").
+BenchmarkGraph ar_lattice_filter_with_memory(Bits width = 16);
+
+}  // namespace chop::dfg

@@ -1,0 +1,53 @@
+#include "dfg/dot.hpp"
+
+#include <sstream>
+
+namespace chop::dfg {
+
+namespace {
+
+const char* kind_shape(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return "invtriangle";
+    case OpKind::Output: return "triangle";
+    case OpKind::MemRead:
+    case OpKind::MemWrite: return "box3d";
+    case OpKind::Select: return "diamond";
+    default: return "ellipse";
+  }
+}
+
+const char* palette(int idx) {
+  static const char* kColors[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                                  "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+  return kColors[static_cast<std::size_t>(idx) % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, std::span<const int> partition_of) {
+  CHOP_REQUIRE(partition_of.empty() || partition_of.size() == g.node_count(),
+               "partition map size must match node count");
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    const Node& n = g.node(id);
+    os << "  n" << i << " [label=\""
+       << (n.name.empty() ? to_string(n.kind) + std::to_string(i) : n.name)
+       << "\\n" << to_string(n.kind) << "\" shape=" << kind_shape(n.kind);
+    if (!partition_of.empty() && partition_of[i] >= 0) {
+      os << " style=filled fillcolor=\"" << palette(partition_of[i]) << '"';
+    }
+    os << "];\n";
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    os << "  n" << edge.src << " -> n" << edge.dst << " [label=\""
+       << edge.width << "b\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace chop::dfg

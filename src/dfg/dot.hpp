@@ -1,0 +1,18 @@
+// Graphviz export of behavioral graphs (optionally colored by partition)
+// for inspecting workloads and partitionings.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace chop::dfg {
+
+/// Renders `g` as a Graphviz digraph. When `partition_of` is non-empty it
+/// must map every node id to a partition index (or -1 for boundary nodes);
+/// nodes are then clustered and colored by partition.
+std::string to_dot(const Graph& g, std::span<const int> partition_of = {});
+
+}  // namespace chop::dfg

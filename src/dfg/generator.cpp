@@ -1,0 +1,73 @@
+#include "dfg/generator.hpp"
+
+#include <algorithm>
+
+namespace chop::dfg {
+
+BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec) {
+  CHOP_REQUIRE(spec.operations >= 1, "random_dag needs at least one op");
+  CHOP_REQUIRE(spec.depth >= 1, "random_dag needs at least one layer");
+  CHOP_REQUIRE(spec.depth <= spec.operations,
+               "depth cannot exceed operation count");
+  CHOP_REQUIRE(spec.width > 0, "random_dag width must be positive");
+  CHOP_REQUIRE(spec.mul_fraction >= 0.0 && spec.mul_fraction <= 1.0,
+               "mul_fraction must be a probability");
+
+  BenchmarkGraph bg;
+  Graph& g = bg.graph;
+  g.set_name("random_dag");
+
+  std::vector<NodeId> sources;  // values usable as operands
+  const int n_inputs = std::max(2, spec.extra_inputs);
+  for (int i = 0; i < n_inputs; ++i) {
+    sources.push_back(g.add_input("in" + std::to_string(i), spec.width));
+  }
+
+  // Distribute ops over layers as evenly as possible, at least one per
+  // layer so the requested depth is realized.
+  std::vector<int> per_layer(static_cast<std::size_t>(spec.depth), 0);
+  for (int i = 0; i < spec.operations; ++i) {
+    per_layer[static_cast<std::size_t>(i % spec.depth)]++;
+  }
+
+  NodeId chain_prev = kNoNode;  // guarantees depth: a dedicated chain op
+  for (int layer = 0; layer < spec.depth; ++layer) {
+    std::vector<NodeId> this_layer;
+    for (int i = 0; i < per_layer[static_cast<std::size_t>(layer)]; ++i) {
+      const OpKind kind =
+          rng.chance(spec.mul_fraction) ? OpKind::Mul : OpKind::Add;
+      // The first op of each layer chains from the previous layer's chain
+      // op so the requested depth is realized exactly; everything else
+      // draws operands uniformly from earlier values.
+      NodeId lhs;
+      if (i == 0 && chain_prev != kNoNode) {
+        lhs = chain_prev;
+      } else {
+        lhs = sources[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(sources.size()) - 1))];
+      }
+      const NodeId rhs = sources[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(sources.size()) - 1))];
+      this_layer.push_back(g.add_op(kind, spec.width, {lhs, rhs}));
+    }
+    sources.insert(sources.end(), this_layer.begin(), this_layer.end());
+    chain_prev = this_layer.front();
+    bg.layers.push_back(std::move(this_layer));
+  }
+
+  // Expose every value with no consumer as a primary output.
+  int out_idx = 0;
+  const std::size_t node_count = g.node_count();
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (g.node(id).kind == OpKind::Input) continue;
+    if (g.fanout(id).empty()) {
+      g.add_output("y" + std::to_string(out_idx++), id);
+    }
+  }
+
+  g.validate();
+  return bg;
+}
+
+}  // namespace chop::dfg

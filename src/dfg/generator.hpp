@@ -1,0 +1,27 @@
+// Random layered DAG generator for property-based tests and scaling
+// benches. Generates graphs with a controlled operation count, depth, and
+// multiply fraction so schedule/area predictors can be exercised across a
+// spread of topologies.
+#pragma once
+
+#include "dfg/benchmarks.hpp"
+#include "util/rng.hpp"
+
+namespace chop::dfg {
+
+/// Parameters for random_dag().
+struct RandomDagSpec {
+  int operations = 24;       ///< Functional-unit operation count (>= 1).
+  int depth = 4;             ///< Number of operation layers (>= 1).
+  double mul_fraction = 0.4; ///< Probability an op is a Mul (else Add).
+  Bits width = 16;           ///< Data width of every value.
+  int extra_inputs = 4;      ///< Primary inputs beyond the first layer's needs.
+};
+
+/// Builds a random layered acyclic graph: `depth` layers with operations
+/// distributed as evenly as possible, every operation drawing its two
+/// operands from strictly earlier layers (or primary inputs), every sink
+/// exposed as a primary output. Deterministic for a given Rng state.
+BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec);
+
+}  // namespace chop::dfg

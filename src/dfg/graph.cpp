@@ -1,0 +1,215 @@
+#include "dfg/graph.hpp"
+
+#include <algorithm>
+
+namespace chop::dfg {
+
+bool needs_functional_unit(OpKind kind) {
+  switch (kind) {
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::Div:
+    case OpKind::Compare:
+    case OpKind::Logic:
+    case OpKind::Shift:
+      return true;
+    case OpKind::Input:
+    case OpKind::Output:
+    case OpKind::Select:
+    case OpKind::MemRead:
+    case OpKind::MemWrite:
+      return false;
+  }
+  return false;
+}
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return "input";
+    case OpKind::Output: return "output";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Div: return "div";
+    case OpKind::Compare: return "cmp";
+    case OpKind::Logic: return "logic";
+    case OpKind::Shift: return "shift";
+    case OpKind::Select: return "select";
+    case OpKind::MemRead: return "mem_read";
+    case OpKind::MemWrite: return "mem_write";
+  }
+  return "?";
+}
+
+NodeId Graph::new_node(Node node) {
+  nodes_.push_back(std::move(node));
+  fanin_.emplace_back();
+  fanout_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId Graph::connect(NodeId src, NodeId dst) {
+  CHOP_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < nodes_.size(),
+               "edge source node does not exist");
+  CHOP_REQUIRE(dst >= 0 && static_cast<std::size_t>(dst) < nodes_.size(),
+               "edge destination node does not exist");
+  const Bits width = nodes_[static_cast<std::size_t>(src)].width;
+  edges_.push_back(Edge{src, dst, width});
+  const EdgeId id = static_cast<EdgeId>(edges_.size() - 1);
+  fanout_[static_cast<std::size_t>(src)].push_back(id);
+  fanin_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+NodeId Graph::add_input(std::string name, Bits width) {
+  CHOP_REQUIRE(width > 0, "input width must be positive");
+  return new_node(Node{OpKind::Input, width, std::move(name), -1, false});
+}
+
+NodeId Graph::add_constant_input(std::string name, Bits width) {
+  CHOP_REQUIRE(width > 0, "constant width must be positive");
+  return new_node(Node{OpKind::Input, width, std::move(name), -1, true});
+}
+
+NodeId Graph::add_output(std::string name, NodeId src) {
+  const NodeId id = new_node(Node{OpKind::Output, 0, std::move(name), -1});
+  connect(src, id);
+  return id;
+}
+
+NodeId Graph::add_op(OpKind kind, Bits width,
+                     const std::vector<NodeId>& operands, std::string name) {
+  CHOP_REQUIRE(kind != OpKind::Input && kind != OpKind::Output &&
+                   kind != OpKind::MemRead && kind != OpKind::MemWrite,
+               "use the dedicated add_* method for this node kind");
+  CHOP_REQUIRE(width > 0, "operation width must be positive");
+  CHOP_REQUIRE(!operands.empty(), "operation needs at least one operand");
+  const NodeId id = new_node(Node{kind, width, std::move(name), -1});
+  for (NodeId src : operands) connect(src, id);
+  return id;
+}
+
+NodeId Graph::add_mem_read(int memory_block, Bits width, NodeId addr,
+                           std::string name) {
+  CHOP_REQUIRE(memory_block >= 0, "memory read must name a memory block");
+  CHOP_REQUIRE(width > 0, "memory read width must be positive");
+  const NodeId id =
+      new_node(Node{OpKind::MemRead, width, std::move(name), memory_block});
+  if (addr != kNoNode) connect(addr, id);
+  return id;
+}
+
+NodeId Graph::add_mem_write(int memory_block, NodeId data, NodeId addr,
+                            std::string name) {
+  CHOP_REQUIRE(memory_block >= 0, "memory write must name a memory block");
+  const NodeId id =
+      new_node(Node{OpKind::MemWrite, 0, std::move(name), memory_block});
+  connect(data, id);
+  if (addr != kNoNode) connect(addr, id);
+  return id;
+}
+
+std::vector<NodeId> Graph::nodes_of_kind(OpKind kind) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::size_t Graph::count_of_kind(OpKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [kind](const Node& n) { return n.kind == kind; }));
+}
+
+std::size_t Graph::operation_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) {
+        return needs_functional_unit(n.kind);
+      }));
+}
+
+Bits Graph::total_input_bits() const {
+  Bits total = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind == OpKind::Input && !n.constant) total += n.width;
+  }
+  return total;
+}
+
+Bits Graph::total_output_bits() const {
+  Bits total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind != OpKind::Output) continue;
+    for (EdgeId e : fanin_[i]) total += edges_[static_cast<std::size_t>(e)].width;
+  }
+  return total;
+}
+
+void Graph::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const std::size_t in = fanin_[i].size();
+    switch (n.kind) {
+      case OpKind::Input:
+        CHOP_REQUIRE(in == 0, "primary input must have no operands");
+        break;
+      case OpKind::Output:
+        CHOP_REQUIRE(in == 1, "primary output must have exactly one feeder");
+        break;
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Compare:
+      case OpKind::Logic:
+        CHOP_REQUIRE(in == 2, "binary operation must have two operands");
+        break;
+      case OpKind::Shift:
+        CHOP_REQUIRE(in >= 1 && in <= 2, "shift takes one or two operands");
+        break;
+      case OpKind::Select:
+        CHOP_REQUIRE(in == 3,
+                     "select needs a condition and two data operands");
+        break;
+      case OpKind::MemRead:
+        CHOP_REQUIRE(in <= 1, "memory read takes at most an address operand");
+        CHOP_REQUIRE(n.memory_block >= 0, "memory read must name a block");
+        break;
+      case OpKind::MemWrite:
+        CHOP_REQUIRE(in >= 1 && in <= 2,
+                     "memory write takes data and an optional address");
+        CHOP_REQUIRE(n.memory_block >= 0, "memory write must name a block");
+        break;
+    }
+  }
+  // Acyclicity (and reachability sanity) via Kahn's algorithm.
+  (void)topological_order();
+}
+
+std::vector<NodeId> Graph::topological_order() const {
+  std::vector<int> pending(nodes_.size());
+  std::vector<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    pending[i] = static_cast<int>(fanin_[i].size());
+    if (pending[i] == 0) ready.push_back(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (EdgeId e : fanout_[static_cast<std::size_t>(id)]) {
+      const NodeId dst = edges_[static_cast<std::size_t>(e)].dst;
+      if (--pending[static_cast<std::size_t>(dst)] == 0) ready.push_back(dst);
+    }
+  }
+  CHOP_REQUIRE(order.size() == nodes_.size(),
+               "data flow graph contains a cycle (unroll loops first)");
+  return order;
+}
+
+}  // namespace chop::dfg

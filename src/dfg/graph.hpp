@@ -1,0 +1,166 @@
+// Behavioral specification IR: an acyclic data flow graph with added
+// control constructs (paper §2.2 input group 1).
+//
+// Nodes are operations; edges are data values with a bit width. Primary
+// inputs and outputs are explicit nodes, memory accesses are modeled as
+// memory-mapped operations naming a memory block (paper §2.4: "I/O
+// operations are modeled as memory-mapped I/O"), and the `Select` kind is
+// the data-flow rendering of an if/else control construct. Inner loops are
+// not represented here — per §2.3 they must be unrolled first (see
+// dfg/unroll.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace chop::dfg {
+
+/// Operation kinds. `Input`/`Output` are graph boundary pseudo-ops that
+/// consume no functional unit; everything else needs a module from the
+/// component library, except `Select`, which synthesizes to multiplexing
+/// and is accounted by the mux-allocation predictor.
+enum class OpKind : std::uint8_t {
+  Input,
+  Output,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Compare,
+  Logic,
+  Shift,
+  Select,
+  MemRead,
+  MemWrite,
+};
+
+/// True for kinds executed on a functional unit from the component library.
+bool needs_functional_unit(OpKind kind);
+
+/// Short mnemonic ("add", "mul", ...) for reports and DOT output.
+std::string to_string(OpKind kind);
+
+/// Dense node handle; valid for the graph that produced it.
+using NodeId = std::int32_t;
+/// Dense edge handle.
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// One operation in the data flow graph.
+struct Node {
+  OpKind kind = OpKind::Input;
+  Bits width = 0;          ///< Result bit width (0 for Output/MemWrite).
+  std::string name;        ///< Optional label for reports.
+  int memory_block = -1;   ///< Memory block index for MemRead/MemWrite.
+
+  /// Inputs only: a configuration-time constant (e.g. filter coefficient),
+  /// preloaded into the datapath rather than delivered each iteration —
+  /// constants create no data transfer traffic.
+  bool constant = false;
+};
+
+/// One data value flowing between two operations.
+struct Edge {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Bits width = 0;
+};
+
+/// Acyclic behavioral data flow graph. Build with the add_* methods, then
+/// call validate() (the analyses require a validated graph). Value type:
+/// copyable, no reference identity beyond node/edge ids.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a primary input of `width` bits.
+  NodeId add_input(std::string name, Bits width);
+
+  /// Adds a configuration-time constant input (coefficients etc.): usable
+  /// as an operand everywhere but never transferred between chips.
+  NodeId add_constant_input(std::string name, Bits width);
+
+  /// Adds a primary output fed by `src`.
+  NodeId add_output(std::string name, NodeId src);
+
+  /// Adds an operation of `kind` producing a `width`-bit result from the
+  /// given operand nodes (an edge is created from each operand).
+  NodeId add_op(OpKind kind, Bits width, const std::vector<NodeId>& operands,
+                std::string name = {});
+
+  /// Adds a read of `width` bits from `memory_block`, addressed by `addr`
+  /// (pass kNoNode for a streamed/sequential access with no computed
+  /// address).
+  NodeId add_mem_read(int memory_block, Bits width, NodeId addr = kNoNode,
+                      std::string name = {});
+
+  /// Adds a write of `data` to `memory_block` (addressed by `addr`, or
+  /// sequential when kNoNode).
+  NodeId add_mem_write(int memory_block, NodeId data, NodeId addr = kNoNode,
+                       std::string name = {});
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Node& node(NodeId id) const {
+    CHOP_ASSERT(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                "node id out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const Edge& edge(EdgeId id) const {
+    CHOP_ASSERT(id >= 0 && static_cast<std::size_t>(id) < edges_.size(),
+                "edge id out of range");
+    return edges_[static_cast<std::size_t>(id)];
+  }
+
+  /// Edge ids entering / leaving `id`, in operand order.
+  const std::vector<EdgeId>& fanin(NodeId id) const {
+    return fanin_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<EdgeId>& fanout(NodeId id) const {
+    return fanout_[static_cast<std::size_t>(id)];
+  }
+
+  /// All node ids of a given kind.
+  std::vector<NodeId> nodes_of_kind(OpKind kind) const;
+
+  /// Number of operations of `kind`.
+  std::size_t count_of_kind(OpKind kind) const;
+
+  /// Number of operations that need a functional unit.
+  std::size_t operation_count() const;
+
+  /// Total width of all non-constant primary inputs / of all outputs, in
+  /// bits — the data the environment must deliver/collect each iteration.
+  Bits total_input_bits() const;
+  Bits total_output_bits() const;
+
+  /// Checks structural invariants (acyclicity, operand arity, widths,
+  /// memory ops name a block, outputs have exactly one feeder). Throws
+  /// chop::Error describing the first violation.
+  void validate() const;
+
+  /// Nodes in a topological order (inputs first). Throws if cyclic.
+  std::vector<NodeId> topological_order() const;
+
+ private:
+  NodeId new_node(Node node);
+  EdgeId connect(NodeId src, NodeId dst);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> fanin_;
+  std::vector<std::vector<EdgeId>> fanout_;
+};
+
+}  // namespace chop::dfg

@@ -1,0 +1,124 @@
+#include "dfg/subgraph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace chop::dfg {
+
+Subgraph induced_subgraph(const Graph& parent,
+                          std::span<const NodeId> members) {
+  Subgraph out;
+  out.from_parent.assign(parent.node_count(), kNoNode);
+
+  std::vector<bool> member(parent.node_count(), false);
+  for (NodeId id : members) {
+    CHOP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < parent.node_count(),
+                 "subgraph member id out of range");
+    CHOP_REQUIRE(!member[static_cast<std::size_t>(id)],
+                 "duplicate subgraph member");
+    const OpKind kind = parent.node(id).kind;
+    CHOP_REQUIRE(kind != OpKind::Input && kind != OpKind::Output,
+                 "partition members must be operations, not graph boundary");
+    member[static_cast<std::size_t>(id)] = true;
+  }
+
+  out.graph.set_name(parent.name() + ".part");
+
+  // Synthesized boundary inputs, one per distinct external producer.
+  std::unordered_map<NodeId, NodeId> boundary_input;  // parent src -> sub node
+  auto boundary_in = [&](NodeId parent_src) -> NodeId {
+    auto it = boundary_input.find(parent_src);
+    if (it != boundary_input.end()) return it->second;
+    const Node& src = parent.node(parent_src);
+    const std::string name =
+        src.name.empty() ? "in" + std::to_string(parent_src) : src.name;
+    // Constant inputs keep their constant-ness in the partition view.
+    const bool constant = src.kind == OpKind::Input && src.constant;
+    const NodeId sub = constant
+                           ? out.graph.add_constant_input(name, src.width)
+                           : out.graph.add_input(name, src.width);
+    out.to_parent.push_back(parent_src);
+    CHOP_ASSERT(out.to_parent.size() == out.graph.node_count(),
+                "to_parent out of sync");
+    boundary_input.emplace(parent_src, sub);
+    return sub;
+  };
+
+  // Clone member nodes in parent topological order so operands exist
+  // before their consumers.
+  for (NodeId id : parent.topological_order()) {
+    const auto i = static_cast<std::size_t>(id);
+    if (!member[i]) continue;
+    const Node& n = parent.node(id);
+
+    std::vector<NodeId> operands;
+    operands.reserve(parent.fanin(id).size());
+    for (EdgeId e : parent.fanin(id)) {
+      const NodeId src = parent.edge(e).src;
+      if (member[static_cast<std::size_t>(src)]) {
+        operands.push_back(out.from_parent[static_cast<std::size_t>(src)]);
+      } else {
+        operands.push_back(boundary_in(src));
+        out.incoming_cut.push_back(e);
+      }
+    }
+
+    NodeId sub = kNoNode;
+    switch (n.kind) {
+      case OpKind::MemRead:
+        sub = out.graph.add_mem_read(
+            n.memory_block, n.width,
+            operands.empty() ? kNoNode : operands[0], n.name);
+        break;
+      case OpKind::MemWrite:
+        CHOP_ASSERT(!operands.empty(), "memory write lost its data operand");
+        sub = out.graph.add_mem_write(
+            n.memory_block, operands[0],
+            operands.size() > 1 ? operands[1] : kNoNode, n.name);
+        break;
+      default:
+        sub = out.graph.add_op(n.kind, n.width, operands, n.name);
+        break;
+    }
+    out.from_parent[i] = sub;
+    out.to_parent.push_back(id);
+    CHOP_ASSERT(out.to_parent.size() == out.graph.node_count(),
+                "to_parent out of sync");
+  }
+
+  // Outputs: one per internal producer with any external consumer.
+  std::vector<bool> exported(parent.node_count(), false);
+  for (NodeId id : parent.topological_order()) {
+    const auto i = static_cast<std::size_t>(id);
+    if (!member[i]) continue;
+    for (EdgeId e : parent.fanout(id)) {
+      const NodeId dst = parent.edge(e).dst;
+      if (member[static_cast<std::size_t>(dst)]) continue;
+      out.outgoing_cut.push_back(e);
+      if (!exported[i]) {
+        exported[i] = true;
+        const NodeId sub = out.graph.add_output(
+            (parent.node(id).name.empty() ? "out" + std::to_string(id)
+                                          : parent.node(id).name + "_out"),
+            out.from_parent[i]);
+        (void)sub;
+        out.to_parent.push_back(id);
+        out.outgoing_bits += parent.node(id).width;
+      }
+    }
+  }
+
+  // Distinct incoming values: one per boundary input created; constants
+  // are preloaded, so they do not count as transferred data.
+  for (const auto& [parent_src, sub] : boundary_input) {
+    (void)sub;
+    const Node& src = parent.node(parent_src);
+    if (src.kind == OpKind::Input && src.constant) continue;
+    out.incoming_bits += src.width;
+  }
+
+  out.graph.validate();
+  return out;
+}
+
+}  // namespace chop::dfg

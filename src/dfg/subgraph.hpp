@@ -1,0 +1,52 @@
+// Induced-subgraph extraction: turns a subset of a behavioral graph's
+// operation nodes (one CHOP partition) into a standalone, validated graph
+// whose cut edges become primary inputs/outputs.
+//
+// This is the bridge between CHOP's partition model and BAD: per §2.4 each
+// partition is predicted as if "all inputs to partitions are simultaneously
+// available before the execution starts", i.e. as an independent graph with
+// the cut values as its I/O boundary.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace chop::dfg {
+
+/// A standalone graph induced by a node subset, plus the mapping back to
+/// the parent and the parent-graph cut edges that became the boundary.
+struct Subgraph {
+  Graph graph;  ///< Validated standalone graph (boundary nodes synthesized).
+
+  /// Subgraph node id -> parent node id. Synthesized boundary inputs map to
+  /// the parent node that *produces* the value; synthesized outputs map to
+  /// the internal parent producer they expose.
+  std::vector<NodeId> to_parent;
+
+  /// Parent node id -> subgraph node id, or kNoNode if not a member.
+  std::vector<NodeId> from_parent;
+
+  /// Parent edges crossing into the member set (one entry per edge).
+  std::vector<EdgeId> incoming_cut;
+  /// Parent edges crossing out of the member set.
+  std::vector<EdgeId> outgoing_cut;
+
+  /// Total width of distinct values entering / leaving the member set.
+  /// A value produced once but consumed by several external sinks counts
+  /// once (it is transferred once and fanned out at the destination).
+  Bits incoming_bits = 0;
+  Bits outgoing_bits = 0;
+};
+
+/// Extracts the subgraph induced by `members` (parent node ids).
+///
+/// `members` must consist of non-boundary nodes (not Input/Output); each
+/// external value consumed becomes a synthesized Input (one per distinct
+/// parent producer) and each internally produced value with an external
+/// consumer becomes a synthesized Output (one per distinct producer).
+/// Throws chop::Error on duplicate or out-of-range members.
+Subgraph induced_subgraph(const Graph& parent, std::span<const NodeId> members);
+
+}  // namespace chop::dfg

@@ -1,0 +1,111 @@
+#include "dfg/unroll.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace chop::dfg {
+
+Graph unroll(const LoopBody& loop, int iterations, std::string name) {
+  CHOP_REQUIRE(iterations >= 1, "unroll requires at least one iteration");
+  loop.body.validate();
+
+  const Graph& body = loop.body;
+
+  std::unordered_map<NodeId, NodeId> carried_of_input;   // input -> output
+  std::unordered_set<NodeId> carried_outputs;
+  for (const auto& [in, outn] : loop.carried) {
+    CHOP_REQUIRE(body.node(in).kind == OpKind::Input,
+                 "carried pair must start at a body input");
+    CHOP_REQUIRE(body.node(outn).kind == OpKind::Output,
+                 "carried pair must end at a body output");
+    CHOP_REQUIRE(!carried_of_input.count(in),
+                 "body input carried more than once");
+    carried_of_input.emplace(in, outn);
+    carried_outputs.insert(outn);
+  }
+
+  Graph g(std::move(name));
+  const std::vector<NodeId> order = body.topological_order();
+
+  // Loop-invariant inputs are materialized once, lazily.
+  std::unordered_map<NodeId, NodeId> invariant;
+  auto invariant_input = [&](NodeId body_in) -> NodeId {
+    auto it = invariant.find(body_in);
+    if (it != invariant.end()) return it->second;
+    const Node& n = body.node(body_in);
+    const NodeId id = n.constant ? g.add_constant_input(n.name, n.width)
+                                 : g.add_input(n.name, n.width);
+    invariant.emplace(body_in, id);
+    return id;
+  };
+
+  // For each iteration, map body node -> unrolled node (for Output nodes we
+  // record the node *feeding* the output, i.e. the value it exposes).
+  std::vector<NodeId> prev_value;  // per body node, from the last iteration
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<NodeId> value(body.node_count(), kNoNode);
+    for (NodeId id : order) {
+      const auto i = static_cast<std::size_t>(id);
+      const Node& n = body.node(id);
+      switch (n.kind) {
+        case OpKind::Input: {
+          auto carried = carried_of_input.find(id);
+          if (carried == carried_of_input.end()) {
+            value[i] = invariant_input(id);
+          } else if (iter == 0) {
+            value[i] = g.add_input(n.name + "_init", n.width);
+          } else {
+            value[i] = prev_value[static_cast<std::size_t>(carried->second)];
+          }
+          break;
+        }
+        case OpKind::Output: {
+          const NodeId feeder = body.edge(body.fanin(id)[0]).src;
+          value[i] = value[static_cast<std::size_t>(feeder)];
+          if (!carried_outputs.count(id)) {
+            g.add_output(n.name + "_" + std::to_string(iter), value[i]);
+          } else if (iter == iterations - 1) {
+            g.add_output(n.name + "_final", value[i]);
+          }
+          break;
+        }
+        case OpKind::MemRead: {
+          NodeId addr = kNoNode;
+          if (!body.fanin(id).empty()) {
+            addr = value[static_cast<std::size_t>(body.edge(body.fanin(id)[0]).src)];
+          }
+          value[i] = g.add_mem_read(n.memory_block, n.width, addr,
+                                    n.name + "_" + std::to_string(iter));
+          break;
+        }
+        case OpKind::MemWrite: {
+          const auto& ins = body.fanin(id);
+          const NodeId data =
+              value[static_cast<std::size_t>(body.edge(ins[0]).src)];
+          const NodeId addr =
+              ins.size() > 1
+                  ? value[static_cast<std::size_t>(body.edge(ins[1]).src)]
+                  : kNoNode;
+          value[i] = g.add_mem_write(n.memory_block, data, addr,
+                                     n.name + "_" + std::to_string(iter));
+          break;
+        }
+        default: {
+          std::vector<NodeId> operands;
+          operands.reserve(body.fanin(id).size());
+          for (EdgeId e : body.fanin(id)) {
+            operands.push_back(value[static_cast<std::size_t>(body.edge(e).src)]);
+          }
+          value[i] = g.add_op(n.kind, n.width, operands, n.name);
+          break;
+        }
+      }
+    }
+    prev_value = std::move(value);
+  }
+
+  g.validate();
+  return g;
+}
+
+}  // namespace chop::dfg

@@ -1,0 +1,37 @@
+// Loop unrolling (paper §2.3): "Inner loops with determinate iteration
+// counts can be unrolled so that the resulting data flow graph is acyclic."
+//
+// A loop is described by its body graph plus the pairing between
+// loop-carried inputs and the body outputs that feed them on the next
+// iteration. unroll() replicates the body, wiring each iteration's carried
+// inputs to the previous iteration's producers, and exposes the final
+// carried values (and every non-carried per-iteration output) as primary
+// outputs of the acyclic result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace chop::dfg {
+
+/// A loop body and its carried-value wiring.
+struct LoopBody {
+  Graph body;  ///< Acyclic body; validated by unroll().
+
+  /// (input node, output node) pairs: on iteration i+1 the input receives
+  /// the value that fed the output on iteration i. Inputs not listed here
+  /// are loop-invariant and shared across iterations.
+  std::vector<std::pair<NodeId, NodeId>> carried;
+};
+
+/// Unrolls `loop` for `iterations >= 1` repetitions into a fresh acyclic
+/// graph named `name`. Loop-invariant inputs become single primary inputs;
+/// first-iteration carried inputs become primary inputs (the initial
+/// state); final carried values and all non-carried outputs become primary
+/// outputs (non-carried outputs are emitted once per iteration, suffixed
+/// with the iteration index).
+Graph unroll(const LoopBody& loop, int iterations, std::string name);
+
+}  // namespace chop::dfg

@@ -1,0 +1,137 @@
+#include "io/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace chop::io {
+
+namespace {
+
+void heading(std::ostream& out, const std::string& text) {
+  out << "\n## " << text << "\n\n";
+}
+
+std::string triplet(const StatVal& v) {
+  std::ostringstream os;
+  os << v.lo() << " / " << v.likely() << " / " << v.hi();
+  return os.str();
+}
+
+}  // namespace
+
+void render_report(const core::ChopSession& session,
+                   const core::PredictionStats& stats,
+                   const core::SearchResult& result, std::ostream& out,
+                   const ReportOptions& options) {
+  const core::Partitioning& pt = session.partitioning();
+  const core::ChopConfig& config = session.config();
+
+  out << "# " << options.title << "\n\n";
+  out << "Specification `" << pt.spec().name() << "`: "
+      << pt.spec().operation_count() << " operations, "
+      << pt.spec().total_input_bits() << " input bits, "
+      << pt.spec().total_output_bits() << " output bits per iteration.\n\n";
+  out << "Style: **" << to_string(config.style.clocking) << "**, main clock "
+      << config.clocks.main_clock << " ns (datapath x"
+      << config.clocks.datapath_multiplier << ", transfer x"
+      << config.clocks.transfer_multiplier << "). Constraints: performance "
+      << config.constraints.performance_ns << " ns, delay "
+      << config.constraints.delay_ns << " ns";
+  if (config.constraints.power_constrained()) {
+    out << ", power " << config.constraints.system_power_mw << " mW system / "
+        << config.constraints.chip_power_mw << " mW chip";
+  }
+  out << ".\n";
+
+  heading(out, "Partitioning");
+  out << "| Partition | Chip | Package | Operations |\n";
+  out << "|---|---|---|---|\n";
+  for (const core::Partition& p : pt.partitions()) {
+    const chip::ChipInstance& c =
+        pt.chips()[static_cast<std::size_t>(p.chip)];
+    out << "| " << p.name << " | " << c.name << " | " << c.package.name
+        << " (" << c.package.pin_count << " pins) | " << p.members.size()
+        << " |\n";
+  }
+  if (!pt.memory().blocks.empty()) {
+    out << "\n| Memory block | Placement | Word bits | Ports |\n";
+    out << "|---|---|---|---|\n";
+    for (std::size_t b = 0; b < pt.memory().blocks.size(); ++b) {
+      const chip::MemoryModule& m = pt.memory().blocks[b];
+      const int placement = pt.memory().placement(static_cast<int>(b));
+      out << "| " << m.name << " | "
+          << (placement == chip::kOffTheShelfChip
+                  ? std::string("off-the-shelf chip")
+                  : pt.chips()[static_cast<std::size_t>(placement)].name)
+          << " | " << m.word_bits << " | " << m.ports << " |\n";
+    }
+  }
+
+  heading(out, "Prediction and search statistics");
+  out << "- BAD predictions: **" << stats.total << "** total, **"
+      << stats.feasible << "** feasible after level-1 pruning\n";
+  out << "- Search trials: **" << result.trials << "**"
+      << (result.truncated ? " (truncated by the safety cap)" : "") << "\n";
+  out << "- Feasible non-inferior designs: **" << result.designs.size()
+      << "**\n";
+
+  heading(out, "Feasible designs");
+  if (result.designs.empty()) {
+    out << "*No feasible partitioning under the given constraints.*\n";
+    return;
+  }
+  out << "| # | II (cycles) | Delay (cycles) | Clock (ns) | Performance "
+         "(ns) | Delay (ns) | System power (mW) |\n";
+  out << "|---|---|---|---|---|---|---|\n";
+  for (std::size_t i = 0; i < result.designs.size(); ++i) {
+    const core::IntegrationResult& d = result.designs[i].integration;
+    out << "| " << i + 1 << " | " << d.ii_main << " | "
+        << d.system_delay_main << " | " << d.clock_ns() << " | "
+        << d.performance_ns.likely() << " | " << d.delay_ns.likely() << " | "
+        << d.system_power_mw.likely() << " |\n";
+  }
+
+  const std::size_t detailed =
+      std::min(options.max_designs, result.designs.size());
+  for (std::size_t i = 0; i < detailed; ++i) {
+    const core::GlobalDesign& design = result.designs[i];
+    heading(out, "Design " + std::to_string(i + 1) + " — guideline");
+    if (options.include_guidelines) {
+      out << "```\n" << session.guideline(design) << "```\n";
+    }
+    out << "\nPer-chip budgets:\n\n";
+    out << "| Chip | Used area (lo/likely/hi, mil^2) | Usable | Power (mW) "
+           "|\n";
+    out << "|---|---|---|---|\n";
+    for (std::size_t c = 0; c < pt.chips().size(); ++c) {
+      out << "| " << pt.chips()[c].name << " | "
+          << triplet(design.integration.chip_area[c]) << " | "
+          << pt.chips()[c].package.usable_area() << " | "
+          << design.integration.chip_power_mw[c].likely() << " |\n";
+    }
+    if (options.include_transfers) {
+      out << "\n| Transfer | Pins | X (cycles) | W (cycles) | Buffer (bits) "
+             "| PLA i x o x t |\n";
+      out << "|---|---|---|---|---|---|\n";
+      for (const core::TransferPlan& t : design.integration.transfers) {
+        if (!t.task.crosses_pins()) continue;
+        out << "| " << t.task.name << " | " << t.pins << " | "
+            << t.transfer_cycles << " | " << t.wait_cycles << " | "
+            << t.buffer_bits << " | " << t.controller.inputs << "x"
+            << t.controller.outputs << "x" << t.controller.product_terms
+            << " |\n";
+      }
+    }
+  }
+}
+
+std::string render_report_string(const core::ChopSession& session,
+                                 const core::PredictionStats& stats,
+                                 const core::SearchResult& result,
+                                 const ReportOptions& options) {
+  std::ostringstream os;
+  render_report(session, stats, result, os, options);
+  return os.str();
+}
+
+}  // namespace chop::io

@@ -1,0 +1,37 @@
+// Markdown report generation: renders a session's partitioning, the
+// prediction statistics, the search outcome, the per-design guideline of
+// §3.1 and the per-chip budgets into a single human-readable document —
+// the artifact a designer files after a Figure-1 session.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/search.hpp"
+#include "core/session.hpp"
+
+namespace chop::io {
+
+/// Options for render_report().
+struct ReportOptions {
+  std::string title = "CHOP partitioning report";
+  bool include_guidelines = true;   ///< §3.1-style per-design decisions.
+  bool include_transfers = true;    ///< Data-transfer-module tables.
+  std::size_t max_designs = 8;      ///< Designs detailed in full.
+};
+
+/// Renders a Markdown report for `result` obtained from `session`.
+/// `stats` must be the prediction statistics of the same
+/// predict_partitions() pass the search consumed.
+void render_report(const core::ChopSession& session,
+                   const core::PredictionStats& stats,
+                   const core::SearchResult& result, std::ostream& out,
+                   const ReportOptions& options = {});
+
+/// Convenience: report as a string.
+std::string render_report_string(const core::ChopSession& session,
+                                 const core::PredictionStats& stats,
+                                 const core::SearchResult& result,
+                                 const ReportOptions& options = {});
+
+}  // namespace chop::io

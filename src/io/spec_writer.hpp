@@ -1,0 +1,24 @@
+// Serializes a Project (or a live session's state) back to the `.chop`
+// text format, such that parse(write(p)) reproduces an equivalent project.
+// Lets the CLI and the automatic partitioner persist their results for a
+// later interactive session — the save/restore half of the paper's
+// designer loop.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "io/spec_format.hpp"
+
+namespace chop::io {
+
+/// Writes `project` as a parseable `.chop` document.
+void write_project(const Project& project, std::ostream& out);
+
+/// Convenience: returns the document as a string.
+std::string write_project_string(const Project& project);
+
+/// Convenience: writes to `path`; throws chop::Error on I/O failure.
+void write_project_file(const Project& project, const std::string& path);
+
+}  // namespace chop::io

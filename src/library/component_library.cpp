@@ -1,0 +1,35 @@
+#include "library/component_library.hpp"
+
+#include <algorithm>
+
+namespace chop::lib {
+
+void ComponentLibrary::add(ModuleSpec spec) {
+  CHOP_REQUIRE(!spec.name.empty(), "module needs a name");
+  CHOP_REQUIRE(dfg::needs_functional_unit(spec.op),
+               "modules implement functional-unit operations");
+  CHOP_REQUIRE(spec.area > 0.0 && spec.delay > 0.0 && spec.width > 0,
+               "module area, delay and width must be positive");
+  const bool duplicate =
+      std::any_of(modules_.begin(), modules_.end(),
+                  [&](const ModuleSpec& m) { return m.name == spec.name; });
+  CHOP_REQUIRE(!duplicate, "duplicate module name: " + spec.name);
+  modules_.push_back(std::move(spec));
+}
+
+std::vector<const ModuleSpec*> ComponentLibrary::modules_for(
+    dfg::OpKind op) const {
+  std::vector<const ModuleSpec*> out;
+  for (const ModuleSpec& m : modules_) {
+    if (m.op == op) out.push_back(&m);
+  }
+  return out;
+}
+
+bool ComponentLibrary::covers(std::span<const dfg::OpKind> kinds) const {
+  return std::all_of(kinds.begin(), kinds.end(), [&](dfg::OpKind k) {
+    return !dfg::needs_functional_unit(k) || !modules_for(k).empty();
+  });
+}
+
+}  // namespace chop::lib

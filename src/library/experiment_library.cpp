@@ -1,0 +1,29 @@
+#include "library/experiment_library.hpp"
+
+namespace chop::lib {
+
+ComponentLibrary dac91_experiment_library() {
+  ComponentLibrary lib;
+  // Table 1 of the paper, verbatim.
+  lib.add({"add1", dfg::OpKind::Add, 16, 4200.0, 34.0});
+  lib.add({"add2", dfg::OpKind::Add, 16, 2880.0, 53.0});
+  lib.add({"add3", dfg::OpKind::Add, 16, 1200.0, 151.0});
+  lib.add({"mul1", dfg::OpKind::Mul, 16, 49000.0, 375.0});
+  lib.add({"mul2", dfg::OpKind::Mul, 16, 9800.0, 2950.0});
+  lib.add({"mul3", dfg::OpKind::Mul, 16, 7100.0, 7370.0});
+  lib.set_register_bit({31.0, 5.0});
+  lib.set_mux_bit({18.0, 4.0});
+  return lib;
+}
+
+ComponentLibrary dac91_extended_library() {
+  ComponentLibrary lib = dac91_experiment_library();
+  // Subtractors: an adder plus an operand inverter (~8% area, ~3 ns).
+  lib.add({"sub1", dfg::OpKind::Sub, 16, 4550.0, 37.0});
+  lib.add({"sub2", dfg::OpKind::Sub, 16, 3120.0, 56.0});
+  // Comparator: a carry chain without the sum logic.
+  lib.add({"cmp1", dfg::OpKind::Compare, 16, 1900.0, 40.0});
+  return lib;
+}
+
+}  // namespace chop::lib

@@ -1,0 +1,19 @@
+// The paper's Table 1 design library: a 3-micron technology with three
+// adders and three multipliers spanning a ~4x area / ~50x delay spread,
+// plus 1-bit register and 2:1 mux primitives.
+#pragma once
+
+#include "library/component_library.hpp"
+
+namespace chop::lib {
+
+/// Builds the exact Table 1 library (add1/add2/add3, mul1/mul2/mul3,
+/// register and mux rows).
+ComponentLibrary dac91_experiment_library();
+
+/// Table 1 plus plausible 3-micron subtractor and comparator entries
+/// (subtract = adder-with-inverter figures; compare = stripped adder), for
+/// workloads like diffeq whose op mix exceeds the paper's add/mul example.
+ComponentLibrary dac91_extended_library();
+
+}  // namespace chop::lib

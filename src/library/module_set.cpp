@@ -1,0 +1,57 @@
+#include "library/module_set.hpp"
+
+#include <algorithm>
+
+namespace chop::lib {
+
+std::string ModuleSet::label() const {
+  std::string out;
+  for (const auto& [op, module] : choice_) {
+    if (!out.empty()) out += '+';
+    out += module->name;
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+Ns ModuleSet::max_delay() const {
+  Ns worst = 0.0;
+  for (const auto& [op, module] : choice_) worst = std::max(worst, module->delay);
+  return worst;
+}
+
+std::vector<dfg::OpKind> functional_kinds(const dfg::Graph& g) {
+  std::vector<dfg::OpKind> kinds;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const dfg::OpKind k = g.node(static_cast<dfg::NodeId>(i)).kind;
+    if (dfg::needs_functional_unit(k) &&
+        std::find(kinds.begin(), kinds.end(), k) == kinds.end()) {
+      kinds.push_back(k);
+    }
+  }
+  std::sort(kinds.begin(), kinds.end());
+  return kinds;
+}
+
+std::vector<ModuleSet> enumerate_module_sets(
+    const ComponentLibrary& lib, std::span<const dfg::OpKind> kinds) {
+  std::vector<ModuleSet> sets{ModuleSet{}};
+  for (dfg::OpKind kind : kinds) {
+    if (!dfg::needs_functional_unit(kind)) continue;
+    const std::vector<const ModuleSpec*> options = lib.modules_for(kind);
+    CHOP_REQUIRE(!options.empty(),
+                 "library has no module for " + dfg::to_string(kind));
+    std::vector<ModuleSet> next;
+    next.reserve(sets.size() * options.size());
+    for (const ModuleSet& base : sets) {
+      for (const ModuleSpec* option : options) {
+        ModuleSet extended = base;
+        extended.choose(kind, option);
+        next.push_back(std::move(extended));
+      }
+    }
+    sets = std::move(next);
+  }
+  return sets;
+}
+
+}  // namespace chop::lib

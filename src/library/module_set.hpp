@@ -1,0 +1,60 @@
+// Module sets: one chosen module per operation kind a graph uses.
+//
+// BAD "includes all possible module-set combinations" (paper §2.4) — for
+// the experiment library (3 adders x 3 multipliers) that is the 9
+// "module-set configurations" §3.2 mentions. enumerate_module_sets()
+// produces exactly that cartesian product for the op kinds present in a
+// graph.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "library/component_library.hpp"
+
+namespace chop::lib {
+
+/// A concrete module choice per operation kind. Pointers reference the
+/// owning ComponentLibrary, which must outlive the set.
+class ModuleSet {
+ public:
+  void choose(dfg::OpKind op, const ModuleSpec* module) {
+    CHOP_REQUIRE(module != nullptr, "module set entry must be a module");
+    choice_[op] = module;
+  }
+
+  /// Chosen module for `op`; throws if the set has no entry.
+  const ModuleSpec& module_for(dfg::OpKind op) const {
+    auto it = choice_.find(op);
+    CHOP_REQUIRE(it != choice_.end(),
+                 "module set has no module for " + dfg::to_string(op));
+    return *it->second;
+  }
+
+  bool has(dfg::OpKind op) const { return choice_.count(op) != 0; }
+
+  const std::map<dfg::OpKind, const ModuleSpec*>& choices() const {
+    return choice_;
+  }
+
+  /// "add2+mul3" style label for reports.
+  std::string label() const;
+
+  /// Slowest module delay in the set — the chaining-free clock lower bound.
+  Ns max_delay() const;
+
+ private:
+  std::map<dfg::OpKind, const ModuleSpec*> choice_;
+};
+
+/// Operation kinds appearing in `g` that need a functional unit, sorted.
+std::vector<dfg::OpKind> functional_kinds(const dfg::Graph& g);
+
+/// All module sets covering `kinds` (cartesian product over the library's
+/// alternatives). Throws chop::Error if the library lacks a module for one
+/// of the kinds.
+std::vector<ModuleSet> enumerate_module_sets(const ComponentLibrary& lib,
+                                             std::span<const dfg::OpKind> kinds);
+
+}  // namespace chop::lib

@@ -1,0 +1,246 @@
+#include "schedule/op_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace chop::sched {
+
+namespace {
+
+/// Internal resource-class key: functional-unit kinds map to themselves,
+/// memory ops map to a per-block class, everything else to "none".
+struct ResourceKey {
+  bool used = false;
+  bool is_memory = false;
+  dfg::OpKind kind = dfg::OpKind::Add;
+  int block = -1;
+
+  bool operator==(const ResourceKey&) const = default;
+};
+
+ResourceKey key_for(const dfg::Node& node) {
+  ResourceKey key;
+  if (dfg::needs_functional_unit(node.kind)) {
+    key.used = true;
+    key.kind = node.kind;
+  } else if (node.kind == dfg::OpKind::MemRead ||
+             node.kind == dfg::OpKind::MemWrite) {
+    key.used = true;
+    key.is_memory = true;
+    key.block = node.memory_block;
+  }
+  return key;
+}
+
+/// Dense per-class usage timeline (and modulo-II phases for pipelining).
+class UsageTracker {
+ public:
+  UsageTracker(int capacity, Cycles ii) : capacity_(capacity), ii_(ii) {
+    if (ii_ > 0) phase_.assign(static_cast<std::size_t>(ii_), 0);
+  }
+
+  bool fits(Cycles t, Cycles duration) const {
+    if (capacity_ < 0) return true;  // unlimited
+    for (Cycles c = t; c < t + duration; ++c) {
+      if (usage_at(c) + 1 > capacity_) return false;
+    }
+    if (ii_ > 0) {
+      // Modulo reservation: each phase touched by [t, t+duration) once.
+      const Cycles span = std::min(duration, ii_);
+      for (Cycles j = 0; j < span; ++j) {
+        const auto p = static_cast<std::size_t>((t + j) % ii_);
+        if (phase_[p] + 1 > capacity_) return false;
+      }
+    }
+    return true;
+  }
+
+  void reserve(Cycles t, Cycles duration) {
+    if (capacity_ < 0) return;
+    if (t + duration > static_cast<Cycles>(timeline_.size())) {
+      timeline_.resize(static_cast<std::size_t>(t + duration), 0);
+    }
+    for (Cycles c = t; c < t + duration; ++c) {
+      timeline_[static_cast<std::size_t>(c)]++;
+    }
+    if (ii_ > 0) {
+      const Cycles span = std::min(duration, ii_);
+      for (Cycles j = 0; j < span; ++j) {
+        phase_[static_cast<std::size_t>((t + j) % ii_)]++;
+      }
+    }
+  }
+
+ private:
+  int usage_at(Cycles c) const {
+    return c < static_cast<Cycles>(timeline_.size())
+               ? timeline_[static_cast<std::size_t>(c)]
+               : 0;
+  }
+
+  int capacity_;
+  Cycles ii_;
+  std::vector<int> timeline_;
+  std::vector<int> phase_;
+};
+
+/// Shared core of the nonpipelined and pipelined schedulers. `ii == 0`
+/// means nonpipelined (no modulo reservation, always feasible).
+OpSchedule schedule_impl(const dfg::Graph& g, std::span<const Cycles> latency,
+                         const ResourceLimits& limits, Cycles ii) {
+  CHOP_REQUIRE(latency.size() == g.node_count(),
+               "latency vector size must match node count");
+  const dfg::Levels levels = dfg::compute_levels(g, latency);
+
+  // Resource classes present in this graph.
+  std::vector<ResourceKey> keys;
+  std::vector<UsageTracker> trackers;
+  std::vector<int> class_of(g.node_count(), -1);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const ResourceKey key = key_for(g.node(static_cast<dfg::NodeId>(i)));
+    if (!key.used) continue;
+    auto it = std::find(keys.begin(), keys.end(), key);
+    if (it == keys.end()) {
+      keys.push_back(key);
+      trackers.emplace_back(limits.limit_for(g.node(static_cast<dfg::NodeId>(i))),
+                            ii);
+      it = keys.end() - 1;
+    }
+    class_of[i] = static_cast<int>(it - keys.begin());
+  }
+
+  // Priority order: ALAP ascending (most urgent first), critical path as
+  // tiebreak via ASAP, then id for determinism.
+  std::vector<dfg::NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](dfg::NodeId a, dfg::NodeId b) {
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (levels.alap[ia] != levels.alap[ib]) {
+      return levels.alap[ia] < levels.alap[ib];
+    }
+    if (levels.asap[ia] != levels.asap[ib]) {
+      return levels.asap[ia] < levels.asap[ib];
+    }
+    return a < b;
+  });
+
+  OpSchedule out;
+  out.start.assign(g.node_count(), 0);
+  out.feasible = true;
+
+  // Horizon: generous but finite, so an infeasible II terminates.
+  Cycles total_latency = 0;
+  for (Cycles l : latency) total_latency += l;
+  const Cycles horizon = levels.length + total_latency + (ii > 0 ? ii : 0) + 4;
+
+  // Iterate in dependency-respecting priority order: process nodes in topo
+  // order but pick among ready nodes by priority. Simpler: repeatedly scan
+  // the priority list for nodes whose predecessors are placed.
+  std::vector<bool> placed(g.node_count(), false);
+  std::size_t remaining = g.node_count();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (dfg::NodeId id : order) {
+      const auto i = static_cast<std::size_t>(id);
+      if (placed[i]) continue;
+      Cycles ready = 0;
+      bool deps_ok = true;
+      for (dfg::EdgeId e : g.fanin(id)) {
+        const dfg::NodeId src = g.edge(e).src;
+        const auto s = static_cast<std::size_t>(src);
+        if (!placed[s]) {
+          deps_ok = false;
+          break;
+        }
+        ready = std::max(ready, out.start[s] + latency[s]);
+      }
+      if (!deps_ok) continue;
+
+      const int cls = class_of[i];
+      Cycles t = ready;
+      if (cls >= 0 && latency[i] > 0) {
+        while (t <= horizon &&
+               !trackers[static_cast<std::size_t>(cls)].fits(t, latency[i])) {
+          ++t;
+        }
+        if (t > horizon) {
+          out.feasible = false;
+          return out;
+        }
+        trackers[static_cast<std::size_t>(cls)].reserve(t, latency[i]);
+      }
+      out.start[i] = t;
+      out.length = std::max(out.length, t + latency[i]);
+      placed[i] = true;
+      --remaining;
+      progressed = true;
+    }
+    CHOP_ASSERT(progressed, "scheduler made no progress on an acyclic graph");
+  }
+
+  out.initiation_interval = ii > 0 ? ii : out.length;
+  if (ii > 0 && out.length == 0) out.initiation_interval = ii;
+  return out;
+}
+
+}  // namespace
+
+int ResourceLimits::limit_for(const dfg::Node& node) const {
+  if (dfg::needs_functional_unit(node.kind)) {
+    auto it = fu.find(node.kind);
+    return it == fu.end() ? -1 : it->second;
+  }
+  if (node.kind == dfg::OpKind::MemRead ||
+      node.kind == dfg::OpKind::MemWrite) {
+    auto it = memory_ports.find(node.memory_block);
+    return it == memory_ports.end() ? -1 : it->second;
+  }
+  return 0;
+}
+
+OpSchedule list_schedule(const dfg::Graph& g, std::span<const Cycles> latency,
+                         const ResourceLimits& limits) {
+  return schedule_impl(g, latency, limits, 0);
+}
+
+OpSchedule pipeline_schedule(const dfg::Graph& g,
+                             std::span<const Cycles> latency,
+                             const ResourceLimits& limits, Cycles ii) {
+  CHOP_REQUIRE(ii >= 1, "pipeline initiation interval must be positive");
+  return schedule_impl(g, latency, limits, ii);
+}
+
+Cycles min_initiation_interval(const dfg::Graph& g,
+                               std::span<const Cycles> latency,
+                               const ResourceLimits& limits) {
+  CHOP_REQUIRE(latency.size() == g.node_count(),
+               "latency vector size must match node count");
+  std::map<dfg::OpKind, Cycles> fu_busy;
+  std::map<int, Cycles> mem_busy;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const dfg::Node& n = g.node(static_cast<dfg::NodeId>(i));
+    if (dfg::needs_functional_unit(n.kind)) {
+      fu_busy[n.kind] += latency[i];
+    } else if (n.kind == dfg::OpKind::MemRead ||
+               n.kind == dfg::OpKind::MemWrite) {
+      mem_busy[n.memory_block] += latency[i];
+    }
+  }
+  Cycles bound = 1;
+  for (const auto& [kind, busy] : fu_busy) {
+    auto it = limits.fu.find(kind);
+    if (it == limits.fu.end()) continue;
+    CHOP_REQUIRE(it->second >= 1, "functional unit count must be positive");
+    bound = std::max(bound, (busy + it->second - 1) / it->second);
+  }
+  for (const auto& [block, busy] : mem_busy) {
+    auto it = limits.memory_ports.find(block);
+    if (it == limits.memory_ports.end()) continue;
+    CHOP_REQUIRE(it->second >= 1, "memory port count must be positive");
+    bound = std::max(bound, (busy + it->second - 1) / it->second);
+  }
+  return bound;
+}
+
+}  // namespace chop::sched

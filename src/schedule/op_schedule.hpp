@@ -1,0 +1,66 @@
+// Operation scheduling inside one partition.
+//
+// BAD's prediction engine needs, for every (module set, allocation, design
+// style) candidate, the number of control steps a resource-constrained
+// schedule takes — nonpipelined — and, for pipelined designs, whether a
+// given initiation interval is achievable (the Sehwa-style question, paper
+// ref [8]). Both are answered by priority list scheduling with ALAP-based
+// urgency; the pipelined variant adds modulo-II resource reservation.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dfg/analysis.hpp"
+#include "dfg/graph.hpp"
+#include "util/units.hpp"
+
+namespace chop::sched {
+
+/// Resource limits a schedule must respect: functional units per operation
+/// kind and ports per memory block. Kinds/blocks absent from the maps are
+/// unconstrained (treated as unlimited — used by ASAP bounds).
+struct ResourceLimits {
+  std::map<dfg::OpKind, int> fu;
+  std::map<int, int> memory_ports;
+
+  /// Limit applying to `node`, or 0 if the node consumes no resource.
+  /// Returns -1 for "unlimited".
+  int limit_for(const dfg::Node& node) const;
+};
+
+/// Result of a scheduling attempt. `start` is indexed by NodeId; `length`
+/// counts control steps (datapath cycles); `initiation_interval` equals
+/// `length` for nonpipelined schedules and the requested II for pipelined
+/// ones. `feasible == false` means no schedule satisfied the constraints
+/// (only possible for pipelined attempts — a nonpipelined list schedule
+/// always completes).
+struct OpSchedule {
+  std::vector<Cycles> start;
+  Cycles length = 0;
+  Cycles initiation_interval = 0;
+  bool feasible = false;
+};
+
+/// Nonpipelined resource-constrained list scheduling with ALAP urgency.
+/// `latency` is per node, in datapath cycles (zero-latency nodes occupy no
+/// resources and no time).
+OpSchedule list_schedule(const dfg::Graph& g, std::span<const Cycles> latency,
+                         const ResourceLimits& limits);
+
+/// Pipelined (modulo) list scheduling at initiation interval `ii`: every
+/// resource is reserved in the occupied cycles *modulo ii* so overlapped
+/// iterations never oversubscribe a unit. Returns feasible == false when
+/// no placement exists within the scheduling horizon.
+OpSchedule pipeline_schedule(const dfg::Graph& g,
+                             std::span<const Cycles> latency,
+                             const ResourceLimits& limits, Cycles ii);
+
+/// Sehwa-style lower bound on the initiation interval:
+/// max over resource classes of ceil(total busy cycles / unit count).
+Cycles min_initiation_interval(const dfg::Graph& g,
+                               std::span<const Cycles> latency,
+                               const ResourceLimits& limits);
+
+}  // namespace chop::sched

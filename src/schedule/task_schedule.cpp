@@ -1,0 +1,220 @@
+#include "schedule/task_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace chop::sched {
+
+int TaskGraph::add_task(Task task) {
+  CHOP_REQUIRE(task.duration >= 0, "task duration cannot be negative");
+  tasks.push_back(std::move(task));
+  return static_cast<int>(tasks.size() - 1);
+}
+
+void TaskGraph::add_precedence(int before, int after) {
+  CHOP_REQUIRE(before >= 0 && static_cast<std::size_t>(before) < tasks.size(),
+               "precedence names a nonexistent task");
+  CHOP_REQUIRE(after >= 0 && static_cast<std::size_t>(after) < tasks.size(),
+               "precedence names a nonexistent task");
+  CHOP_REQUIRE(before != after, "task cannot precede itself");
+  precedence.emplace_back(before, after);
+}
+
+int TaskGraph::add_resource(int capacity_amount) {
+  CHOP_REQUIRE(capacity_amount >= 0, "resource capacity cannot be negative");
+  capacity.push_back(capacity_amount);
+  return static_cast<int>(capacity.size() - 1);
+}
+
+void TaskGraph::validate() const {
+  for (const Task& t : tasks) {
+    for (const auto& [res, amount] : t.demands) {
+      CHOP_REQUIRE(res >= 0 && static_cast<std::size_t>(res) < capacity.size(),
+                   "task demands a nonexistent resource");
+      CHOP_REQUIRE(amount > 0, "task demand must be positive");
+    }
+  }
+}
+
+namespace {
+
+/// Longest path to a sink per task (urgency), computed over the precedence
+/// DAG. Throws on cycles.
+std::vector<Cycles> urgencies(const TaskGraph& tg) {
+  const std::size_t n = tg.tasks.size();
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> out_deg(n, 0);
+  for (const auto& [before, after] : tg.precedence) {
+    succ[static_cast<std::size_t>(before)].push_back(after);
+    out_deg[static_cast<std::size_t>(before)]++;
+  }
+  // Reverse topological order via Kahn on successor counts.
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out_deg[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::vector<std::vector<int>> pred(n);
+  for (const auto& [before, after] : tg.precedence) {
+    pred[static_cast<std::size_t>(after)].push_back(before);
+  }
+  std::vector<Cycles> urgency(n, 0);
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const int t = ready.back();
+    ready.pop_back();
+    ++processed;
+    const auto ti = static_cast<std::size_t>(t);
+    Cycles best_succ = 0;
+    for (int s : succ[ti]) {
+      best_succ = std::max(best_succ, urgency[static_cast<std::size_t>(s)]);
+    }
+    urgency[ti] = tg.tasks[ti].duration + best_succ;
+    for (int p : pred[ti]) {
+      if (--out_deg[static_cast<std::size_t>(p)] == 0) ready.push_back(p);
+    }
+  }
+  CHOP_REQUIRE(processed == n, "task graph contains a precedence cycle");
+  return urgency;
+}
+
+/// Per-resource usage over time plus modulo-II phases.
+class ResourceTimeline {
+ public:
+  ResourceTimeline(int capacity, Cycles ii) : capacity_(capacity), ii_(ii) {
+    if (ii_ > 0) phase_.assign(static_cast<std::size_t>(ii_), 0);
+  }
+
+  bool fits(Cycles t, Cycles duration, int amount) const {
+    for (Cycles c = t; c < t + duration; ++c) {
+      if (usage_at(c) + amount > capacity_) return false;
+    }
+    if (ii_ > 0 && duration > 0) {
+      const Cycles span = std::min(duration, ii_);
+      for (Cycles j = 0; j < span; ++j) {
+        if (phase_[static_cast<std::size_t>((t + j) % ii_)] + amount >
+            capacity_) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void reserve(Cycles t, Cycles duration, int amount) {
+    if (t + duration > static_cast<Cycles>(timeline_.size())) {
+      timeline_.resize(static_cast<std::size_t>(t + duration), 0);
+    }
+    for (Cycles c = t; c < t + duration; ++c) {
+      timeline_[static_cast<std::size_t>(c)] += amount;
+    }
+    if (ii_ > 0 && duration > 0) {
+      const Cycles span = std::min(duration, ii_);
+      for (Cycles j = 0; j < span; ++j) {
+        phase_[static_cast<std::size_t>((t + j) % ii_)] += amount;
+      }
+    }
+  }
+
+ private:
+  int usage_at(Cycles c) const {
+    return c < static_cast<Cycles>(timeline_.size())
+               ? timeline_[static_cast<std::size_t>(c)]
+               : 0;
+  }
+
+  int capacity_;
+  Cycles ii_;
+  std::vector<int> timeline_;
+  std::vector<int> phase_;
+};
+
+}  // namespace
+
+TaskSchedule urgency_schedule(const TaskGraph& tg, Cycles ii) {
+  tg.validate();
+  CHOP_REQUIRE(ii >= 0, "initiation interval cannot be negative");
+
+  TaskSchedule out;
+  out.start.assign(tg.tasks.size(), 0);
+
+  // Outright impossibility: a single task over capacity.
+  for (const Task& t : tg.tasks) {
+    for (const auto& [res, amount] : t.demands) {
+      if (amount > tg.capacity[static_cast<std::size_t>(res)]) return out;
+    }
+  }
+
+  const std::vector<Cycles> urgency = urgencies(tg);
+  const std::size_t n = tg.tasks.size();
+
+  std::vector<std::vector<int>> pred(n);
+  for (const auto& [before, after] : tg.precedence) {
+    pred[static_cast<std::size_t>(after)].push_back(before);
+  }
+
+  std::vector<ResourceTimeline> timelines;
+  timelines.reserve(tg.capacity.size());
+  for (int cap : tg.capacity) timelines.emplace_back(cap, ii);
+
+  // Priority: higher urgency first; id tiebreak for determinism.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Cycles ua = urgency[static_cast<std::size_t>(a)];
+    const Cycles ub = urgency[static_cast<std::size_t>(b)];
+    if (ua != ub) return ua > ub;
+    return a < b;
+  });
+
+  Cycles total = 0;
+  for (const Task& t : tg.tasks) total += t.duration;
+  const Cycles horizon = total + (ii > 0 ? ii : 0) + 4;
+
+  std::vector<bool> placed(n, false);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int id : order) {
+      const auto i = static_cast<std::size_t>(id);
+      if (placed[i]) continue;
+      Cycles ready = 0;
+      bool deps_ok = true;
+      for (int p : pred[i]) {
+        const auto pi = static_cast<std::size_t>(p);
+        if (!placed[pi]) {
+          deps_ok = false;
+          break;
+        }
+        ready = std::max(ready, out.start[pi] + tg.tasks[pi].duration);
+      }
+      if (!deps_ok) continue;
+
+      const Task& task = tg.tasks[i];
+      Cycles t = ready;
+      auto fits_all = [&](Cycles at) {
+        return std::all_of(task.demands.begin(), task.demands.end(),
+                           [&](const std::pair<int, int>& d) {
+                             return timelines[static_cast<std::size_t>(d.first)]
+                                 .fits(at, task.duration, d.second);
+                           });
+      };
+      while (t <= horizon && !fits_all(t)) ++t;
+      if (t > horizon) return out;  // infeasible (modulo oversubscription)
+      for (const auto& [res, amount] : task.demands) {
+        timelines[static_cast<std::size_t>(res)].reserve(t, task.duration,
+                                                         amount);
+      }
+      out.start[i] = t;
+      out.makespan = std::max(out.makespan, t + task.duration);
+      placed[i] = true;
+      --remaining;
+      progressed = true;
+    }
+    CHOP_ASSERT(progressed, "task scheduler made no progress on a DAG");
+  }
+
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace chop::sched

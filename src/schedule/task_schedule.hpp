@@ -1,0 +1,61 @@
+// Urgency scheduling of the system task graph (paper §2.5).
+//
+// After CHOP creates data transfer tasks between partitions, the whole
+// system is a task graph: PU tasks (partition executions, fixed duration)
+// and transfer tasks (durations from pin bandwidth), with precedence from
+// the data flow and shared resources — each chip's data pins and each
+// memory block's ports. "An urgency scheduling is performed to confirm
+// feasibility of sharing the data pins of chips as well as to keep memory
+// accesses to each memory block feasible while reaching the minimum
+// overall system delay. The urgency measure is based on the actual
+// critical path delays of tasks."
+//
+// The overall process is treated as pipelined (§2.5), so resource demands
+// are additionally folded modulo the initiation interval.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace chop::sched {
+
+/// One task: a PU execution or a data transfer. Demands name abstract
+/// resource ids with the amount consumed during every cycle the task runs.
+struct Task {
+  std::string name;
+  Cycles duration = 0;
+  std::vector<std::pair<int, int>> demands;  ///< (resource id, amount).
+};
+
+/// The system task graph plus its resource capacities.
+struct TaskGraph {
+  std::vector<Task> tasks;
+  std::vector<std::pair<int, int>> precedence;  ///< (before, after) indices.
+  std::vector<int> capacity;                    ///< indexed by resource id.
+
+  int add_task(Task task);
+  void add_precedence(int before, int after);
+  int add_resource(int capacity_amount);
+  void validate() const;
+};
+
+/// Schedule produced by urgency_schedule(). `feasible == false` when a task
+/// demands more of a resource than its total capacity or no placement
+/// exists within the horizon (with ii > 0, a modulo-folded oversubscription).
+struct TaskSchedule {
+  std::vector<Cycles> start;
+  Cycles makespan = 0;
+  bool feasible = false;
+};
+
+/// List-schedules the task graph by urgency (longest remaining path to a
+/// sink, including the task's own duration). `ii > 0` folds resource usage
+/// modulo `ii` — the steady-state constraint of a pipelined system; pass
+/// `ii == 0` for a one-shot (nonpipelined) system.
+TaskSchedule urgency_schedule(const TaskGraph& tg, Cycles ii);
+
+}  // namespace chop::sched

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace chop {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHOP_REQUIRE(!header_.empty(), "csv header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  CHOP_REQUIRE(cells.size() == header_.size(),
+               "csv row arity differs from header");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::emit_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit_cell(os, row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  CHOP_REQUIRE(out.good(), "cannot open csv output file: " + path);
+  write(out);
+}
+
+}  // namespace chop

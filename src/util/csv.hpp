@@ -1,0 +1,30 @@
+// Minimal CSV writer used by the design-space recorder (Figures 7/8) so the
+// scatter data behind each figure can be re-plotted outside this repo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chop {
+
+/// Collects rows and writes RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void write(std::ostream& os) const;
+
+  /// Writes to `path`; throws chop::Error if the file cannot be opened.
+  void write_file(const std::string& path) const;
+
+ private:
+  static void emit_cell(std::ostream& os, const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chop

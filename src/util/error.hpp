@@ -1,0 +1,42 @@
+// Error handling primitives shared by every chop library.
+//
+// The library reports *usage* errors (malformed graphs, inconsistent
+// configurations, out-of-range arguments) by throwing chop::Error, and guards
+// internal invariants with CHOP_ASSERT which terminates — an internal
+// invariant violation is a bug in chop, not a recoverable condition.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace chop {
+
+/// Exception thrown for all user-facing error conditions in the chop
+/// libraries (invalid inputs, inconsistent configuration, constraint-model
+/// violations detected while building inputs).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws chop::Error with `msg` when `cond` is false. Use for validating
+/// caller-supplied data.
+#define CHOP_REQUIRE(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) throw ::chop::Error(std::string("chop: ") + (msg)); \
+  } while (0)
+
+/// Hard internal invariant; aborts on failure. Use only for conditions that
+/// indicate a bug inside chop itself.
+#define CHOP_ASSERT(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "chop internal error: %s (%s:%d)\n", (msg),    \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace chop

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generator for workload generation and
+// property tests. A fixed, seedable generator (splitmix64 core) keeps every
+// test and benchmark reproducible across platforms, unlike std::mt19937
+// whose distributions are not bit-stable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace chop {
+
+/// Small deterministic RNG (splitmix64). Cheap to copy; value semantics.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    CHOP_REQUIRE(lo <= hi, "Rng::uniform requires lo <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace chop

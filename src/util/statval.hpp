@@ -1,0 +1,95 @@
+// Statistical triplet values — the paper's §2.6 "statistical environment".
+//
+// Every quantity BAD and CHOP predict (area, delay contribution, buffer
+// size, ...) is carried as a triplet (lower bound, most likely, upper
+// bound). Feasibility analysis interprets a triplet as a triangular
+// distribution over [lo, hi] with mode `likely`, and asks for the
+// probability that the quantity satisfies a hard constraint:
+//
+//   "a probability of 100% of satisfying the chip area constraint" means
+//   P(X <= limit) == 1, i.e. hi <= limit; "a probability of 80% of
+//   satisfying the system delay constraint" means CDF(limit) >= 0.8.
+//
+// Triplets form a small algebra: sums (areas of units on a chip), scaling
+// (bit-width multiplication), max (parallel path delays) — each combines
+// bounds componentwise, which is exact for lo/hi and a standard first-order
+// approximation for the mode.
+#pragma once
+
+#include <iosfwd>
+
+#include "util/error.hpp"
+
+namespace chop {
+
+/// A (lower, most-likely, upper) prediction triple with triangular-CDF
+/// probability queries. Immutable-value style: all operations return new
+/// triplets.
+class StatVal {
+ public:
+  /// Degenerate zero triplet.
+  constexpr StatVal() = default;
+
+  /// Exact (deterministic) value: lo == likely == hi == v.
+  constexpr explicit StatVal(double v) : lo_(v), likely_(v), hi_(v) {}
+
+  /// Full triplet; requires lo <= likely <= hi.
+  StatVal(double lo, double likely, double hi) : lo_(lo), likely_(likely), hi_(hi) {
+    CHOP_REQUIRE(lo <= likely && likely <= hi,
+                 "StatVal requires lo <= likely <= hi");
+  }
+
+  constexpr double lo() const { return lo_; }
+  constexpr double likely() const { return likely_; }
+  constexpr double hi() const { return hi_; }
+
+  /// True when the triplet carries no uncertainty.
+  constexpr bool exact() const { return lo_ == hi_; }
+
+  /// Mean of the triangular distribution, (lo + likely + hi) / 3.
+  constexpr double mean() const { return (lo_ + likely_ + hi_) / 3.0; }
+
+  /// Half-width of the support; a crude spread measure used in reports.
+  constexpr double spread() const { return (hi_ - lo_) / 2.0; }
+
+  /// P(X <= x) under the triangular(lo, likely, hi) distribution.
+  double cdf(double x) const;
+
+  /// True when P(X <= limit) >= prob. `prob` in [0, 1]; prob == 1 demands
+  /// hi <= limit (the paper's "probability of 100%").
+  bool satisfies(double limit, double prob) const;
+
+  /// Componentwise sum.
+  StatVal operator+(const StatVal& o) const {
+    return StatVal(lo_ + o.lo_, likely_ + o.likely_, hi_ + o.hi_);
+  }
+  StatVal& operator+=(const StatVal& o) { return *this = *this + o; }
+
+  /// Componentwise difference of bounds is NOT meaningful for triangular
+  /// distributions in general; we only need subtraction of exact values.
+  StatVal operator-(double v) const {
+    return StatVal(lo_ - v, likely_ - v, hi_ - v);
+  }
+
+  /// Scaling by a nonnegative factor.
+  StatVal operator*(double k) const {
+    CHOP_REQUIRE(k >= 0.0, "StatVal scaling requires a nonnegative factor");
+    return StatVal(lo_ * k, likely_ * k, hi_ * k);
+  }
+
+  /// Componentwise max — an upper-bound combinator for parallel paths.
+  static StatVal max(const StatVal& a, const StatVal& b);
+
+  friend bool operator==(const StatVal& a, const StatVal& b) {
+    return a.lo_ == b.lo_ && a.likely_ == b.likely_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  double lo_ = 0.0;
+  double likely_ = 0.0;
+  double hi_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const StatVal& v);
+
+}  // namespace chop

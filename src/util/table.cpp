@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace chop {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHOP_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  CHOP_REQUIRE(cells.size() == header_.size(),
+               "table row arity differs from header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_cell(double v) {
+  // Integers print without a fractional part; otherwise two decimals.
+  if (std::abs(v - std::llround(v)) < 1e-9 && std::abs(v) < 1e15) {
+    return std::to_string(std::llround(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string TablePrinter::to_cell(long long v) { return std::to_string(v); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule.emplace_back(width[c], '-');
+  }
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace chop

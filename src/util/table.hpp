@@ -1,0 +1,56 @@
+// Paper-style ASCII table printing for the benchmark harnesses.
+//
+// Each bench binary regenerates one table of the paper; TablePrinter takes
+// care of column alignment so the printed rows can be compared side by side
+// with the published tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chop {
+
+/// Accumulates rows of string cells and prints them with aligned columns and
+/// a header rule, e.g.
+///
+///   Partition  Package  H  CPU(ms)  Trials  Feasible  II  Delay  Clock(ns)
+///   ---------  -------  -  -------  ------  --------  --  -----  ---------
+///   1          2        E  0.4      5       1         60  67     312
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each element with operator<< semantics.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Number of data rows accumulated so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(long long v);
+  static std::string to_cell(int v) { return to_cell(static_cast<long long>(v)); }
+  static std::string to_cell(long v) { return to_cell(static_cast<long long>(v)); }
+  static std::string to_cell(unsigned v) { return to_cell(static_cast<long long>(v)); }
+  static std::string to_cell(std::size_t v) {
+    return to_cell(static_cast<long long>(v));
+  }
+  static std::string to_cell(char c) { return std::string(1, c); }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chop

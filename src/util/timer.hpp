@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used to report the "CPU Time" columns of Tables 4
+// and 6. The paper reports Solbourne CPU seconds; we report host
+// milliseconds and, in EXPERIMENTS.md, only compare *ratios* between runs.
+#pragma once
+
+#include <chrono>
+
+namespace chop {
+
+/// Steady-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time in milliseconds.
+  double elapsed_ms() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace chop

@@ -1,0 +1,30 @@
+// Unit conventions used throughout the reproduction.
+//
+// The paper's experiments use a 3-micron library with areas in square mils
+// and delays in nanoseconds; performance (initiation interval) and system
+// delay are reported in main-clock cycles, while the performance/delay
+// *constraints* are absolute nanosecond budgets. We keep all of these as
+// distinct aliases so signatures document which unit they expect.
+#pragma once
+
+#include <cstdint>
+
+namespace chop {
+
+/// Silicon area in square mils (the paper's Table 1/Table 2 unit).
+using AreaMil2 = double;
+
+/// Time in nanoseconds.
+using Ns = double;
+
+/// A count of clock cycles (main-clock cycles unless a signature says
+/// otherwise). Signed so arithmetic on differences is safe.
+using Cycles = std::int64_t;
+
+/// Data width / amount of data in bits.
+using Bits = std::int64_t;
+
+/// Pin counts.
+using Pins = int;
+
+}  // namespace chop

@@ -1,0 +1,126 @@
+// Tests for ASAP/ALAP level analysis, mobility and critical path.
+#include "dfg/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfg/benchmarks.hpp"
+
+namespace chop::dfg {
+namespace {
+
+// a chain: in -> add -> mul -> add -> out
+Graph chain() {
+  Graph g("chain");
+  const NodeId in = g.add_input("in", 16);
+  const NodeId a1 = g.add_op(OpKind::Add, 16, {in, in}, "a1");
+  const NodeId m = g.add_op(OpKind::Mul, 16, {a1, a1}, "m");
+  const NodeId a2 = g.add_op(OpKind::Add, 16, {m, in}, "a2");
+  g.add_output("y", a2);
+  return g;
+}
+
+TEST(Analysis, UnitLatenciesMarkOnlyFunctionalUnits) {
+  Graph g = chain();
+  const auto lat = unit_latencies(g);
+  int ones = 0;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (lat[i] == 1) {
+      ++ones;
+      EXPECT_TRUE(needs_functional_unit(g.node(static_cast<NodeId>(i)).kind));
+    } else {
+      EXPECT_EQ(lat[i], 0);
+    }
+  }
+  EXPECT_EQ(ones, 3);
+}
+
+TEST(Analysis, ChainCriticalPath) {
+  Graph g = chain();
+  EXPECT_EQ(operation_depth(g), 3);
+}
+
+TEST(Analysis, AsapBeforeAlap) {
+  Graph g = chain();
+  const auto lat = unit_latencies(g);
+  const Levels lv = compute_levels(g, lat);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_LE(lv.asap[i], lv.alap[i]) << "node " << i;
+    EXPECT_GE(lv.mobility(static_cast<NodeId>(i)), 0);
+  }
+}
+
+TEST(Analysis, CriticalChainHasZeroMobility) {
+  Graph g = chain();
+  const auto lat = unit_latencies(g);
+  const Levels lv = compute_levels(g, lat);
+  // All three ops form the only chain: zero mobility everywhere.
+  for (NodeId id : g.nodes_of_kind(OpKind::Add)) {
+    EXPECT_EQ(lv.mobility(id), 0);
+  }
+  for (NodeId id : g.nodes_of_kind(OpKind::Mul)) {
+    EXPECT_EQ(lv.mobility(id), 0);
+  }
+}
+
+TEST(Analysis, OffCriticalOpHasMobility) {
+  Graph g("fork");
+  const NodeId in = g.add_input("in", 16);
+  const NodeId a = g.add_op(OpKind::Add, 16, {in, in}, "a");
+  const NodeId b = g.add_op(OpKind::Mul, 16, {a, a}, "b");
+  const NodeId c = g.add_op(OpKind::Add, 16, {b, a}, "c");
+  const NodeId side = g.add_op(OpKind::Add, 16, {in, in}, "side");
+  const NodeId d = g.add_op(OpKind::Add, 16, {c, side}, "d");
+  g.add_output("y", d);
+  const auto lat = unit_latencies(g);
+  const Levels lv = compute_levels(g, lat);
+  EXPECT_EQ(lv.length, 4);
+  EXPECT_GT(lv.mobility(side), 0);
+  EXPECT_EQ(lv.mobility(a), 0);
+}
+
+TEST(Analysis, MultiCycleLatenciesStretchThePath) {
+  Graph g = chain();
+  std::vector<Cycles> lat(g.node_count(), 0);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const OpKind k = g.node(static_cast<NodeId>(i)).kind;
+    if (k == OpKind::Mul) lat[i] = 10;
+    if (k == OpKind::Add) lat[i] = 1;
+  }
+  EXPECT_EQ(critical_path(g, lat), 12);
+}
+
+TEST(Analysis, RejectsWrongLatencySize) {
+  Graph g = chain();
+  std::vector<Cycles> lat(g.node_count() - 1, 1);
+  EXPECT_THROW(compute_levels(g, lat), Error);
+}
+
+TEST(Analysis, ArLatticeDepthIsEight) {
+  const BenchmarkGraph ar = ar_lattice_filter();
+  EXPECT_EQ(operation_depth(ar.graph), 8);
+}
+
+TEST(Analysis, Fir16DepthIsFive) {
+  const BenchmarkGraph fir = fir16();
+  EXPECT_EQ(operation_depth(fir.graph), 5);
+}
+
+TEST(Analysis, AlapEqualsAsapOnPureChain) {
+  // For a pure chain every node is critical: asap == alap.
+  Graph g("pure");
+  NodeId prev = g.add_input("in", 16);
+  for (int i = 0; i < 6; ++i) {
+    prev = g.add_op(i % 2 ? OpKind::Add : OpKind::Mul, 16, {prev, prev});
+  }
+  g.add_output("y", prev);
+  const auto lat = unit_latencies(g);
+  const Levels lv = compute_levels(g, lat);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    if (needs_functional_unit(g.node(static_cast<NodeId>(i)).kind)) {
+      EXPECT_EQ(lv.asap[i], lv.alap[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chop::dfg

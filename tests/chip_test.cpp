@@ -1,0 +1,85 @@
+// Tests for chip packages (Table 2) and the memory subsystem model.
+#include <gtest/gtest.h>
+
+#include "chip/memory.hpp"
+#include "chip/mosis_packages.hpp"
+
+namespace chop::chip {
+namespace {
+
+TEST(MosisPackages, MatchTable2) {
+  const ChipPackage p64 = mosis_package_64();
+  const ChipPackage p84 = mosis_package_84();
+  EXPECT_EQ(p64.pin_count, 64);
+  EXPECT_EQ(p84.pin_count, 84);
+  for (const ChipPackage* p : {&p64, &p84}) {
+    EXPECT_DOUBLE_EQ(p->width_mil, 311.02);
+    EXPECT_DOUBLE_EQ(p->height_mil, 362.20);
+    EXPECT_DOUBLE_EQ(p->pad_delay, 25.0);
+    EXPECT_DOUBLE_EQ(p->io_pad_area, 297.60);
+  }
+}
+
+TEST(ChipPackage, ProjectAndUsableArea) {
+  const ChipPackage p = mosis_package_84();
+  EXPECT_NEAR(p.project_area(), 311.02 * 362.20, 1e-9);
+  EXPECT_NEAR(p.usable_area(), p.project_area() - 84 * 297.60, 1e-9);
+  EXPECT_GT(p.usable_area(), 0.0);
+}
+
+TEST(ChipPackage, SignalPinsExcludeInfrastructure) {
+  ChipPackage p = mosis_package_64();
+  EXPECT_EQ(p.signal_pins(), 64 - p.infrastructure_pins);
+}
+
+TEST(ChipPackage, ValidateCatchesNonsense) {
+  ChipPackage p = mosis_package_64();
+  p.pin_count = 0;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = mosis_package_64();
+  p.width_mil = -1;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = mosis_package_64();
+  p.infrastructure_pins = 64;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = mosis_package_64();
+  p.io_pad_area = 1e9;  // pads eat the whole die
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(MemoryModule, Validate) {
+  MemoryModule m;
+  m.name = "M_A";
+  EXPECT_NO_THROW(m.validate());
+  m.word_bits = 0;
+  EXPECT_THROW(m.validate(), Error);
+  m.word_bits = 16;
+  m.ports = 0;
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(MemorySubsystem, PlacementLookup) {
+  MemorySubsystem mem;
+  mem.blocks.push_back({"M_A", 16, 256, 1, 80.0, 5000.0, 3});
+  mem.blocks.push_back({"M_B", 32, 128, 2, 60.0, 8000.0, 3});
+  mem.chip_of_block = {1, kOffTheShelfChip};
+  EXPECT_NO_THROW(mem.validate(2));
+  EXPECT_EQ(mem.placement(0), 1);
+  EXPECT_EQ(mem.placement(1), kOffTheShelfChip);
+  EXPECT_THROW(mem.placement(5), Error);
+}
+
+TEST(MemorySubsystem, ValidateCatchesBadPlacement) {
+  MemorySubsystem mem;
+  mem.blocks.push_back({"M_A", 16, 256, 1, 80.0, 5000.0, 3});
+  mem.chip_of_block = {7};
+  EXPECT_THROW(mem.validate(2), Error);
+  mem.chip_of_block = {};
+  EXPECT_THROW(mem.validate(2), Error);
+}
+
+}  // namespace
+}  // namespace chop::chip

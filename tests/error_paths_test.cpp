@@ -1,0 +1,144 @@
+// Failure-injection tests: the error paths a designer actually hits —
+// exhausted pin budgets, unwritable outputs, hopeless constraint sets —
+// must fail loudly and informatively, never crash or mislead.
+#include <gtest/gtest.h>
+
+#include "chip/mosis_packages.hpp"
+#include "core/memory_optimizer.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+#include "util/csv.hpp"
+
+namespace chop {
+namespace {
+
+const lib::ComponentLibrary& library() {
+  static const lib::ComponentLibrary lib = lib::dac91_experiment_library();
+  return lib;
+}
+
+TEST(ErrorPaths, ControlReservationsCanExhaustPins) {
+  // A 64-pin package serving many remotely-accessed memory blocks runs
+  // out of data pins entirely; integration must name the chip.
+  const dfg::BenchmarkGraph arm = dfg::ar_lattice_filter_with_memory();
+  chip::MemorySubsystem memory;
+  // Two blocks with absurd per-accessor control pin counts.
+  memory.blocks.push_back({"coeff", 16, 64, 1, 300.0, 100.0, 30});
+  memory.blocks.push_back({"spill", 16, 64, 1, 300.0, 100.0, 30});
+  memory.chip_of_block = {chip::kOffTheShelfChip, chip::kOffTheShelfChip};
+  core::Partitioning pt(arm.graph, {{"tiny", chip::mosis_package_64()}},
+                        memory);
+  pt.add_partition("P1", arm.all_operations(), 0);
+  pt.validate();
+  const auto transfers = core::create_transfer_tasks(pt);
+
+  bad::DesignPrediction pred;
+  pred.style = bad::DesignStyle::Nonpipelined;
+  pred.ii_main = pred.ii_dp = pred.stages = pred.latency_main = 40;
+  pred.total_area = StatVal(1000.0);
+  pred.power_mw = StatVal(1.0);
+  const core::IntegrationResult r = core::integrate(
+      pt, {&pred}, transfers, {300.0, 10, 1}, {60000.0, 60000.0}, {}, 40);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.reason.find("no data pins"), std::string::npos);
+  EXPECT_NE(r.reason.find("tiny"), std::string::npos);
+}
+
+TEST(ErrorPaths, ScanPinsCanExhaustPinsToo) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  core::Partitioning pt(ar.graph, {{"c0", chip::mosis_package_64()}});
+  pt.add_partition("P1", ar.all_operations(), 0);
+  pt.validate();
+  const auto transfers = core::create_transfer_tasks(pt);
+  bad::DesignPrediction pred;
+  pred.style = bad::DesignStyle::Nonpipelined;
+  pred.ii_main = pred.ii_dp = pred.stages = pred.latency_main = 80;
+  pred.total_area = StatVal(1000.0);
+  pred.power_mw = StatVal(1.0);
+  // 60 reserved test pins on a 64-pin package: nothing left for data.
+  const core::IntegrationResult r = core::integrate(
+      pt, {&pred}, transfers, {300.0, 10, 1}, {60000.0, 60000.0}, {}, 80,
+      /*extra_reserved_pins_per_chip=*/60);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_THROW(
+      core::integrate(pt, {&pred}, transfers, {300.0, 10, 1},
+                      {60000.0, 60000.0}, {}, 80, -1),
+      Error);
+}
+
+TEST(ErrorPaths, HopelessConstraintsReportCleanly) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  core::Partitioning pt(ar.graph, {{"c0", chip::mosis_package_84()}});
+  pt.add_partition("P1", ar.all_operations(), 0);
+  core::ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = {301.0, 301.0};  // one cycle for 28 operations
+  core::ChopSession session(library(), std::move(pt), config);
+  const core::PredictionStats stats = session.predict_partitions();
+  EXPECT_EQ(stats.feasible, 0u);
+  for (core::Heuristic h :
+       {core::Heuristic::Enumeration, core::Heuristic::Iterative}) {
+    core::SearchOptions options;
+    options.heuristic = h;
+    const core::SearchResult r = session.search(options);
+    EXPECT_TRUE(r.designs.empty());
+    EXPECT_FALSE(r.truncated);
+  }
+}
+
+TEST(ErrorPaths, MemoryOptimizerSurvivesAllInfeasible) {
+  // Every placement infeasible: the optimizer must still terminate,
+  // report the best gradient, and leave the session consistent.
+  const dfg::BenchmarkGraph arm = dfg::ar_lattice_filter_with_memory();
+  chip::MemorySubsystem memory;
+  memory.blocks.push_back({"coeff", 16, 64, 1, 300.0, 4000.0, 3});
+  memory.blocks.push_back({"spill", 16, 64, 1, 300.0, 4000.0, 3});
+  memory.chip_of_block = {chip::kOffTheShelfChip, chip::kOffTheShelfChip};
+  core::Partitioning pt(arm.graph, {{"c0", chip::mosis_package_84()}},
+                        memory);
+  pt.add_partition("P1", arm.all_operations(), 0);
+  core::ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = {500.0, 500.0};  // hopeless
+  core::ChopSession session(library(), std::move(pt), config);
+  const core::MemoryPlacementResult r =
+      core::optimize_memory_placement(session);
+  EXPECT_EQ(r.evaluated, 4u);  // (one chip + off-the-shelf)^2 blocks
+  EXPECT_TRUE(r.search.designs.empty());
+  EXPECT_NO_THROW(session.search({}));
+}
+
+TEST(ErrorPaths, CsvWriterRejectsUnwritablePath) {
+  CsvWriter csv({"a"});
+  csv.add_row({"1"});
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/out.csv"), Error);
+}
+
+TEST(ErrorPaths, SelectionPointerValidation) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  core::Partitioning pt(ar.graph, {{"c0", chip::mosis_package_84()}});
+  pt.add_partition("P1", ar.all_operations(), 0);
+  pt.validate();
+  const auto transfers = core::create_transfer_tasks(pt);
+  EXPECT_THROW(core::integrate(pt, {nullptr}, transfers, {300.0, 10, 1},
+                               {30000.0, 30000.0}, {}, 30),
+               Error);
+}
+
+TEST(ErrorPaths, BadProbabilitiesRejectedEverywhere) {
+  core::FeasibilityCriteria criteria;
+  criteria.delay_prob = 0.0;
+  EXPECT_THROW(criteria.validate(), Error);
+  criteria = {};
+  criteria.power_prob = 1.5;
+  EXPECT_THROW(criteria.validate(), Error);
+  core::DesignConstraints constraints;
+  constraints.system_power_mw = -1.0;
+  EXPECT_THROW(constraints.validate(), Error);
+}
+
+}  // namespace
+}  // namespace chop

@@ -1,0 +1,227 @@
+// Tests for the paper's §5 extensions implemented in this reproduction:
+// power consumption prediction/constraints and scan-testability overhead.
+#include <gtest/gtest.h>
+
+#include "bad/power_model.hpp"
+#include "bad/predictor.hpp"
+#include "chip/mosis_packages.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+
+namespace chop {
+namespace {
+
+using dfg::OpKind;
+
+// ---- power model units ----
+
+TEST(PowerModel, AreaDerivedModulePower) {
+  lib::TechnologyParams tech;
+  lib::ModuleSpec measured{"m", OpKind::Mul, 16, 10000.0, 100.0, 42.0};
+  lib::ModuleSpec derived{"d", OpKind::Mul, 16, 10000.0, 100.0, 0.0};
+  EXPECT_DOUBLE_EQ(bad::module_active_power_mw(measured, tech), 42.0);
+  EXPECT_DOUBLE_EQ(bad::module_active_power_mw(derived, tech),
+                   10000.0 * tech.power_per_area_mw);
+}
+
+TEST(PowerModel, BusyCyclesByKind) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  std::vector<Cycles> lat(ar.graph.node_count(), 0);
+  for (std::size_t i = 0; i < ar.graph.node_count(); ++i) {
+    const dfg::Node& n = ar.graph.node(static_cast<dfg::NodeId>(i));
+    if (n.kind == OpKind::Mul) lat[i] = 10;
+    if (n.kind == OpKind::Add) lat[i] = 1;
+  }
+  const auto busy = bad::busy_cycles_by_kind(ar.graph, lat);
+  EXPECT_EQ(busy.at(OpKind::Mul), 160);
+  EXPECT_EQ(busy.at(OpKind::Add), 12);
+}
+
+TEST(PowerModel, HigherUtilizationMorePower) {
+  const lib::ComponentLibrary library = lib::dac91_experiment_library();
+  lib::TechnologyParams tech;
+  lib::ModuleSet set;
+  set.choose(OpKind::Mul, library.modules_for(OpKind::Mul)[1]);
+  std::map<OpKind, int> alloc{{OpKind::Mul, 2}};
+  std::map<OpKind, Cycles> busy{{OpKind::Mul, 16}};
+  // Same hardware, tighter II -> higher utilization -> more power.
+  const StatVal tight = bad::estimate_datapath_power(set, alloc, busy, 8,
+                                                     1000.0, tech);
+  const StatVal loose = bad::estimate_datapath_power(set, alloc, busy, 32,
+                                                     1000.0, tech);
+  EXPECT_GT(tight.likely(), loose.likely());
+  // Idle floor: even a fully idle pool draws the idle fraction.
+  const StatVal idle = bad::estimate_datapath_power(set, alloc, {}, 32,
+                                                    0.0, tech);
+  EXPECT_GT(idle.likely(), 0.0);
+}
+
+TEST(PowerModel, TransferPowerScalesWithDuty) {
+  lib::TechnologyParams tech;
+  const StatVal busy = bad::estimate_transfer_power(32, 10, 20, 500.0, tech);
+  const StatVal rare = bad::estimate_transfer_power(32, 1, 20, 500.0, tech);
+  EXPECT_GT(busy.likely(), rare.likely());
+  EXPECT_THROW(bad::estimate_transfer_power(32, 1, 0, 0.0, tech), Error);
+}
+
+// ---- power through the whole stack ----
+
+core::ChopSession ar_session(int nparts, core::DesignConstraints constraints,
+                             bad::TestabilityOptions testability = {}) {
+  static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  static const lib::ComponentLibrary library = lib::dac91_experiment_library();
+  std::vector<chip::ChipInstance> chips;
+  for (int c = 0; c < nparts; ++c) {
+    chips.push_back({"chip" + std::to_string(c), chip::mosis_package_84()});
+  }
+  core::Partitioning pt(ar.graph, std::move(chips));
+  const auto cuts =
+      nparts == 1
+          ? std::vector<std::vector<dfg::NodeId>>{ar.all_operations()}
+          : dfg::ar_two_way_cut(ar);
+  for (int p = 0; p < nparts; ++p) {
+    pt.add_partition("P" + std::to_string(p + 1),
+                     cuts[static_cast<std::size_t>(p)], p);
+  }
+  core::ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = constraints;
+  config.testability = testability;
+  return core::ChopSession(library, std::move(pt), config);
+}
+
+TEST(PowerExtension, PredictionsCarryPower) {
+  core::ChopSession session = ar_session(1, {30000.0, 30000.0});
+  session.predict_partitions();
+  for (const auto& p : session.predictions().raw[0]) {
+    EXPECT_GT(p.power_mw.likely(), 0.0);
+    EXPECT_LE(p.power_mw.lo(), p.power_mw.likely());
+  }
+}
+
+TEST(PowerExtension, IntegrationAccumulatesChipPower) {
+  core::ChopSession session = ar_session(2, {30000.0, 30000.0});
+  session.predict_partitions();
+  const core::SearchResult r = session.search({});
+  ASSERT_FALSE(r.designs.empty());
+  const auto& d = r.designs.front().integration;
+  ASSERT_EQ(d.chip_power_mw.size(), 2u);
+  EXPECT_GT(d.chip_power_mw[0].likely(), 0.0);
+  EXPECT_GT(d.chip_power_mw[1].likely(), 0.0);
+  EXPECT_NEAR(d.system_power_mw.likely(),
+              d.chip_power_mw[0].likely() + d.chip_power_mw[1].likely(),
+              1e-9);
+}
+
+TEST(PowerExtension, UnconstrainedByDefault) {
+  // Zero budgets must behave exactly like the paper's baseline.
+  core::ChopSession session = ar_session(2, {30000.0, 30000.0});
+  session.predict_partitions();
+  EXPECT_FALSE(session.config().constraints.power_constrained());
+  EXPECT_FALSE(session.search({}).designs.empty());
+}
+
+TEST(PowerExtension, TightBudgetKillsFeasibility) {
+  core::DesignConstraints constraints{30000.0, 30000.0};
+  constraints.system_power_mw = 1.0;  // absurd: ~1 mW for 28 operations
+  core::ChopSession session = ar_session(2, constraints);
+  const core::PredictionStats stats = session.predict_partitions();
+  EXPECT_EQ(stats.feasible, 0u);  // level-1 power pruning
+  EXPECT_TRUE(session.search({}).designs.empty());
+}
+
+TEST(PowerExtension, ChipBudgetSelectsSerialDesigns) {
+  // Find an intermediate chip power budget: feasible, but only with a
+  // more serial (lower-power) implementation than the unconstrained best.
+  core::ChopSession free_session = ar_session(2, {30000.0, 30000.0});
+  free_session.predict_partitions();
+  const core::SearchResult free_result = free_session.search({});
+  ASSERT_FALSE(free_result.designs.empty());
+  const double free_power =
+      free_result.designs.front().integration.system_power_mw.likely();
+
+  core::DesignConstraints constrained{30000.0, 30000.0};
+  constrained.system_power_mw = free_power * 0.85;
+  core::ChopSession tight = ar_session(2, constrained);
+  tight.predict_partitions();
+  const core::SearchResult tight_result = tight.search({});
+  if (!tight_result.designs.empty()) {
+    const auto& d = tight_result.designs.front().integration;
+    EXPECT_LE(d.system_power_mw.likely(), free_power);
+    EXPECT_GE(d.ii_main, free_result.designs.front().integration.ii_main);
+  }
+}
+
+// ---- testability extension ----
+
+TEST(TestabilityExtension, ValidatesOptions) {
+  bad::TestabilityOptions bad_opts;
+  bad_opts.register_area_factor = 0.5;
+  EXPECT_THROW(bad_opts.validate(), Error);
+  bad_opts = {};
+  bad_opts.test_pins_per_chip = -1;
+  EXPECT_THROW(bad_opts.validate(), Error);
+}
+
+TEST(TestabilityExtension, ScanGrowsAreaAndOverhead) {
+  core::ChopSession plain = ar_session(1, {30000.0, 30000.0});
+  plain.predict_partitions();
+  bad::TestabilityOptions scan;
+  scan.scan_design = true;
+  core::ChopSession tested = ar_session(1, {30000.0, 30000.0}, scan);
+  tested.predict_partitions();
+
+  const auto& p0 = plain.predictions().raw[0];
+  const auto& p1 = tested.predictions().raw[0];
+  ASSERT_EQ(p0.size(), p1.size());
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    EXPECT_GT(p1[i].register_area.likely(), p0[i].register_area.likely());
+    EXPECT_GT(p1[i].controller_area.likely(), p0[i].controller_area.likely());
+    EXPECT_GT(p1[i].total_area.likely(), p0[i].total_area.likely());
+    EXPECT_GT(p1[i].clock_overhead_ns, p0[i].clock_overhead_ns);
+  }
+}
+
+TEST(TestabilityExtension, ScanCostsFeasibilityHeadroom) {
+  // Same constraints: the scan design has fewer (or equal) feasible
+  // predictions and an equal-or-worse best II.
+  core::ChopSession plain = ar_session(2, {30000.0, 30000.0});
+  const core::PredictionStats sp = plain.predict_partitions();
+  bad::TestabilityOptions scan;
+  scan.scan_design = true;
+  core::ChopSession tested = ar_session(2, {30000.0, 30000.0}, scan);
+  const core::PredictionStats st = tested.predict_partitions();
+  EXPECT_LE(st.feasible, sp.feasible);
+
+  const core::SearchResult rp = plain.search({});
+  const core::SearchResult rt = tested.search({});
+  ASSERT_FALSE(rp.designs.empty());
+  if (!rt.designs.empty()) {
+    EXPECT_GE(rt.designs.front().integration.ii_main,
+              rp.designs.front().integration.ii_main);
+    EXPECT_GE(rt.designs.front().integration.clock_ns(),
+              rp.designs.front().integration.clock_ns());
+  }
+}
+
+TEST(TestabilityExtension, TestPinsShrinkBandwidth) {
+  // Reserving scan pins lengthens (or keeps) transfers: compare delays.
+  bad::TestabilityOptions scan;
+  scan.scan_design = true;
+  scan.test_pins_per_chip = 40;  // exaggerate so the effect must show
+  core::ChopSession plain = ar_session(2, {30000.0, 60000.0});
+  plain.predict_partitions();
+  core::ChopSession tested = ar_session(2, {30000.0, 60000.0}, scan);
+  tested.predict_partitions();
+  const core::SearchResult rp = plain.search({});
+  const core::SearchResult rt = tested.search({});
+  ASSERT_FALSE(rp.designs.empty());
+  ASSERT_FALSE(rt.designs.empty());
+  EXPECT_GE(rt.designs.front().integration.system_delay_main,
+            rp.designs.front().integration.system_delay_main);
+}
+
+}  // namespace
+}  // namespace chop

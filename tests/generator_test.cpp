@@ -1,0 +1,108 @@
+// Property tests for the random DAG generator: every generated graph must
+// be a valid CHOP workload with the requested shape, deterministically.
+#include "dfg/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hpp"
+
+namespace chop::dfg {
+namespace {
+
+TEST(RandomDag, MatchesRequestedOperationCount) {
+  Rng rng(42);
+  RandomDagSpec spec;
+  spec.operations = 30;
+  spec.depth = 5;
+  const BenchmarkGraph bg = random_dag(rng, spec);
+  EXPECT_EQ(bg.graph.operation_count(), 30u);
+}
+
+TEST(RandomDag, RealizesRequestedDepth) {
+  Rng rng(42);
+  RandomDagSpec spec;
+  spec.operations = 24;
+  spec.depth = 6;
+  const BenchmarkGraph bg = random_dag(rng, spec);
+  EXPECT_EQ(operation_depth(bg.graph), 6);
+  EXPECT_EQ(bg.layers.size(), 6u);
+}
+
+TEST(RandomDag, DeterministicForSeed) {
+  RandomDagSpec spec;
+  spec.operations = 20;
+  spec.depth = 4;
+  Rng a(7), b(7);
+  const BenchmarkGraph ga = random_dag(a, spec);
+  const BenchmarkGraph gb = random_dag(b, spec);
+  ASSERT_EQ(ga.graph.node_count(), gb.graph.node_count());
+  for (std::size_t i = 0; i < ga.graph.node_count(); ++i) {
+    EXPECT_EQ(ga.graph.node(static_cast<NodeId>(i)).kind,
+              gb.graph.node(static_cast<NodeId>(i)).kind);
+  }
+}
+
+TEST(RandomDag, MulFractionExtremes) {
+  Rng rng(9);
+  RandomDagSpec spec;
+  spec.operations = 40;
+  spec.depth = 4;
+  spec.mul_fraction = 0.0;
+  EXPECT_EQ(random_dag(rng, spec).graph.count_of_kind(OpKind::Mul), 0u);
+  spec.mul_fraction = 1.0;
+  EXPECT_EQ(random_dag(rng, spec).graph.count_of_kind(OpKind::Add), 0u);
+}
+
+TEST(RandomDag, RejectsBadSpecs) {
+  Rng rng(1);
+  RandomDagSpec spec;
+  spec.operations = 0;
+  EXPECT_THROW(random_dag(rng, spec), Error);
+  spec.operations = 4;
+  spec.depth = 9;
+  EXPECT_THROW(random_dag(rng, spec), Error);
+  spec.depth = 2;
+  spec.mul_fraction = 1.5;
+  EXPECT_THROW(random_dag(rng, spec), Error);
+}
+
+struct DagSweep {
+  int operations;
+  int depth;
+  double mul_fraction;
+  std::uint64_t seed;
+};
+
+class RandomDagProperty : public ::testing::TestWithParam<DagSweep> {};
+
+TEST_P(RandomDagProperty, AlwaysValidWithRequestedShape) {
+  const DagSweep& p = GetParam();
+  Rng rng(p.seed);
+  RandomDagSpec spec;
+  spec.operations = p.operations;
+  spec.depth = p.depth;
+  spec.mul_fraction = p.mul_fraction;
+  const BenchmarkGraph bg = random_dag(rng, spec);
+  EXPECT_NO_THROW(bg.graph.validate());
+  EXPECT_EQ(bg.graph.operation_count(),
+            static_cast<std::size_t>(p.operations));
+  EXPECT_EQ(operation_depth(bg.graph), p.depth);
+  // Every op has exactly two operands and every sink is exposed.
+  for (std::size_t i = 0; i < bg.graph.node_count(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (needs_functional_unit(bg.graph.node(id).kind)) {
+      EXPECT_EQ(bg.graph.fanin(id).size(), 2u);
+      EXPECT_FALSE(bg.graph.fanout(id).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDagProperty,
+    ::testing::Values(DagSweep{4, 1, 0.5, 1}, DagSweep{8, 2, 0.3, 2},
+                      DagSweep{16, 4, 0.5, 3}, DagSweep{24, 6, 0.4, 4},
+                      DagSweep{40, 8, 0.6, 5}, DagSweep{64, 4, 0.2, 6},
+                      DagSweep{100, 10, 0.5, 7}, DagSweep{5, 5, 0.9, 8}));
+
+}  // namespace
+}  // namespace chop::dfg

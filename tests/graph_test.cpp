@@ -1,0 +1,180 @@
+// Tests for the behavioral data flow graph IR: builders, structural
+// validation, topological ordering, and the constant-input semantics.
+#include "dfg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace chop::dfg {
+namespace {
+
+Graph small_graph() {
+  Graph g("small");
+  const NodeId a = g.add_input("a", 16);
+  const NodeId b = g.add_input("b", 16);
+  const NodeId m = g.add_op(OpKind::Mul, 16, {a, b}, "m");
+  const NodeId s = g.add_op(OpKind::Add, 16, {m, a}, "s");
+  g.add_output("y", s);
+  return g;
+}
+
+TEST(Graph, BuildsAndValidates) {
+  Graph g = small_graph();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 5u);
+}
+
+TEST(Graph, CountsByKind) {
+  Graph g = small_graph();
+  EXPECT_EQ(g.count_of_kind(OpKind::Input), 2u);
+  EXPECT_EQ(g.count_of_kind(OpKind::Mul), 1u);
+  EXPECT_EQ(g.count_of_kind(OpKind::Add), 1u);
+  EXPECT_EQ(g.count_of_kind(OpKind::Output), 1u);
+  EXPECT_EQ(g.operation_count(), 2u);
+}
+
+TEST(Graph, NodesOfKind) {
+  Graph g = small_graph();
+  const auto muls = g.nodes_of_kind(OpKind::Mul);
+  ASSERT_EQ(muls.size(), 1u);
+  EXPECT_EQ(g.node(muls[0]).name, "m");
+}
+
+TEST(Graph, EdgesCarrySourceWidth) {
+  Graph g("w");
+  const NodeId a = g.add_input("a", 8);
+  const NodeId b = g.add_input("b", 8);
+  const NodeId m = g.add_op(OpKind::Mul, 24, {a, b});
+  g.add_output("y", m);
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    EXPECT_EQ(edge.width, g.node(edge.src).width);
+  }
+}
+
+TEST(Graph, FaninPreservesOperandOrder) {
+  Graph g("ops");
+  const NodeId a = g.add_input("a", 16);
+  const NodeId b = g.add_input("b", 16);
+  const NodeId s = g.add_op(OpKind::Sub, 16, {b, a});
+  const auto& fanin = g.fanin(s);
+  ASSERT_EQ(fanin.size(), 2u);
+  EXPECT_EQ(g.edge(fanin[0]).src, b);
+  EXPECT_EQ(g.edge(fanin[1]).src, a);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  Graph g = small_graph();
+  const auto order = g.topological_order();
+  std::vector<int> pos(g.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    EXPECT_LT(pos[static_cast<std::size_t>(edge.src)],
+              pos[static_cast<std::size_t>(edge.dst)]);
+  }
+}
+
+TEST(Graph, ConstantInputsFlagged) {
+  Graph g("c");
+  const NodeId k = g.add_constant_input("k", 16);
+  const NodeId x = g.add_input("x", 16);
+  EXPECT_TRUE(g.node(k).constant);
+  EXPECT_FALSE(g.node(x).constant);
+}
+
+TEST(Graph, TotalInputBitsExcludesConstants) {
+  Graph g("c");
+  const NodeId k = g.add_constant_input("k", 16);
+  const NodeId x = g.add_input("x", 16);
+  const NodeId m = g.add_op(OpKind::Mul, 16, {k, x});
+  g.add_output("y", m);
+  EXPECT_EQ(g.total_input_bits(), 16);
+  EXPECT_EQ(g.total_output_bits(), 16);
+}
+
+TEST(Graph, MemoryOpsRequireBlock) {
+  Graph g("m");
+  EXPECT_THROW(g.add_mem_read(-1, 16), Error);
+  const NodeId r = g.add_mem_read(0, 16, kNoNode, "rd");
+  EXPECT_EQ(g.node(r).memory_block, 0);
+  EXPECT_THROW(g.add_mem_write(-2, r), Error);
+}
+
+TEST(Graph, MemoryReadWithAddress) {
+  Graph g("m");
+  const NodeId a = g.add_input("addr", 8);
+  const NodeId r = g.add_mem_read(1, 16, a);
+  g.add_mem_write(2, r, a);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ValidateRejectsWrongArity) {
+  Graph g("bad");
+  const NodeId a = g.add_input("a", 16);
+  // add_op enforces >=1 operand, so build a unary Add via the API and
+  // expect validate to flag it.
+  g.add_op(OpKind::Add, 16, {a});
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Graph, ValidateRejectsUnaryMul) {
+  Graph g("bad");
+  const NodeId a = g.add_input("a", 16);
+  g.add_op(OpKind::Mul, 16, {a, a, a});
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Graph, SelectNeedsThreeOperands) {
+  Graph g("sel");
+  const NodeId c = g.add_input("c", 1);
+  const NodeId a = g.add_input("a", 16);
+  const NodeId b = g.add_input("b", 16);
+  const NodeId s = g.add_op(OpKind::Select, 16, {c, a, b});
+  g.add_output("y", s);
+  EXPECT_NO_THROW(g.validate());
+
+  Graph h("sel2");
+  const NodeId p = h.add_input("p", 16);
+  const NodeId q = h.add_input("q", 16);
+  h.add_op(OpKind::Select, 16, {p, q});
+  EXPECT_THROW(h.validate(), Error);
+}
+
+TEST(Graph, RejectsZeroWidth) {
+  Graph g("z");
+  EXPECT_THROW(g.add_input("a", 0), Error);
+  const NodeId a = g.add_input("a", 16);
+  EXPECT_THROW(g.add_op(OpKind::Add, 0, {a, a}), Error);
+}
+
+TEST(Graph, RejectsDedicatedKindsInAddOp) {
+  Graph g("k");
+  const NodeId a = g.add_input("a", 16);
+  EXPECT_THROW(g.add_op(OpKind::Input, 16, {a}), Error);
+  EXPECT_THROW(g.add_op(OpKind::MemRead, 16, {a}), Error);
+}
+
+TEST(Graph, NeedsFunctionalUnitClassification) {
+  EXPECT_TRUE(needs_functional_unit(OpKind::Add));
+  EXPECT_TRUE(needs_functional_unit(OpKind::Mul));
+  EXPECT_TRUE(needs_functional_unit(OpKind::Div));
+  EXPECT_TRUE(needs_functional_unit(OpKind::Compare));
+  EXPECT_FALSE(needs_functional_unit(OpKind::Input));
+  EXPECT_FALSE(needs_functional_unit(OpKind::Output));
+  EXPECT_FALSE(needs_functional_unit(OpKind::Select));
+  EXPECT_FALSE(needs_functional_unit(OpKind::MemRead));
+}
+
+TEST(Graph, KindNamesAreStable) {
+  EXPECT_EQ(to_string(OpKind::Add), "add");
+  EXPECT_EQ(to_string(OpKind::Mul), "mul");
+  EXPECT_EQ(to_string(OpKind::MemWrite), "mem_write");
+}
+
+}  // namespace
+}  // namespace chop::dfg

@@ -1,0 +1,271 @@
+// Tests for system-integration prediction (§2.5-§2.6): rate-mismatch rule,
+// pin bandwidth and the data-clash rule, buffer sizing, per-chip area
+// accumulation, clock adjustment and the probabilistic feasibility checks.
+#include "core/integration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/mosis_packages.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace chop::core {
+namespace {
+
+using bad::DesignPrediction;
+using bad::DesignStyle;
+
+std::vector<chip::ChipInstance> chips(int n, chip::ChipPackage pkg =
+                                                 chip::mosis_package_84()) {
+  std::vector<chip::ChipInstance> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({"c" + std::to_string(i), pkg});
+  }
+  return out;
+}
+
+/// Hand-built prediction with controlled characteristics.
+DesignPrediction pred(DesignStyle style, Cycles ii, Cycles latency,
+                      double area) {
+  DesignPrediction p;
+  p.style = style;
+  p.module_set_label = "test";
+  p.fu_alloc[dfg::OpKind::Mul] = 1;
+  p.stages = latency;
+  p.ii_dp = ii;
+  p.ii_main = ii;
+  p.latency_main = latency;
+  p.register_bits = 64;
+  p.total_area = StatVal(area * 0.9, area, area * 1.1);
+  p.clock_overhead_ns = 5.0;
+  return p;
+}
+
+struct Fixture {
+  dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  bad::ClockSpec clocks{300.0, 10, 1};
+  DesignConstraints constraints{30000.0, 30000.0};
+  FeasibilityCriteria criteria;
+};
+
+TEST(Integration, FeasibleTwoChipDesign) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(2));
+  const auto cuts = dfg::ar_two_way_cut(f.ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  pt.validate();
+  const auto transfers = create_transfer_tasks(pt);
+
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 30, 30, 40000.0);
+  const DesignPrediction b = pred(DesignStyle::Nonpipelined, 30, 30, 40000.0);
+  const IntegrationResult r =
+      integrate(pt, {&a, &b}, transfers, f.clocks, f.constraints, f.criteria,
+                30);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  EXPECT_EQ(r.ii_main, 30);
+  // System delay: both PUs plus the inter-chip and env transfers.
+  EXPECT_GT(r.system_delay_main, 60);
+  EXPECT_LT(r.system_delay_main, 90);
+  // Clock stretched by partition overhead plus pin-mux charge.
+  EXPECT_GT(r.clock_ns(), 300.0);
+  EXPECT_LT(r.clock_ns(), 330.0);
+  EXPECT_TRUE(r.violated_chips.empty());
+}
+
+TEST(Integration, RateMismatchRule) {
+  const DesignPrediction p40 = pred(DesignStyle::Pipelined, 40, 80, 1000.0);
+  const DesignPrediction p50 = pred(DesignStyle::Pipelined, 50, 80, 1000.0);
+  const DesignPrediction np60 =
+      pred(DesignStyle::Nonpipelined, 60, 60, 1000.0);
+  EXPECT_FALSE(rates_compatible({&p40, &p50}));
+  EXPECT_TRUE(rates_compatible({&p40, &p40}));
+  EXPECT_TRUE(rates_compatible({&p40, &np60}));
+  EXPECT_TRUE(rates_compatible({&np60, &np60}));
+}
+
+TEST(Integration, CombinationIiIsSlowestPartition) {
+  const DesignPrediction fast = pred(DesignStyle::Nonpipelined, 20, 20, 1.0);
+  const DesignPrediction slow = pred(DesignStyle::Nonpipelined, 70, 70, 1.0);
+  EXPECT_EQ(combination_ii({&fast, &slow}), 70);
+}
+
+TEST(Integration, MismatchedSelectionRejected) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(2));
+  const auto cuts = dfg::ar_two_way_cut(f.ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Pipelined, 30, 60, 1000.0);
+  const DesignPrediction b = pred(DesignStyle::Pipelined, 40, 60, 1000.0);
+  const IntegrationResult r = integrate(pt, {&a, &b}, transfers, f.clocks,
+                                        f.constraints, f.criteria, 40);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.reason.find("mismatch"), std::string::npos);
+}
+
+TEST(Integration, PartitionSlowerThanSystemIiRejected) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(1));
+  pt.add_partition("P1", f.ar.all_operations(), 0);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 80, 80, 1000.0);
+  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks,
+                                        f.constraints, f.criteria, 40);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Integration, AreaViolationNamesChips) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(2));
+  const auto cuts = dfg::ar_two_way_cut(f.ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction big =
+      pred(DesignStyle::Nonpipelined, 30, 30, 120000.0);  // over 84-pin die
+  const DesignPrediction ok = pred(DesignStyle::Nonpipelined, 30, 30, 1000.0);
+  const IntegrationResult r = integrate(pt, {&big, &ok}, transfers, f.clocks,
+                                        f.constraints, f.criteria, 30);
+  EXPECT_FALSE(r.feasible);
+  ASSERT_EQ(r.violated_chips.size(), 1u);
+  EXPECT_EQ(r.violated_chips[0], 0);
+}
+
+TEST(Integration, DataClashRuleRejectsSlowTransfers) {
+  // A tiny II makes the 9-value input transfer longer than the interval.
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(1));
+  pt.add_partition("P1", f.ar.all_operations(), 0);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Pipelined, 2, 30, 1000.0);
+  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks,
+                                        f.constraints, f.criteria, 2);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.reason.find("initiation interval"), std::string::npos);
+}
+
+TEST(Integration, BufferFormulaMatchesPaper) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(2));
+  const auto cuts = dfg::ar_two_way_cut(f.ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 30, 30, 1000.0);
+  const IntegrationResult r = integrate(pt, {&a, &a}, transfers, f.clocks,
+                                        f.constraints, f.criteria, 30);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  for (const TransferPlan& plan : r.transfers) {
+    if (!plan.task.crosses_pins()) continue;
+    const double d = static_cast<double>(plan.task.bits);
+    const double w = static_cast<double>(plan.wait_cycles);
+    const double x = static_cast<double>(plan.transfer_cycles);
+    const double l = 30.0;
+    const Bits expected =
+        static_cast<Bits>(std::ceil(d * (std::ceil(w / l) + x / l)));
+    EXPECT_EQ(plan.buffer_bits, expected) << plan.task.name;
+    EXPECT_GE(plan.pins, 1);
+    EXPECT_LE(plan.transfer_cycles, 30);
+    EXPECT_GT(plan.controller.product_terms, 0);
+    EXPECT_GT(plan.module_area.likely(), 0.0);
+  }
+}
+
+TEST(Integration, FewerPinsLongerTransfers) {
+  // The paper: "Using 64 rather than 84 pin chip packaging causes a slight
+  // increase in the system delay ... mainly due to longer data transfer
+  // times of inputs and outputs." Use a wide graph so the effect shows.
+  dfg::Graph g("wide");
+  std::vector<dfg::NodeId> sums;
+  for (int i = 0; i < 12; ++i) {
+    const auto x = g.add_input("x" + std::to_string(i), 16);
+    const auto y = g.add_input("y" + std::to_string(i), 16);
+    const auto s = g.add_op(dfg::OpKind::Add, 16, {x, y});
+    g.add_output("o" + std::to_string(i), s);
+    sums.push_back(s);
+  }
+  g.validate();
+
+  auto delay_with = [&](chip::ChipPackage pkg) {
+    Partitioning pt(g, chips(1, pkg));
+    pt.add_partition("P1", sums, 0);
+    const auto transfers = create_transfer_tasks(pt);
+    const DesignPrediction a =
+        pred(DesignStyle::Nonpipelined, 30, 30, 1000.0);
+    const DesignConstraints loose{60000.0, 60000.0};
+    const IntegrationResult r =
+        integrate(pt, {&a}, transfers, bad::ClockSpec{300.0, 10, 1}, loose,
+                  FeasibilityCriteria{}, 30);
+    EXPECT_TRUE(r.feasible) << r.reason;
+    return r.system_delay_main;
+  };
+  EXPECT_GT(delay_with(chip::mosis_package_64()),
+            delay_with(chip::mosis_package_84()));
+}
+
+TEST(Integration, OnChipMemoryAreaCharged) {
+  Fixture f;
+  chip::MemorySubsystem mem;
+  mem.blocks.push_back({"M_A", 16, 256, 1, 300.0, 9000.0, 3});
+  mem.chip_of_block = {0};
+  Partitioning pt(f.ar.graph, chips(1), mem);
+  pt.add_partition("P1", f.ar.all_operations(), 0);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 40, 40, 1000.0);
+  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks,
+                                        f.constraints, f.criteria, 40);
+  ASSERT_TRUE(r.feasible) << r.reason;
+  EXPECT_GE(r.chip_area[0].likely(), 9000.0 + 1000.0);
+}
+
+TEST(Integration, PerformanceConstraintUsesAdjustedClock) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(1));
+  pt.add_partition("P1", f.ar.all_operations(), 0);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 90, 90, 1000.0);
+  // 90 cycles x ~305 ns > 27000: tighten the budget to force a perf fail.
+  const DesignConstraints tight{27000.0, 90000.0};
+  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks, tight,
+                                        f.criteria, 90);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.reason.find("performance"), std::string::npos);
+}
+
+TEST(Integration, DelayCheckedAtEightyPercent) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(1));
+  pt.add_partition("P1", f.ar.all_operations(), 0);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 60, 60, 1000.0);
+  const IntegrationResult ok = integrate(pt, {&a}, transfers, f.clocks,
+                                         f.constraints, f.criteria, 60);
+  ASSERT_TRUE(ok.feasible) << ok.reason;
+  // Shrink the delay budget to just below the likely value: the 80%
+  // criterion must reject it.
+  DesignConstraints tight = f.constraints;
+  tight.delay_ns = ok.delay_ns.likely() - 1.0;
+  const IntegrationResult no = integrate(pt, {&a}, transfers, f.clocks,
+                                         tight, f.criteria, 60);
+  EXPECT_FALSE(no.feasible);
+}
+
+TEST(Integration, ValidatesArguments) {
+  Fixture f;
+  Partitioning pt(f.ar.graph, chips(1));
+  pt.add_partition("P1", f.ar.all_operations(), 0);
+  const auto transfers = create_transfer_tasks(pt);
+  const DesignPrediction a = pred(DesignStyle::Nonpipelined, 30, 30, 1.0);
+  EXPECT_THROW(integrate(pt, {}, transfers, f.clocks, f.constraints,
+                         f.criteria, 30),
+               Error);
+  EXPECT_THROW(integrate(pt, {&a}, transfers, f.clocks, f.constraints,
+                         f.criteria, 0),
+               Error);
+}
+
+}  // namespace
+}  // namespace chop::core

@@ -1,0 +1,109 @@
+// Tests for the component library, module-set enumeration, and the
+// paper's Table 1 experiment library.
+#include <gtest/gtest.h>
+
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+#include "library/module_set.hpp"
+
+namespace chop::lib {
+namespace {
+
+TEST(ExperimentLibrary, MatchesTable1) {
+  const ComponentLibrary lib = dac91_experiment_library();
+  const auto adders = lib.modules_for(dfg::OpKind::Add);
+  const auto muls = lib.modules_for(dfg::OpKind::Mul);
+  ASSERT_EQ(adders.size(), 3u);
+  ASSERT_EQ(muls.size(), 3u);
+  EXPECT_EQ(adders[0]->name, "add1");
+  EXPECT_EQ(adders[0]->area, 4200.0);
+  EXPECT_EQ(adders[0]->delay, 34.0);
+  EXPECT_EQ(adders[2]->name, "add3");
+  EXPECT_EQ(adders[2]->delay, 151.0);
+  EXPECT_EQ(muls[0]->area, 49000.0);
+  EXPECT_EQ(muls[2]->delay, 7370.0);
+  EXPECT_EQ(lib.register_bit().area, 31.0);
+  EXPECT_EQ(lib.register_bit().delay, 5.0);
+  EXPECT_EQ(lib.mux_bit().area, 18.0);
+  EXPECT_EQ(lib.mux_bit().delay, 4.0);
+}
+
+TEST(ComponentLibrary, RejectsBadModules) {
+  ComponentLibrary lib;
+  EXPECT_THROW(lib.add({"", dfg::OpKind::Add, 16, 1.0, 1.0}), Error);
+  EXPECT_THROW(lib.add({"z", dfg::OpKind::Add, 16, 0.0, 1.0}), Error);
+  EXPECT_THROW(lib.add({"z", dfg::OpKind::Add, 16, 1.0, -1.0}), Error);
+  EXPECT_THROW(lib.add({"z", dfg::OpKind::Input, 16, 1.0, 1.0}), Error);
+  lib.add({"ok", dfg::OpKind::Add, 16, 1.0, 1.0});
+  EXPECT_THROW(lib.add({"ok", dfg::OpKind::Add, 16, 2.0, 2.0}), Error);
+}
+
+TEST(ComponentLibrary, CoverageCheck) {
+  ComponentLibrary lib;
+  lib.add({"a", dfg::OpKind::Add, 16, 1.0, 1.0});
+  const dfg::OpKind both[] = {dfg::OpKind::Add, dfg::OpKind::Mul};
+  const dfg::OpKind add_only[] = {dfg::OpKind::Add};
+  EXPECT_FALSE(lib.covers(both));
+  EXPECT_TRUE(lib.covers(add_only));
+  lib.add({"m", dfg::OpKind::Mul, 16, 1.0, 1.0});
+  EXPECT_TRUE(lib.covers(both));
+}
+
+TEST(FunctionalKinds, SortedAndDeduplicated) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  const auto kinds = functional_kinds(ar.graph);
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], dfg::OpKind::Add);
+  EXPECT_EQ(kinds[1], dfg::OpKind::Mul);
+}
+
+TEST(ModuleSets, CartesianProductOfAlternatives) {
+  // The paper (§3.2): "a library which allows up to 9 module-set
+  // configurations for implementation of each partition".
+  const ComponentLibrary lib = dac91_experiment_library();
+  const dfg::OpKind kinds[] = {dfg::OpKind::Add, dfg::OpKind::Mul};
+  const auto sets = enumerate_module_sets(lib, kinds);
+  EXPECT_EQ(sets.size(), 9u);
+  // Every set has exactly one adder and one multiplier.
+  for (const ModuleSet& s : sets) {
+    EXPECT_TRUE(s.has(dfg::OpKind::Add));
+    EXPECT_TRUE(s.has(dfg::OpKind::Mul));
+    EXPECT_EQ(s.module_for(dfg::OpKind::Add).op, dfg::OpKind::Add);
+  }
+}
+
+TEST(ModuleSets, SingleKindEnumeratesAlternativesOnly) {
+  const ComponentLibrary lib = dac91_experiment_library();
+  const dfg::OpKind kinds[] = {dfg::OpKind::Mul};
+  EXPECT_EQ(enumerate_module_sets(lib, kinds).size(), 3u);
+}
+
+TEST(ModuleSets, UncoveredKindThrows) {
+  const ComponentLibrary lib = dac91_experiment_library();
+  const dfg::OpKind kinds[] = {dfg::OpKind::Div};
+  EXPECT_THROW(enumerate_module_sets(lib, kinds), Error);
+}
+
+TEST(ModuleSet, LabelAndMaxDelay) {
+  const ComponentLibrary lib = dac91_experiment_library();
+  ModuleSet set;
+  set.choose(dfg::OpKind::Add, lib.modules_for(dfg::OpKind::Add)[1]);
+  set.choose(dfg::OpKind::Mul, lib.modules_for(dfg::OpKind::Mul)[2]);
+  EXPECT_EQ(set.label(), "add2+mul3");
+  EXPECT_EQ(set.max_delay(), 7370.0);
+}
+
+TEST(ModuleSet, MissingKindThrows) {
+  ModuleSet set;
+  EXPECT_THROW(set.module_for(dfg::OpKind::Add), Error);
+  EXPECT_THROW(set.choose(dfg::OpKind::Add, nullptr), Error);
+}
+
+TEST(ModuleSet, EmptyLabel) {
+  const ModuleSet set;
+  EXPECT_EQ(set.label(), "(empty)");
+  EXPECT_EQ(set.max_delay(), 0.0);
+}
+
+}  // namespace
+}  // namespace chop::lib

@@ -1,0 +1,169 @@
+// The paper's headline quantitative claims, encoded as regressions so the
+// reproduction cannot silently drift away from them. Each test quotes the
+// claim it guards. (These overlap deliberately with finer-grained suites:
+// this file is the at-a-glance scoreboard.)
+#include <gtest/gtest.h>
+
+#include "chip/mosis_packages.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+#include "util/timer.hpp"
+
+namespace chop {
+namespace {
+
+const lib::ComponentLibrary& library() {
+  static const lib::ComponentLibrary lib = lib::dac91_experiment_library();
+  return lib;
+}
+
+core::ChopSession experiment(int exp, int nparts,
+                             chip::ChipPackage pkg = chip::mosis_package_84()) {
+  static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  std::vector<chip::ChipInstance> chips;
+  for (int c = 0; c < nparts; ++c) {
+    chips.push_back({"chip" + std::to_string(c), pkg});
+  }
+  core::Partitioning pt(ar.graph, std::move(chips));
+  const auto cuts =
+      nparts == 1
+          ? std::vector<std::vector<dfg::NodeId>>{ar.all_operations()}
+          : (nparts == 2 ? dfg::ar_two_way_cut(ar) : dfg::ar_three_way_cut(ar));
+  for (int p = 0; p < nparts; ++p) {
+    pt.add_partition("P" + std::to_string(p + 1),
+                     cuts[static_cast<std::size_t>(p)], p);
+  }
+  core::ChopConfig config;
+  if (exp == 1) {
+    config.style.clocking = bad::ClockingStyle::SingleCycle;
+    config.clocks = {300.0, 10, 1};
+    config.constraints = {30000.0, 30000.0};
+  } else {
+    config.style.clocking = bad::ClockingStyle::MultiCycle;
+    config.clocks = {300.0, 1, 1};
+    config.constraints = {20000.0, 20000.0};
+  }
+  return core::ChopSession(library(), std::move(pt), config);
+}
+
+Cycles best_ii(core::ChopSession& session,
+               core::Heuristic h = core::Heuristic::Enumeration) {
+  session.predict_partitions();
+  core::SearchOptions options;
+  options.heuristic = h;
+  const core::SearchResult r = session.search(options);
+  return r.designs.empty() ? -1 : r.designs.front().integration.ii_main;
+}
+
+TEST(PaperClaims, DoublingChipAreaDoublesPerformance) {
+  // §3.1: "two times higher performance can be obtained easily by
+  // doubling the available chip area."
+  core::ChopSession one = experiment(1, 1);
+  core::ChopSession two = experiment(1, 2);
+  const Cycles ii1 = best_ii(one);
+  const Cycles ii2 = best_ii(two);
+  ASSERT_GT(ii1, 0);
+  ASSERT_GT(ii2, 0);
+  EXPECT_GE(static_cast<double>(ii1) / static_cast<double>(ii2), 2.0);
+}
+
+TEST(PaperClaims, MoreChipsIsNotAlwaysBetter) {
+  // §3.1: "partitioning a design onto more and more chips in order to
+  // improve the performance or system delay characteristics may not
+  // always be possible ... chip pins become the bottleneck."
+  core::ChopSession two = experiment(1, 2);
+  core::ChopSession three = experiment(1, 3);
+  const Cycles ii2 = best_ii(two);
+  const Cycles ii3 = best_ii(three);
+  ASSERT_GT(ii2, 0);
+  ASSERT_GT(ii3, 0);
+  EXPECT_GE(ii3, ii2);  // the third chip buys nothing here
+}
+
+TEST(PaperClaims, AdjustedClockNearTheInput) {
+  // Table 4's clock column: 308-312 ns around the 300 ns input.
+  core::ChopSession session = experiment(1, 2);
+  session.predict_partitions();
+  const core::SearchResult r = session.search({});
+  ASSERT_FALSE(r.designs.empty());
+  const Ns clock = r.designs.front().integration.clock_ns();
+  EXPECT_GT(clock, 300.0);
+  EXPECT_LT(clock, 320.0);
+}
+
+TEST(PaperClaims, MultiCycleUsesAFasterClockMoreEfficiently) {
+  // §3.2: "a multi-cycle-operation architecture allows a more efficient
+  // use of a faster clock ... resulting in higher performance designs."
+  core::ChopSession exp1 = experiment(1, 2);
+  core::ChopSession exp2 = experiment(2, 2);
+  exp1.predict_partitions();
+  exp2.predict_partitions();
+  const core::SearchResult r1 = exp1.search({});
+  const core::SearchResult r2 = exp2.search({});
+  ASSERT_FALSE(r1.designs.empty());
+  ASSERT_FALSE(r2.designs.empty());
+  EXPECT_LT(r2.designs.front().integration.performance_ns.likely(),
+            r1.designs.front().integration.performance_ns.likely());
+  EXPECT_GT(r2.designs.front().integration.clock_ns(),
+            r1.designs.front().integration.clock_ns());
+}
+
+TEST(PaperClaims, IterativeHeuristicIsOrdersOfMagnitudeCheaper) {
+  // Table 4: E needs 156/1050 trials where I needs 9.
+  core::ChopSession session = experiment(1, 3);
+  session.predict_partitions();
+  core::SearchOptions e;
+  e.heuristic = core::Heuristic::Enumeration;
+  core::SearchOptions i;
+  i.heuristic = core::Heuristic::Iterative;
+  const core::SearchResult re = session.search(e);
+  const core::SearchResult ri = session.search(i);
+  ASSERT_FALSE(re.designs.empty());
+  ASSERT_FALSE(ri.designs.empty());
+  EXPECT_GE(re.trials, 20 * ri.trials);
+  EXPECT_EQ(re.designs.front().integration.ii_main,
+            ri.designs.front().integration.ii_main);
+}
+
+TEST(PaperClaims, PruningGivesOrdersOfMagnitudeSpeedup) {
+  // §3.1: keeping all implementations cost 61.40 s against sub-second
+  // pruned runs "showing the advantage of the pruning techniques".
+  core::ChopSession session = experiment(1, 2);
+  session.predict_partitions();
+  core::SearchOptions pruned;
+  pruned.heuristic = core::Heuristic::Enumeration;
+  core::SearchOptions keep_all = pruned;
+  keep_all.prune = false;
+  keep_all.max_trials = 300000;
+  const core::SearchResult rp = session.search(pruned);
+  const core::SearchResult rk = session.search(keep_all);
+  EXPECT_GE(rk.trials, 100 * rp.trials);
+}
+
+TEST(PaperClaims, FeasiblePredictionsAreATinyFractionOfTotals) {
+  // Tables 3/5: e.g. 5 of 111, 43 of 1818 — the design space dwarfs the
+  // feasible set.
+  for (int exp : {1, 2}) {
+    for (int nparts : {2, 3}) {
+      core::ChopSession session = experiment(exp, nparts);
+      const core::PredictionStats stats = session.predict_partitions();
+      EXPECT_LT(stats.feasible * 10, stats.total)
+          << "exp " << exp << ", " << nparts << " partitions";
+    }
+  }
+}
+
+TEST(PaperClaims, SearchIsInteractive) {
+  // §4: "The designer can easily check the effects of system-level
+  // decisions in real-time." Our pruned searches complete in
+  // milliseconds — enforce a generous ceiling so regressions surface.
+  Timer timer;
+  core::ChopSession session = experiment(1, 3);
+  session.predict_partitions();
+  (void)session.search({});
+  EXPECT_LT(timer.elapsed_ms(), 2000.0);
+}
+
+}  // namespace
+}  // namespace chop

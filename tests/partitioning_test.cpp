@@ -1,0 +1,194 @@
+// Tests for the partitioning model and the §2.7 modification groups.
+#include "core/partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chip/mosis_packages.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace chop::core {
+namespace {
+
+std::vector<chip::ChipInstance> two_chips() {
+  return {{"c0", chip::mosis_package_84()}, {"c1", chip::mosis_package_84()}};
+}
+
+TEST(Partitioning, ValidTwoWayPartitioning) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto cuts = dfg::ar_two_way_cut(ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  EXPECT_NO_THROW(pt.validate());
+  EXPECT_EQ(pt.partitions().size(), 2u);
+}
+
+TEST(Partitioning, NeedsAtLeastOneChip) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  EXPECT_THROW(Partitioning(ar.graph, {}), Error);
+}
+
+TEST(Partitioning, RejectsUnassignedOperations) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  pt.add_partition("P1", ar.layer_span(0, 3), 0);  // half the graph only
+  EXPECT_THROW(pt.validate(), Error);
+}
+
+TEST(Partitioning, RejectsDoubleAssignment) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  pt.add_partition("P1", ar.all_operations(), 0);
+  pt.add_partition("P2", ar.layer_span(0, 0), 1);
+  EXPECT_THROW(pt.validate(), Error);
+}
+
+TEST(Partitioning, RejectsBoundaryMembers) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  auto members = ar.all_operations();
+  members.push_back(0);  // node 0 is the carry primary input
+  pt.add_partition("P1", members, 0);
+  EXPECT_THROW(pt.validate(), Error);
+}
+
+TEST(Partitioning, RejectsNonexistentChip) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  EXPECT_THROW(pt.add_partition("P1", ar.all_operations(), 7), Error);
+}
+
+TEST(Partitioning, RejectsMutualDependency) {
+  // Split the AR filter so data flows P1 -> P2 -> P1: layers 0-1 and 4-5
+  // in one partition, 2-3 and 6-7 in the other.
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  auto a = ar.layer_span(0, 1);
+  const auto a2 = ar.layer_span(4, 5);
+  a.insert(a.end(), a2.begin(), a2.end());
+  auto b = ar.layer_span(2, 3);
+  const auto b2 = ar.layer_span(6, 7);
+  b.insert(b.end(), b2.begin(), b2.end());
+  pt.add_partition("P1", a, 0);
+  pt.add_partition("P2", b, 1);
+  EXPECT_THROW(pt.validate(), Error);
+}
+
+TEST(Partitioning, MultiplePartitionsPerChipAllowed) {
+  // "there can be multiple partitions assigned to a single chip" — and
+  // same-chip partitions may depend on each other as long as no cycles.
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto cuts = dfg::ar_three_way_cut(ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 0);
+  pt.add_partition("P3", cuts[2], 1);
+  EXPECT_NO_THROW(pt.validate());
+  EXPECT_EQ(pt.partitions_on_chip(0).size(), 2u);
+  EXPECT_EQ(pt.partitions_on_chip(1).size(), 1u);
+}
+
+TEST(Partitioning, MoveOperationBetweenPartitions) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto cuts = dfg::ar_two_way_cut(ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  // Move the last op of P1's section 2 adds into P2 — still acyclic.
+  const dfg::NodeId op = cuts[0].back();
+  pt.move_operation(op, 1);
+  EXPECT_NO_THROW(pt.validate());
+  EXPECT_EQ(pt.partitions()[0].members.size(), cuts[0].size() - 1);
+  EXPECT_EQ(pt.partitions()[1].members.size(), cuts[1].size() + 1);
+}
+
+TEST(Partitioning, MoveOperationIsIdempotentWithinPartition) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto cuts = dfg::ar_two_way_cut(ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  pt.move_operation(cuts[0][0], 0);
+  EXPECT_EQ(pt.partitions()[0].members.size(), cuts[0].size());
+}
+
+TEST(Partitioning, MoveOperationErrors) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  pt.add_partition("P1", ar.all_operations(), 0);
+  EXPECT_THROW(pt.move_operation(ar.all_operations()[0], 5), Error);
+  EXPECT_THROW(pt.move_operation(0, 0), Error);  // input is not assigned
+}
+
+TEST(Partitioning, CannotEmptyAPartitionByMigration) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto all = ar.all_operations();
+  pt.add_partition("P1", {all[0]}, 0);
+  std::vector<dfg::NodeId> rest(all.begin() + 1, all.end());
+  pt.add_partition("P2", rest, 1);
+  EXPECT_THROW(pt.move_operation(all[0], 1), Error);
+}
+
+TEST(Partitioning, MovePartitionToChip) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  pt.add_partition("P1", ar.all_operations(), 0);
+  pt.move_partition_to_chip(0, 1);
+  EXPECT_EQ(pt.partitions()[0].chip, 1);
+  EXPECT_THROW(pt.move_partition_to_chip(0, 9), Error);
+  EXPECT_THROW(pt.move_partition_to_chip(4, 0), Error);
+}
+
+TEST(Partitioning, ReplaceChipPackage) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  pt.add_partition("P1", ar.all_operations(), 0);
+  pt.replace_chip_package(0, chip::mosis_package_64());
+  EXPECT_EQ(pt.chips()[0].package.pin_count, 64);
+  EXPECT_THROW(pt.replace_chip_package(9, chip::mosis_package_64()), Error);
+}
+
+TEST(Partitioning, MemoryPlacementChanges) {
+  const dfg::BenchmarkGraph arm = dfg::ar_lattice_filter_with_memory();
+  chip::MemorySubsystem mem;
+  mem.blocks.push_back({"M_A", 16, 256, 1, 300.0, 5000.0, 3});
+  mem.blocks.push_back({"M_B", 16, 256, 1, 300.0, 5000.0, 3});
+  mem.chip_of_block = {0, chip::kOffTheShelfChip};
+  Partitioning pt(arm.graph, two_chips(), mem);
+  pt.add_partition("P1", arm.all_operations(), 0);
+  EXPECT_NO_THROW(pt.validate());
+  pt.set_memory_placement(1, 1);
+  EXPECT_EQ(pt.memory().placement(1), 1);
+  EXPECT_THROW(pt.set_memory_placement(9, 0), Error);
+  EXPECT_THROW(pt.set_memory_placement(0, 9), Error);
+}
+
+TEST(Partitioning, SubgraphMatchesMembers) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto cuts = dfg::ar_two_way_cut(ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  const dfg::Subgraph sub = pt.subgraph(0);
+  EXPECT_EQ(sub.graph.operation_count(), cuts[0].size());
+  EXPECT_THROW(pt.subgraph(5), Error);
+}
+
+TEST(Partitioning, PartitionOfNodeView) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Partitioning pt(ar.graph, two_chips());
+  const auto cuts = dfg::ar_two_way_cut(ar);
+  pt.add_partition("P1", cuts[0], 0);
+  pt.add_partition("P2", cuts[1], 1);
+  const auto owner = pt.partition_of_node();
+  for (dfg::NodeId id : cuts[0]) {
+    EXPECT_EQ(owner[static_cast<std::size_t>(id)], 0);
+  }
+  for (dfg::NodeId id : cuts[1]) {
+    EXPECT_EQ(owner[static_cast<std::size_t>(id)], 1);
+  }
+}
+
+}  // namespace
+}  // namespace chop::core

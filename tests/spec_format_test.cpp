@@ -1,0 +1,256 @@
+// Tests for the `.chop` project file parser and the CLI-facing Project
+// construction.
+#include "io/spec_format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chop::io {
+namespace {
+
+const char* kMinimal = R"(
+graph tiny
+  input a 16
+  const k 16
+  node m mul 16 a k
+  node s add 16 m a
+  output y s
+
+library
+  module adder add 16 1000 50
+  module multiplier mul 16 9000 400
+  register 31 5
+  mux 18 4
+
+chips
+  chip c0 mosis84
+
+partitions
+  partition P1 c0 m s
+
+config
+  style single_cycle
+  clock 300 10 1
+  constraints 30000 30000
+)";
+
+TEST(SpecFormat, ParsesMinimalProject) {
+  const Project p = parse_project_string(kMinimal);
+  EXPECT_EQ(p.graph.name(), "tiny");
+  EXPECT_EQ(p.graph.operation_count(), 2u);
+  EXPECT_EQ(p.library.modules().size(), 2u);
+  ASSERT_EQ(p.chips.size(), 1u);
+  EXPECT_EQ(p.chips[0].package.pin_count, 84);
+  ASSERT_EQ(p.partitions.size(), 1u);
+  EXPECT_EQ(p.partitions[0].members.size(), 2u);
+  EXPECT_EQ(p.config.clocks.datapath_multiplier, 10);
+}
+
+TEST(SpecFormat, SessionRunsEndToEnd) {
+  const Project p = parse_project_string(kMinimal);
+  core::ChopSession session = p.make_session();
+  const core::PredictionStats stats = session.predict_partitions();
+  EXPECT_GT(stats.total, 0u);
+  EXPECT_NO_THROW(session.search({}));
+}
+
+TEST(SpecFormat, ConstantInputsAndMemoryOps) {
+  const Project p = parse_project_string(R"(
+graph memo
+  input a 16
+  memread r 0 16
+  node s add 16 a r
+  memwrite w 1 s
+  output y s
+
+library
+  module adder add 16 1000 50
+
+chips
+  chip c0 mosis64
+  memory rom words=64 width=16 ports=1 access=300 area=4000 chip=c0
+  memory ram words=256 width=16 ports=2 access=300 area=0 chip=offchip
+
+partitions
+  partition P1 c0 r s w
+
+config
+  style multi_cycle
+  clock 300 1 1
+  constraints 60000 60000
+)");
+  EXPECT_EQ(p.graph.count_of_kind(dfg::OpKind::MemRead), 1u);
+  EXPECT_EQ(p.graph.count_of_kind(dfg::OpKind::MemWrite), 1u);
+  ASSERT_EQ(p.memory.blocks.size(), 2u);
+  EXPECT_EQ(p.memory.placement(0), 0);
+  EXPECT_EQ(p.memory.placement(1), chip::kOffTheShelfChip);
+  EXPECT_EQ(p.memory.blocks[1].ports, 2);
+  EXPECT_EQ(p.config.style.clocking, bad::ClockingStyle::MultiCycle);
+}
+
+TEST(SpecFormat, CustomChipAttributes) {
+  const Project p = parse_project_string(R"(
+graph g
+  input a 16
+  node s add 16 a a
+  output y s
+library
+  module adder add 16 1000 50
+chips
+  chip c0 pins=100 width=400 height=400 pad_delay=20 pad_area=250 reserve=10
+partitions
+  partition P1 c0 s
+config
+  style single_cycle
+  clock 300 10 1
+  constraints 30000 30000
+)");
+  const chip::ChipPackage& pkg = p.chips[0].package;
+  EXPECT_EQ(pkg.pin_count, 100);
+  EXPECT_EQ(pkg.infrastructure_pins, 10);
+  EXPECT_DOUBLE_EQ(pkg.pad_delay, 20.0);
+  EXPECT_DOUBLE_EQ(pkg.width_mil, 400.0);
+}
+
+TEST(SpecFormat, PowerAndScanAndCriteria) {
+  const Project p = parse_project_string(R"(
+graph g
+  input a 16
+  node s add 16 a a
+  output y s
+library
+  module adder add 16 1000 50 12.5
+chips
+  chip c0 mosis84
+partitions
+  partition P1 c0 s
+config
+  style multi_cycle nopipeline
+  clock 250 2 1
+  constraints 40000 50000
+  power 500 300
+  criteria 0.95 1.0 0.8 0.85
+  scan on
+)");
+  EXPECT_DOUBLE_EQ(p.library.modules()[0].active_power_mw, 12.5);
+  EXPECT_FALSE(p.config.style.allow_pipelining);
+  EXPECT_DOUBLE_EQ(p.config.constraints.system_power_mw, 500.0);
+  EXPECT_DOUBLE_EQ(p.config.constraints.chip_power_mw, 300.0);
+  EXPECT_DOUBLE_EQ(p.config.criteria.area_prob, 0.95);
+  EXPECT_DOUBLE_EQ(p.config.criteria.power_prob, 0.85);
+  EXPECT_TRUE(p.config.testability.scan_design);
+  EXPECT_DOUBLE_EQ(p.config.clocks.main_clock, 250.0);
+}
+
+TEST(SpecFormat, CommentsAndBlankLinesIgnored) {
+  const Project p = parse_project_string(R"(
+# leading comment
+graph g   # trailing words are fine after a name? no - this is a comment
+  input a 16     # input comment
+  node s add 16 a a
+  output y s
+library
+  module adder add 16 1000 50
+chips
+  chip c0 mosis84
+partitions
+  partition P1 c0 s
+config
+  style single_cycle
+  clock 300 10 1
+  constraints 30000 30000
+)");
+  EXPECT_EQ(p.graph.operation_count(), 1u);
+}
+
+// ---- error reporting ----
+
+TEST(SpecFormat, ErrorsCarryLineNumbers) {
+  try {
+    parse_project_string("graph g\n  input a 16\n  bogus x y z\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(SpecFormat, RejectsUnknownNames) {
+  EXPECT_THROW(parse_project_string("graph g\n  node s add 16 nope nope\n"),
+               ParseError);
+  EXPECT_THROW(parse_project_string(R"(
+graph g
+  input a 16
+  node s add 16 a a
+  output y s
+library
+  module adder add 16 1000 50
+chips
+  chip c0 mosis84
+partitions
+  partition P1 nochip s
+)"),
+               ParseError);
+}
+
+TEST(SpecFormat, RejectsStatementsOutsideSections) {
+  EXPECT_THROW(parse_project_string("input a 16\n"), ParseError);
+}
+
+TEST(SpecFormat, RejectsDuplicates) {
+  EXPECT_THROW(
+      parse_project_string("graph g\n  input a 16\n  input a 16\n"),
+      ParseError);
+  EXPECT_THROW(parse_project_string(R"(
+graph g
+  input a 16
+  node s add 16 a a
+  output y s
+chips
+  chip c0 mosis84
+  chip c0 mosis64
+)"),
+               ParseError);
+}
+
+TEST(SpecFormat, RejectsMalformedNumbersAndAttrs) {
+  EXPECT_THROW(parse_project_string("graph g\n  input a sixteen\n"),
+               ParseError);
+  EXPECT_THROW(parse_project_string(R"(
+graph g
+  input a 16
+  node s add 16 a a
+  output y s
+chips
+  chip c0 pins
+)"),
+               ParseError);
+}
+
+TEST(SpecFormat, RejectsMissingGraph) {
+  EXPECT_THROW(parse_project_string("library\n  register 31 5\n"), ParseError);
+}
+
+TEST(SpecFormat, RejectsUnknownOp) {
+  EXPECT_THROW(
+      parse_project_string("graph g\n  input a 16\n  node s frob 16 a a\n"),
+      ParseError);
+}
+
+TEST(SpecFormat, FileHelpers) {
+  EXPECT_THROW(parse_project_file("/nonexistent/project.chop"), Error);
+}
+
+TEST(SpecFormat, ShippedExampleParses) {
+  // The repository's sample project must stay valid.
+  const Project p = parse_project_file(std::string(CHOP_SOURCE_DIR) +
+                                       "/examples/specs/fir4.chop");
+  EXPECT_EQ(p.graph.name(), "fir4");
+  EXPECT_EQ(p.graph.operation_count(), 7u);
+  core::ChopSession session = p.make_session();
+  session.predict_partitions();
+  const core::SearchResult r = session.search({});
+  EXPECT_FALSE(r.designs.empty());
+}
+
+}  // namespace
+}  // namespace chop::io

@@ -1,0 +1,136 @@
+// Round-trip tests for the `.chop` writer: parse(write(p)) must be
+// behaviorally equivalent to p.
+#include "io/spec_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chip/mosis_packages.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+
+namespace chop::io {
+namespace {
+
+Project ar_project() {
+  Project p;
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  p.graph = ar.graph;
+  p.library = lib::dac91_experiment_library();
+  p.chips = {{"c0", chip::mosis_package_84()},
+             {"c1", chip::mosis_package_84()}};
+  const auto cuts = dfg::ar_two_way_cut(ar);
+  p.partitions.push_back({"P1", cuts[0], 0});
+  p.partitions.push_back({"P2", cuts[1], 1});
+  p.config.style.clocking = bad::ClockingStyle::SingleCycle;
+  p.config.clocks = {300.0, 10, 1};
+  p.config.constraints = {30000.0, 30000.0};
+  return p;
+}
+
+Project memory_project() {
+  Project p;
+  const dfg::BenchmarkGraph arm = dfg::ar_lattice_filter_with_memory();
+  p.graph = arm.graph;
+  p.library = lib::dac91_experiment_library();
+  p.chips = {{"c0", chip::mosis_package_84()}};
+  p.memory.blocks.push_back({"coeff", 16, 64, 1, 300.0, 4000.0, 3});
+  p.memory.blocks.push_back({"spill", 16, 256, 2, 300.0, 6000.0, 4});
+  p.memory.chip_of_block = {0, chip::kOffTheShelfChip};
+  p.partitions.push_back({"P1", arm.all_operations(), 0});
+  p.config.style.clocking = bad::ClockingStyle::MultiCycle;
+  p.config.clocks = {300.0, 1, 1};
+  p.config.constraints = {60000.0, 90000.0};
+  p.config.constraints.system_power_mw = 400.0;
+  p.config.testability.scan_design = true;
+  return p;
+}
+
+TEST(SpecWriter, RoundTripPreservesStructure) {
+  const Project original = ar_project();
+  const Project parsed = parse_project_string(write_project_string(original));
+
+  EXPECT_EQ(parsed.graph.name(), original.graph.name());
+  EXPECT_EQ(parsed.graph.node_count(), original.graph.node_count());
+  EXPECT_EQ(parsed.graph.edge_count(), original.graph.edge_count());
+  for (dfg::OpKind k : {dfg::OpKind::Input, dfg::OpKind::Mul,
+                        dfg::OpKind::Add, dfg::OpKind::Output}) {
+    EXPECT_EQ(parsed.graph.count_of_kind(k), original.graph.count_of_kind(k));
+  }
+  EXPECT_EQ(parsed.library.modules().size(),
+            original.library.modules().size());
+  EXPECT_EQ(parsed.chips.size(), original.chips.size());
+  ASSERT_EQ(parsed.partitions.size(), original.partitions.size());
+  for (std::size_t p = 0; p < parsed.partitions.size(); ++p) {
+    EXPECT_EQ(parsed.partitions[p].members.size(),
+              original.partitions[p].members.size());
+    EXPECT_EQ(parsed.partitions[p].chip, original.partitions[p].chip);
+  }
+}
+
+TEST(SpecWriter, RoundTripPreservesBehaviour) {
+  // The acid test: both projects must produce identical search outcomes.
+  const Project original = ar_project();
+  const Project parsed = parse_project_string(write_project_string(original));
+
+  core::ChopSession s1 = original.make_session();
+  core::ChopSession s2 = parsed.make_session();
+  const core::PredictionStats st1 = s1.predict_partitions();
+  const core::PredictionStats st2 = s2.predict_partitions();
+  // Node renumbering changes scheduler tie-breaks, so raw counts may
+  // wobble a little — but not by much, and outcomes must agree.
+  EXPECT_NEAR(static_cast<double>(st1.total), static_cast<double>(st2.total),
+              0.05 * static_cast<double>(st1.total));
+
+  const core::SearchResult r1 = s1.search({});
+  const core::SearchResult r2 = s2.search({});
+  ASSERT_FALSE(r1.designs.empty());
+  ASSERT_FALSE(r2.designs.empty());
+  EXPECT_EQ(r1.designs.front().integration.ii_main,
+            r2.designs.front().integration.ii_main);
+}
+
+TEST(SpecWriter, RoundTripMemoryPowerScan) {
+  const Project original = memory_project();
+  const Project parsed = parse_project_string(write_project_string(original));
+
+  ASSERT_EQ(parsed.memory.blocks.size(), 2u);
+  EXPECT_EQ(parsed.memory.placement(0), 0);
+  EXPECT_EQ(parsed.memory.placement(1), chip::kOffTheShelfChip);
+  EXPECT_EQ(parsed.memory.blocks[1].ports, 2);
+  EXPECT_EQ(parsed.memory.blocks[1].control_pins, 4);
+  EXPECT_EQ(parsed.graph.count_of_kind(dfg::OpKind::MemRead), 2u);
+  EXPECT_EQ(parsed.graph.count_of_kind(dfg::OpKind::MemWrite), 1u);
+  EXPECT_DOUBLE_EQ(parsed.config.constraints.system_power_mw, 400.0);
+  EXPECT_TRUE(parsed.config.testability.scan_design);
+  EXPECT_EQ(parsed.config.style.clocking, bad::ClockingStyle::MultiCycle);
+}
+
+TEST(SpecWriter, ConstantsSurvive) {
+  const Project original = ar_project();
+  const Project parsed = parse_project_string(write_project_string(original));
+  int constants = 0;
+  for (std::size_t i = 0; i < parsed.graph.node_count(); ++i) {
+    const dfg::Node& n = parsed.graph.node(static_cast<dfg::NodeId>(i));
+    if (n.kind == dfg::OpKind::Input && n.constant) ++constants;
+  }
+  EXPECT_EQ(constants, 16);
+}
+
+TEST(SpecWriter, WritesParseableFileToDisk) {
+  const Project original = ar_project();
+  const std::string path = ::testing::TempDir() + "/roundtrip.chop";
+  write_project_file(original, path);
+  const Project parsed = parse_project_file(path);
+  EXPECT_EQ(parsed.graph.node_count(), original.graph.node_count());
+}
+
+TEST(SpecWriter, DoubleRoundTripIsStable) {
+  const Project original = memory_project();
+  const std::string once = write_project_string(original);
+  const std::string twice =
+      write_project_string(parse_project_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace chop::io

@@ -1,0 +1,169 @@
+// Tests for the statistical triplet algebra and triangular-CDF feasibility
+// analysis (paper §2.6).
+#include "util/statval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chop {
+namespace {
+
+TEST(StatVal, DefaultIsZero) {
+  const StatVal v;
+  EXPECT_EQ(v.lo(), 0.0);
+  EXPECT_EQ(v.likely(), 0.0);
+  EXPECT_EQ(v.hi(), 0.0);
+  EXPECT_TRUE(v.exact());
+}
+
+TEST(StatVal, ExactConstructor) {
+  const StatVal v(42.0);
+  EXPECT_TRUE(v.exact());
+  EXPECT_EQ(v.mean(), 42.0);
+  EXPECT_EQ(v.spread(), 0.0);
+}
+
+TEST(StatVal, RejectsUnorderedTriplet) {
+  EXPECT_THROW(StatVal(2.0, 1.0, 3.0), Error);
+  EXPECT_THROW(StatVal(1.0, 3.0, 2.0), Error);
+}
+
+TEST(StatVal, MeanOfTriangular) {
+  const StatVal v(0.0, 3.0, 6.0);
+  EXPECT_DOUBLE_EQ(v.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(v.spread(), 3.0);
+}
+
+TEST(StatVal, CdfAtBounds) {
+  const StatVal v(10.0, 20.0, 40.0);
+  EXPECT_DOUBLE_EQ(v.cdf(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.cdf(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.cdf(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(v.cdf(100.0), 1.0);
+}
+
+TEST(StatVal, CdfAtMode) {
+  // At the mode the CDF equals (mode-lo)/(hi-lo).
+  const StatVal v(0.0, 10.0, 40.0);
+  EXPECT_NEAR(v.cdf(10.0), 0.25, 1e-12);
+}
+
+TEST(StatVal, CdfSymmetricTriangle) {
+  const StatVal v(0.0, 5.0, 10.0);
+  EXPECT_NEAR(v.cdf(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(v.cdf(2.5), 0.125, 1e-12);
+  EXPECT_NEAR(v.cdf(7.5), 0.875, 1e-12);
+}
+
+TEST(StatVal, CdfDegenerateExact) {
+  const StatVal v(7.0);
+  EXPECT_DOUBLE_EQ(v.cdf(6.999), 0.0);
+  EXPECT_DOUBLE_EQ(v.cdf(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.cdf(7.001), 1.0);
+}
+
+TEST(StatVal, CdfModeAtLowerBound) {
+  // Mode at lo: pure descending leg.
+  const StatVal v(0.0, 0.0, 10.0);
+  EXPECT_NEAR(v.cdf(5.0), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(v.cdf(10.0), 1.0);
+}
+
+TEST(StatVal, CdfModeAtUpperBound) {
+  // Mode at hi: pure ascending leg.
+  const StatVal v(0.0, 10.0, 10.0);
+  EXPECT_NEAR(v.cdf(5.0), 0.25, 1e-12);
+}
+
+TEST(StatVal, SatisfiesFullProbabilityNeedsUpperBound) {
+  const StatVal v(10.0, 20.0, 30.0);
+  EXPECT_TRUE(v.satisfies(30.0, 1.0));
+  EXPECT_FALSE(v.satisfies(29.99, 1.0));
+}
+
+TEST(StatVal, SatisfiesEightyPercent) {
+  const StatVal v(0.0, 5.0, 10.0);
+  // CDF(7.5) = 0.875 >= 0.8; CDF(6) = 1 - 16/100... compute: 1-(4*4)/(10*5)=0.68.
+  EXPECT_TRUE(v.satisfies(7.5, 0.8));
+  EXPECT_FALSE(v.satisfies(6.0, 0.8));
+}
+
+TEST(StatVal, SatisfiesRejectsBadProbability) {
+  const StatVal v(1.0);
+  EXPECT_THROW(v.satisfies(1.0, -0.1), Error);
+  EXPECT_THROW(v.satisfies(1.0, 1.5), Error);
+}
+
+TEST(StatVal, AdditionIsComponentwise) {
+  const StatVal a(1.0, 2.0, 3.0);
+  const StatVal b(10.0, 20.0, 30.0);
+  const StatVal sum = a + b;
+  EXPECT_EQ(sum, StatVal(11.0, 22.0, 33.0));
+}
+
+TEST(StatVal, PlusEqualsAccumulates) {
+  StatVal acc;
+  acc += StatVal(1.0, 2.0, 3.0);
+  acc += StatVal(1.0, 2.0, 3.0);
+  EXPECT_EQ(acc, StatVal(2.0, 4.0, 6.0));
+}
+
+TEST(StatVal, ScalingByNonnegativeFactor) {
+  const StatVal v(1.0, 2.0, 3.0);
+  EXPECT_EQ(v * 2.0, StatVal(2.0, 4.0, 6.0));
+  EXPECT_EQ(v * 0.0, StatVal(0.0, 0.0, 0.0));
+  EXPECT_THROW(v * -1.0, Error);
+}
+
+TEST(StatVal, MaxIsComponentwise) {
+  const StatVal a(1.0, 5.0, 6.0);
+  const StatVal b(2.0, 3.0, 7.0);
+  EXPECT_EQ(StatVal::max(a, b), StatVal(2.0, 5.0, 7.0));
+}
+
+TEST(StatVal, ScalarSubtraction) {
+  const StatVal v(10.0, 20.0, 30.0);
+  EXPECT_EQ(v - 5.0, StatVal(5.0, 15.0, 25.0));
+}
+
+// ---- property sweep: CDF is a valid, monotone CDF for many triplets ----
+
+struct TripletCase {
+  double lo, likely, hi;
+};
+
+class CdfProperty : public ::testing::TestWithParam<TripletCase> {};
+
+TEST_P(CdfProperty, MonotoneNondecreasingAndBounded) {
+  const auto& p = GetParam();
+  const StatVal v(p.lo, p.likely, p.hi);
+  double prev = -1.0;
+  for (int i = -5; i <= 55; ++i) {
+    const double x = p.lo + (p.hi - p.lo) * (static_cast<double>(i) / 50.0);
+    const double c = v.cdf(x);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev - 1e-12) << "CDF must be nondecreasing at x=" << x;
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(v.cdf(p.hi + 1.0), 1.0);
+}
+
+TEST_P(CdfProperty, SatisfiesConsistentWithCdf) {
+  const auto& p = GetParam();
+  const StatVal v(p.lo, p.likely, p.hi);
+  const double mid = (p.lo + p.hi) / 2.0;
+  EXPECT_EQ(v.satisfies(mid, 0.5), v.cdf(mid) >= 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Triplets, CdfProperty,
+    ::testing::Values(TripletCase{0.0, 1.0, 2.0}, TripletCase{0.0, 0.0, 2.0},
+                      TripletCase{0.0, 2.0, 2.0}, TripletCase{-5.0, 0.0, 5.0},
+                      TripletCase{100.0, 250.0, 300.0},
+                      TripletCase{1e6, 1.5e6, 4e6},
+                      TripletCase{0.0, 0.1, 10.0}));
+
+}  // namespace
+}  // namespace chop

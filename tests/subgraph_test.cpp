@@ -1,0 +1,142 @@
+// Tests for induced-subgraph extraction: boundary synthesis, cut
+// accounting, constants, memory ops, and error handling.
+#include "dfg/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dfg/benchmarks.hpp"
+
+namespace chop::dfg {
+namespace {
+
+// in1, in2 -> m1 = in1*in2 -> a1 = m1+in1 -> a2 = a1+m1 -> out
+Graph diamond() {
+  Graph g("diamond");
+  const NodeId i1 = g.add_input("i1", 16);
+  const NodeId i2 = g.add_input("i2", 16);
+  const NodeId m1 = g.add_op(OpKind::Mul, 16, {i1, i2}, "m1");
+  const NodeId a1 = g.add_op(OpKind::Add, 16, {m1, i1}, "a1");
+  const NodeId a2 = g.add_op(OpKind::Add, 16, {a1, m1}, "a2");
+  g.add_output("y", a2);
+  return g;
+}
+
+TEST(Subgraph, WholeGraphKeepsOperations) {
+  Graph g = diamond();
+  const std::vector<NodeId> ops = {2, 3, 4};  // m1, a1, a2
+  const Subgraph sub = induced_subgraph(g, ops);
+  EXPECT_EQ(sub.graph.count_of_kind(OpKind::Mul), 1u);
+  EXPECT_EQ(sub.graph.count_of_kind(OpKind::Add), 2u);
+  // Two distinct external inputs (i1, i2), one exported output (a2).
+  EXPECT_EQ(sub.graph.count_of_kind(OpKind::Input), 2u);
+  EXPECT_EQ(sub.graph.count_of_kind(OpKind::Output), 1u);
+  EXPECT_EQ(sub.incoming_bits, 32);
+  EXPECT_EQ(sub.outgoing_bits, 16);
+}
+
+TEST(Subgraph, CutThroughMiddle) {
+  Graph g = diamond();
+  // Only m1 in the partition: exports one value consumed twice outside.
+  const std::vector<NodeId> ops = {2};
+  const Subgraph sub = induced_subgraph(g, ops);
+  EXPECT_EQ(sub.outgoing_bits, 16);         // one distinct value
+  EXPECT_EQ(sub.outgoing_cut.size(), 2u);   // crossing two parent edges
+  EXPECT_EQ(sub.incoming_bits, 32);
+}
+
+TEST(Subgraph, DownstreamPartitionImportsOnce) {
+  Graph g = diamond();
+  // a1 and a2: import m1 (once, though consumed twice) and i1.
+  const std::vector<NodeId> ops = {3, 4};
+  const Subgraph sub = induced_subgraph(g, ops);
+  EXPECT_EQ(sub.graph.count_of_kind(OpKind::Input), 2u);  // m1 value + i1
+  EXPECT_EQ(sub.incoming_bits, 32);
+  EXPECT_EQ(sub.incoming_cut.size(), 3u);  // three parent edges enter
+}
+
+TEST(Subgraph, MappingRoundTrips) {
+  Graph g = diamond();
+  const std::vector<NodeId> ops = {2, 3};
+  const Subgraph sub = induced_subgraph(g, ops);
+  for (NodeId parent : ops) {
+    const NodeId local = sub.from_parent[static_cast<std::size_t>(parent)];
+    ASSERT_NE(local, kNoNode);
+    EXPECT_EQ(sub.to_parent[static_cast<std::size_t>(local)], parent);
+  }
+}
+
+TEST(Subgraph, ConstantInputsStayConstant) {
+  Graph g("c");
+  const NodeId k = g.add_constant_input("k", 16);
+  const NodeId x = g.add_input("x", 16);
+  const NodeId m = g.add_op(OpKind::Mul, 16, {k, x}, "m");
+  g.add_output("y", m);
+  const Subgraph sub = induced_subgraph(g, std::vector<NodeId>{m});
+  int constants = 0;
+  for (std::size_t i = 0; i < sub.graph.node_count(); ++i) {
+    const Node& n = sub.graph.node(static_cast<NodeId>(i));
+    if (n.kind == OpKind::Input && n.constant) ++constants;
+  }
+  EXPECT_EQ(constants, 1);
+  // Constants do not count as transferred data.
+  EXPECT_EQ(sub.incoming_bits, 16);
+}
+
+TEST(Subgraph, MemoryOpsKeepTheirBlocks) {
+  Graph g("m");
+  const NodeId r = g.add_mem_read(3, 16, kNoNode, "rd");
+  const NodeId a = g.add_op(OpKind::Add, 16, {r, r}, "a");
+  const NodeId w = g.add_mem_write(4, a, kNoNode, "wr");
+  g.add_output("y", a);
+  const Subgraph sub = induced_subgraph(g, std::vector<NodeId>{r, a, w});
+  bool saw_read = false, saw_write = false;
+  for (std::size_t i = 0; i < sub.graph.node_count(); ++i) {
+    const Node& n = sub.graph.node(static_cast<NodeId>(i));
+    if (n.kind == OpKind::MemRead) {
+      saw_read = true;
+      EXPECT_EQ(n.memory_block, 3);
+    }
+    if (n.kind == OpKind::MemWrite) {
+      saw_write = true;
+      EXPECT_EQ(n.memory_block, 4);
+    }
+  }
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_write);
+}
+
+TEST(Subgraph, RejectsBoundaryMembers) {
+  Graph g = diamond();
+  EXPECT_THROW(induced_subgraph(g, std::vector<NodeId>{0}), Error);  // input
+  EXPECT_THROW(induced_subgraph(g, std::vector<NodeId>{5}), Error);  // output
+}
+
+TEST(Subgraph, RejectsDuplicatesAndOutOfRange) {
+  Graph g = diamond();
+  EXPECT_THROW(induced_subgraph(g, std::vector<NodeId>{2, 2}), Error);
+  EXPECT_THROW(induced_subgraph(g, std::vector<NodeId>{99}), Error);
+}
+
+TEST(Subgraph, ResultValidates) {
+  const BenchmarkGraph ar = ar_lattice_filter();
+  for (const auto& cut : ar_two_way_cut(ar)) {
+    const Subgraph sub = induced_subgraph(ar.graph, cut);
+    EXPECT_NO_THROW(sub.graph.validate());
+    EXPECT_GT(sub.graph.operation_count(), 0u);
+  }
+}
+
+TEST(Subgraph, TwoWayCutBitsAreConsistent) {
+  const BenchmarkGraph ar = ar_lattice_filter();
+  const auto cuts = ar_two_way_cut(ar);
+  const Subgraph p1 = induced_subgraph(ar.graph, cuts[0]);
+  const Subgraph p2 = induced_subgraph(ar.graph, cuts[1]);
+  // P1 exports exactly the values P2 imports from it (the carry), and the
+  // sum of both partitions' op counts covers the graph.
+  EXPECT_EQ(p1.graph.operation_count() + p2.graph.operation_count(),
+            ar.graph.operation_count());
+  EXPECT_GT(p1.outgoing_bits, 0);
+}
+
+}  // namespace
+}  // namespace chop::dfg

@@ -1,0 +1,154 @@
+// Tests for the urgency task scheduler of §2.5: precedence, shared-pin
+// and memory-port capacities, and the pipelined modulo folding.
+#include "schedule/task_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chop::sched {
+namespace {
+
+TEST(TaskGraph, BuildersValidate) {
+  TaskGraph tg;
+  const int r = tg.add_resource(4);
+  const int a = tg.add_task({"a", 2, {{r, 2}}});
+  const int b = tg.add_task({"b", 3, {{r, 2}}});
+  tg.add_precedence(a, b);
+  EXPECT_NO_THROW(tg.validate());
+  EXPECT_THROW(tg.add_precedence(a, a), Error);
+  EXPECT_THROW(tg.add_precedence(a, 99), Error);
+  EXPECT_THROW(tg.add_task({"bad", -1, {}}), Error);
+  EXPECT_THROW(tg.add_resource(-1), Error);
+}
+
+TEST(TaskGraph, ValidateCatchesBadDemand) {
+  TaskGraph tg;
+  tg.add_task({"a", 1, {{0, 1}}});  // resource 0 does not exist
+  EXPECT_THROW(tg.validate(), Error);
+}
+
+TEST(UrgencySchedule, ChainMakespanIsSum) {
+  TaskGraph tg;
+  const int a = tg.add_task({"a", 3, {}});
+  const int b = tg.add_task({"b", 4, {}});
+  const int c = tg.add_task({"c", 5, {}});
+  tg.add_precedence(a, b);
+  tg.add_precedence(b, c);
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.makespan, 12);
+  EXPECT_EQ(s.start[static_cast<std::size_t>(a)], 0);
+  EXPECT_EQ(s.start[static_cast<std::size_t>(b)], 3);
+  EXPECT_EQ(s.start[static_cast<std::size_t>(c)], 7);
+}
+
+TEST(UrgencySchedule, IndependentTasksOverlap) {
+  TaskGraph tg;
+  tg.add_task({"a", 5, {}});
+  tg.add_task({"b", 5, {}});
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  EXPECT_EQ(s.makespan, 5);
+}
+
+TEST(UrgencySchedule, SharedResourceSerializes) {
+  TaskGraph tg;
+  const int pins = tg.add_resource(8);
+  tg.add_task({"t1", 4, {{pins, 8}}});
+  tg.add_task({"t2", 4, {{pins, 8}}});
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.makespan, 8);  // both need every pin: serialize
+}
+
+TEST(UrgencySchedule, PartialSharingOverlaps) {
+  TaskGraph tg;
+  const int pins = tg.add_resource(8);
+  tg.add_task({"t1", 4, {{pins, 4}}});
+  tg.add_task({"t2", 4, {{pins, 4}}});
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  EXPECT_EQ(s.makespan, 4);
+}
+
+TEST(UrgencySchedule, OverCapacityTaskInfeasible) {
+  TaskGraph tg;
+  const int pins = tg.add_resource(4);
+  tg.add_task({"big", 2, {{pins, 5}}});
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(UrgencySchedule, UrgentChainGoesFirst) {
+  // Two chains compete for one resource; the longer chain must not be
+  // starved or the makespan grows.
+  TaskGraph tg;
+  const int res = tg.add_resource(1);
+  const int long1 = tg.add_task({"l1", 2, {{res, 1}}});
+  const int long2 = tg.add_task({"l2", 6, {}});
+  tg.add_precedence(long1, long2);
+  tg.add_task({"short", 2, {{res, 1}}});
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  ASSERT_TRUE(s.feasible);
+  // Urgency picks l1 (critical path 8) before short: makespan 8, not 10.
+  EXPECT_EQ(s.makespan, 8);
+  EXPECT_EQ(s.start[static_cast<std::size_t>(long1)], 0);
+}
+
+TEST(UrgencySchedule, ModuloFoldingConstrainsSteadyState) {
+  // One resource of capacity 1, two 2-cycle users: fine one-shot within a
+  // long window, but at II=2 the steady state needs 4 resource-cycles per
+  // 2-cycle window -> only schedulable by... not at all. At II=4 it fits.
+  TaskGraph tg;
+  const int res = tg.add_resource(1);
+  tg.add_task({"u1", 2, {{res, 1}}});
+  tg.add_task({"u2", 2, {{res, 1}}});
+  EXPECT_FALSE(urgency_schedule(tg, 2).feasible);
+  EXPECT_TRUE(urgency_schedule(tg, 4).feasible);
+  EXPECT_TRUE(urgency_schedule(tg, 0).feasible);
+}
+
+TEST(UrgencySchedule, ZeroDurationTasksPlaceCleanly) {
+  TaskGraph tg;
+  const int a = tg.add_task({"a", 0, {}});
+  const int b = tg.add_task({"b", 3, {}});
+  tg.add_precedence(a, b);
+  const TaskSchedule s = urgency_schedule(tg, 0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.makespan, 3);
+}
+
+TEST(UrgencySchedule, DetectsPrecedenceCycle) {
+  TaskGraph tg;
+  const int a = tg.add_task({"a", 1, {}});
+  const int b = tg.add_task({"b", 1, {}});
+  tg.add_precedence(a, b);
+  tg.add_precedence(b, a);
+  EXPECT_THROW(urgency_schedule(tg, 0), Error);
+}
+
+TEST(UrgencySchedule, RejectsNegativeIi) {
+  TaskGraph tg;
+  tg.add_task({"a", 1, {}});
+  EXPECT_THROW(urgency_schedule(tg, -1), Error);
+}
+
+TEST(UrgencySchedule, PipelinedSystemShape) {
+  // The CHOP integration shape: input transfer -> PU -> output transfer,
+  // two chips with pin budgets, folded at the system II.
+  TaskGraph tg;
+  const int pins0 = tg.add_resource(50);
+  const int pins1 = tg.add_resource(50);
+  const int in_t = tg.add_task({"env->p1", 2, {{pins0, 50}}});
+  const int p1 = tg.add_task({"p1", 20, {}});
+  const int x_t = tg.add_task({"p1->p2", 1, {{pins0, 16}, {pins1, 16}}});
+  const int p2 = tg.add_task({"p2", 30, {}});
+  const int out_t = tg.add_task({"p2->env", 1, {{pins1, 48}}});
+  tg.add_precedence(in_t, p1);
+  tg.add_precedence(p1, x_t);
+  tg.add_precedence(x_t, p2);
+  tg.add_precedence(p2, out_t);
+  const TaskSchedule s = urgency_schedule(tg, 30);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.makespan, 54);  // 2 + 20 + 1 + 30 + 1
+}
+
+}  // namespace
+}  // namespace chop::sched

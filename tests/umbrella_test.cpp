@@ -1,0 +1,13 @@
+// Compile-and-link check for the umbrella header: the whole public API in
+// one translation unit.
+#include "chop/chop.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EverythingLinks) {
+  const chop::dfg::BenchmarkGraph fir = chop::dfg::fir16();
+  EXPECT_EQ(fir.graph.operation_count(), 31u);
+  const chop::lib::ComponentLibrary lib = chop::lib::dac91_experiment_library();
+  EXPECT_FALSE(lib.modules().empty());
+  EXPECT_EQ(chop::chip::mosis_package_64().pin_count, 64);
+}

@@ -1,0 +1,134 @@
+// Tests for the small utilities: deterministic RNG, table printer, CSV
+// writer, timer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace chop {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsBadRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(2, 1), Error);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"Name", "Count"});
+  t.row("alpha", 1);
+  t.row("b", 12345);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Name   Count"), std::string::npos);
+  EXPECT_NE(out.find("-----  -----"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      12345"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatsDoubles) {
+  TablePrinter t({"v"});
+  t.row(2.0);       // integral value: no decimals
+  t.row(2.5);       // fractional: two decimals
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("\n2\n"), std::string::npos);
+  EXPECT_NE(os.str().find("2.50"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TablePrinter, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row("x");
+  t.row("y");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(CsvWriter, PlainCells) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter csv({"x"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsArityMismatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), Error);
+}
+
+TEST(Timer, MeasuresNonnegativeElapsed) {
+  Timer t;
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+  t.reset();
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace chop

@@ -1,0 +1,215 @@
+// chop_cli — drive the partitioner from a `.chop` project file.
+//
+//   chop_cli <project.chop> [options]
+//     --heuristic=E|I   search heuristic (default I, the Figure-5 walk)
+//     --keep-all        disable pruning, report the design-space size
+//     --guideline       print the full designer guideline for every design
+//     --auto            ignore the file's partitions; partition
+//                       automatically (one partition per declared chip)
+//     --optimize-memory sweep memory placements after (auto-)partitioning
+//     --dot=<file>      write the partitioned graph as Graphviz
+//     --save=<file>     write the (possibly auto-)partitioned project back
+//                       out as a .chop file
+//     --report=<file>   write a Markdown report of the session
+//
+// Exit status: 0 when at least one feasible design exists, 2 when none,
+// 1 on usage/parse errors.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/auto_partition.hpp"
+#include "core/memory_optimizer.hpp"
+#include "dfg/dot.hpp"
+#include "io/spec_format.hpp"
+#include "io/report.hpp"
+#include "io/spec_writer.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace chop;
+
+struct CliOptions {
+  std::string project_path;
+  core::Heuristic heuristic = core::Heuristic::Iterative;
+  bool keep_all = false;
+  bool guideline = false;
+  bool auto_partition = false;
+  bool optimize_memory = false;
+  std::string dot_path;
+  std::string save_path;
+  std::string report_path;
+};
+
+int usage() {
+  std::cerr
+      << "usage: chop_cli <project.chop> [--heuristic=E|I] [--keep-all]\n"
+         "                [--guideline] [--auto] [--optimize-memory]\n"
+         "                [--dot=<file>]\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--keep-all") {
+      options.keep_all = true;
+    } else if (arg == "--guideline") {
+      options.guideline = true;
+    } else if (arg == "--auto") {
+      options.auto_partition = true;
+    } else if (arg == "--optimize-memory") {
+      options.optimize_memory = true;
+    } else if (arg.rfind("--heuristic=", 0) == 0) {
+      const std::string value = arg.substr(12);
+      if (value == "E") {
+        options.heuristic = core::Heuristic::Enumeration;
+      } else if (value == "I") {
+        options.heuristic = core::Heuristic::Iterative;
+      } else {
+        return false;
+      }
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      options.dot_path = arg.substr(6);
+    } else if (arg.rfind("--save=", 0) == 0) {
+      options.save_path = arg.substr(7);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      options.report_path = arg.substr(9);
+    } else if (!arg.empty() && arg[0] != '-' && options.project_path.empty()) {
+      options.project_path = arg;
+    } else {
+      return false;
+    }
+  }
+  return !options.project_path.empty();
+}
+
+void print_designs(const core::ChopSession& session,
+                   const core::SearchResult& result, bool guideline) {
+  TablePrinter table({"Initiation Interval", "Delay", "Clock ns",
+                      "Performance ns", "Delay ns"});
+  for (const core::GlobalDesign& d : result.designs) {
+    table.row(d.integration.ii_main, d.integration.system_delay_main,
+              d.integration.clock_ns(), d.integration.performance_ns.likely(),
+              d.integration.delay_ns.likely());
+  }
+  table.print(std::cout);
+  if (guideline) {
+    for (const core::GlobalDesign& d : result.designs) {
+      std::cout << "\n" << session.guideline(d);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  io::Project project;
+  try {
+    project = io::parse_project_file(options.project_path);
+  } catch (const Error& e) {
+    std::cerr << options.project_path << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  try {
+    core::SearchOptions search;
+    search.heuristic = options.heuristic;
+    search.prune = !options.keep_all;
+    search.record_all = options.keep_all;
+    search.max_trials = options.keep_all ? 500000 : 0;
+
+    // --auto replaces the file's partitions with automatic ones.
+    if (options.auto_partition) {
+      std::cout << "automatic partitioning over "
+                << project.chips.size() << " chip(s)...\n";
+      core::AutoPartitionOptions auto_options;
+      auto_options.search.heuristic = options.heuristic;
+      const core::AutoPartitionResult r = core::auto_partition(
+          project.graph, project.library, project.chips, project.memory,
+          project.config, auto_options);
+      for (const std::string& line : r.log) std::cout << "  " << line << "\n";
+      project.partitions.clear();
+      for (std::size_t p = 0; p < r.members.size(); ++p) {
+        project.partitions.push_back(core::Partition{
+            "P" + std::to_string(p + 1), r.members[p], static_cast<int>(p)});
+      }
+    }
+
+    core::ChopSession session = project.make_session();
+    Timer timer;
+    const core::PredictionStats stats = session.predict_partitions();
+    std::cout << "BAD predictions: " << stats.total << " total, "
+              << stats.feasible << " feasible after level-1 pruning ("
+              << timer.elapsed_ms() << " ms)\n";
+
+    if (options.optimize_memory &&
+        !session.partitioning().memory().blocks.empty()) {
+      const core::MemoryPlacementResult mem =
+          core::optimize_memory_placement(session);
+      std::cout << "memory placement optimized over " << mem.evaluated
+                << " placements\n";
+    }
+
+    timer.reset();
+    const core::SearchResult result = session.search(search);
+    std::cout << "search (" << core::to_char(options.heuristic) << "): "
+              << result.trials << " trials, " << result.designs.size()
+              << " feasible non-inferior design(s) (" << timer.elapsed_ms()
+              << " ms)\n";
+    if (options.keep_all) {
+      std::cout << "design space: " << result.recorder.total()
+                << " considered, " << result.recorder.unique()
+                << " unique\n\n"
+                << result.recorder.ascii_scatter();
+    }
+    std::cout << "\n";
+
+    if (!options.report_path.empty()) {
+      std::ofstream report(options.report_path);
+      CHOP_REQUIRE(report.good(),
+                   "cannot open report output: " + options.report_path);
+      io::ReportOptions report_options;
+      report_options.title =
+          "CHOP report for " + options.project_path;
+      io::render_report(session, stats, result, report, report_options);
+      std::cout << "wrote " << options.report_path << "\n";
+    }
+
+    if (!options.save_path.empty()) {
+      // Persist the (auto-)partitioned project, including any memory
+      // placement the optimizer installed in the session.
+      io::Project saved = project;
+      saved.memory = session.partitioning().memory();
+      saved.partitions.clear();
+      for (const core::Partition& p : session.partitioning().partitions()) {
+        saved.partitions.push_back(p);
+      }
+      io::write_project_file(saved, options.save_path);
+      std::cout << "wrote " << options.save_path << "\n";
+    }
+
+    if (!options.dot_path.empty()) {
+      const auto owner = session.partitioning().partition_of_node();
+      std::ofstream dot(options.dot_path);
+      CHOP_REQUIRE(dot.good(), "cannot open dot output: " + options.dot_path);
+      dot << dfg::to_dot(session.partitioning().spec(), owner);
+      std::cout << "wrote " << options.dot_path << "\n";
+    }
+
+    if (result.designs.empty()) {
+      std::cout << "no feasible partitioning under the given constraints\n";
+      return 2;
+    }
+    print_designs(session, result, options.guideline);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
