@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auto_partition.dir/bench_auto_partition.cpp.o"
+  "CMakeFiles/bench_auto_partition.dir/bench_auto_partition.cpp.o.d"
+  "bench_auto_partition"
+  "bench_auto_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auto_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_kl.dir/bench_baseline_kl.cpp.o"
+  "CMakeFiles/bench_baseline_kl.dir/bench_baseline_kl.cpp.o.d"
+  "bench_baseline_kl"
+  "bench_baseline_kl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_kl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_filter_exploration.dir/ar_filter_exploration.cpp.o"
+  "CMakeFiles/ar_filter_exploration.dir/ar_filter_exploration.cpp.o.d"
+  "ar_filter_exploration"
+  "ar_filter_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_filter_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

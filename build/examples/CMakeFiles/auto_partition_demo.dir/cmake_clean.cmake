@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_partition_demo.dir/auto_partition_demo.cpp.o"
+  "CMakeFiles/auto_partition_demo.dir/auto_partition_demo.cpp.o.d"
+  "auto_partition_demo"
+  "auto_partition_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_partition_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_exploration.dir/clock_exploration.cpp.o"
+  "CMakeFiles/clock_exploration.dir/clock_exploration.cpp.o.d"
+  "clock_exploration"
+  "clock_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

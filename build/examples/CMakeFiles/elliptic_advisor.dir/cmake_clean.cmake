@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elliptic_advisor.dir/elliptic_advisor.cpp.o"
+  "CMakeFiles/elliptic_advisor.dir/elliptic_advisor.cpp.o.d"
+  "elliptic_advisor"
+  "elliptic_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elliptic_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

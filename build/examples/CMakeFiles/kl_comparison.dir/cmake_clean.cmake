@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_comparison.dir/kl_comparison.cpp.o"
+  "CMakeFiles/kl_comparison.dir/kl_comparison.cpp.o.d"
+  "kl_comparison"
+  "kl_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bad/controller_model.cpp" "src/bad/CMakeFiles/chop_bad.dir/controller_model.cpp.o" "gcc" "src/bad/CMakeFiles/chop_bad.dir/controller_model.cpp.o.d"
+  "/root/repo/src/bad/datapath_model.cpp" "src/bad/CMakeFiles/chop_bad.dir/datapath_model.cpp.o" "gcc" "src/bad/CMakeFiles/chop_bad.dir/datapath_model.cpp.o.d"
+  "/root/repo/src/bad/latency_model.cpp" "src/bad/CMakeFiles/chop_bad.dir/latency_model.cpp.o" "gcc" "src/bad/CMakeFiles/chop_bad.dir/latency_model.cpp.o.d"
+  "/root/repo/src/bad/power_model.cpp" "src/bad/CMakeFiles/chop_bad.dir/power_model.cpp.o" "gcc" "src/bad/CMakeFiles/chop_bad.dir/power_model.cpp.o.d"
+  "/root/repo/src/bad/prediction.cpp" "src/bad/CMakeFiles/chop_bad.dir/prediction.cpp.o" "gcc" "src/bad/CMakeFiles/chop_bad.dir/prediction.cpp.o.d"
+  "/root/repo/src/bad/predictor.cpp" "src/bad/CMakeFiles/chop_bad.dir/predictor.cpp.o" "gcc" "src/bad/CMakeFiles/chop_bad.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/chop_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/chop_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/chop_schedule.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_bad.dir/controller_model.cpp.o"
+  "CMakeFiles/chop_bad.dir/controller_model.cpp.o.d"
+  "CMakeFiles/chop_bad.dir/datapath_model.cpp.o"
+  "CMakeFiles/chop_bad.dir/datapath_model.cpp.o.d"
+  "CMakeFiles/chop_bad.dir/latency_model.cpp.o"
+  "CMakeFiles/chop_bad.dir/latency_model.cpp.o.d"
+  "CMakeFiles/chop_bad.dir/power_model.cpp.o"
+  "CMakeFiles/chop_bad.dir/power_model.cpp.o.d"
+  "CMakeFiles/chop_bad.dir/prediction.cpp.o"
+  "CMakeFiles/chop_bad.dir/prediction.cpp.o.d"
+  "CMakeFiles/chop_bad.dir/predictor.cpp.o"
+  "CMakeFiles/chop_bad.dir/predictor.cpp.o.d"
+  "libchop_bad.a"
+  "libchop_bad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_bad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chop_bad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/kernighan_lin.cpp" "src/baseline/CMakeFiles/chop_baseline.dir/kernighan_lin.cpp.o" "gcc" "src/baseline/CMakeFiles/chop_baseline.dir/kernighan_lin.cpp.o.d"
+  "/root/repo/src/baseline/partition_builders.cpp" "src/baseline/CMakeFiles/chop_baseline.dir/partition_builders.cpp.o" "gcc" "src/baseline/CMakeFiles/chop_baseline.dir/partition_builders.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/chop_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_baseline.dir/kernighan_lin.cpp.o"
+  "CMakeFiles/chop_baseline.dir/kernighan_lin.cpp.o.d"
+  "CMakeFiles/chop_baseline.dir/partition_builders.cpp.o"
+  "CMakeFiles/chop_baseline.dir/partition_builders.cpp.o.d"
+  "libchop_baseline.a"
+  "libchop_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

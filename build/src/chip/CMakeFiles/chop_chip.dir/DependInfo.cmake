@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/memory.cpp" "src/chip/CMakeFiles/chop_chip.dir/memory.cpp.o" "gcc" "src/chip/CMakeFiles/chop_chip.dir/memory.cpp.o.d"
+  "/root/repo/src/chip/mosis_packages.cpp" "src/chip/CMakeFiles/chop_chip.dir/mosis_packages.cpp.o" "gcc" "src/chip/CMakeFiles/chop_chip.dir/mosis_packages.cpp.o.d"
+  "/root/repo/src/chip/package.cpp" "src/chip/CMakeFiles/chop_chip.dir/package.cpp.o" "gcc" "src/chip/CMakeFiles/chop_chip.dir/package.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_chip.dir/memory.cpp.o"
+  "CMakeFiles/chop_chip.dir/memory.cpp.o.d"
+  "CMakeFiles/chop_chip.dir/mosis_packages.cpp.o"
+  "CMakeFiles/chop_chip.dir/mosis_packages.cpp.o.d"
+  "CMakeFiles/chop_chip.dir/package.cpp.o"
+  "CMakeFiles/chop_chip.dir/package.cpp.o.d"
+  "libchop_chip.a"
+  "libchop_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auto_partition.cpp" "src/core/CMakeFiles/chop_core.dir/auto_partition.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/auto_partition.cpp.o.d"
+  "/root/repo/src/core/clock_explorer.cpp" "src/core/CMakeFiles/chop_core.dir/clock_explorer.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/clock_explorer.cpp.o.d"
+  "/root/repo/src/core/integration.cpp" "src/core/CMakeFiles/chop_core.dir/integration.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/integration.cpp.o.d"
+  "/root/repo/src/core/memory_optimizer.cpp" "src/core/CMakeFiles/chop_core.dir/memory_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/memory_optimizer.cpp.o.d"
+  "/root/repo/src/core/partitioning.cpp" "src/core/CMakeFiles/chop_core.dir/partitioning.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/partitioning.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/core/CMakeFiles/chop_core.dir/recorder.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/recorder.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/chop_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/chop_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/chop_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/chop_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/chop_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/chop_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/chop_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/chop_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/bad/CMakeFiles/chop_bad.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/chop_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_core.dir/auto_partition.cpp.o"
+  "CMakeFiles/chop_core.dir/auto_partition.cpp.o.d"
+  "CMakeFiles/chop_core.dir/clock_explorer.cpp.o"
+  "CMakeFiles/chop_core.dir/clock_explorer.cpp.o.d"
+  "CMakeFiles/chop_core.dir/integration.cpp.o"
+  "CMakeFiles/chop_core.dir/integration.cpp.o.d"
+  "CMakeFiles/chop_core.dir/memory_optimizer.cpp.o"
+  "CMakeFiles/chop_core.dir/memory_optimizer.cpp.o.d"
+  "CMakeFiles/chop_core.dir/partitioning.cpp.o"
+  "CMakeFiles/chop_core.dir/partitioning.cpp.o.d"
+  "CMakeFiles/chop_core.dir/recorder.cpp.o"
+  "CMakeFiles/chop_core.dir/recorder.cpp.o.d"
+  "CMakeFiles/chop_core.dir/search.cpp.o"
+  "CMakeFiles/chop_core.dir/search.cpp.o.d"
+  "CMakeFiles/chop_core.dir/session.cpp.o"
+  "CMakeFiles/chop_core.dir/session.cpp.o.d"
+  "CMakeFiles/chop_core.dir/transfer.cpp.o"
+  "CMakeFiles/chop_core.dir/transfer.cpp.o.d"
+  "libchop_core.a"
+  "libchop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

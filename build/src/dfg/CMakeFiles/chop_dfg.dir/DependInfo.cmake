@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/analysis.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/analysis.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/analysis.cpp.o.d"
+  "/root/repo/src/dfg/benchmarks.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/benchmarks.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/dot.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/dot.cpp.o.d"
+  "/root/repo/src/dfg/generator.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/generator.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/generator.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/subgraph.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/subgraph.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/subgraph.cpp.o.d"
+  "/root/repo/src/dfg/unroll.cpp" "src/dfg/CMakeFiles/chop_dfg.dir/unroll.cpp.o" "gcc" "src/dfg/CMakeFiles/chop_dfg.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_dfg.dir/analysis.cpp.o"
+  "CMakeFiles/chop_dfg.dir/analysis.cpp.o.d"
+  "CMakeFiles/chop_dfg.dir/benchmarks.cpp.o"
+  "CMakeFiles/chop_dfg.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/chop_dfg.dir/dot.cpp.o"
+  "CMakeFiles/chop_dfg.dir/dot.cpp.o.d"
+  "CMakeFiles/chop_dfg.dir/generator.cpp.o"
+  "CMakeFiles/chop_dfg.dir/generator.cpp.o.d"
+  "CMakeFiles/chop_dfg.dir/graph.cpp.o"
+  "CMakeFiles/chop_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/chop_dfg.dir/subgraph.cpp.o"
+  "CMakeFiles/chop_dfg.dir/subgraph.cpp.o.d"
+  "CMakeFiles/chop_dfg.dir/unroll.cpp.o"
+  "CMakeFiles/chop_dfg.dir/unroll.cpp.o.d"
+  "libchop_dfg.a"
+  "libchop_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

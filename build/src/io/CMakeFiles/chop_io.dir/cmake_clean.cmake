@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_io.dir/report.cpp.o"
+  "CMakeFiles/chop_io.dir/report.cpp.o.d"
+  "CMakeFiles/chop_io.dir/spec_format.cpp.o"
+  "CMakeFiles/chop_io.dir/spec_format.cpp.o.d"
+  "CMakeFiles/chop_io.dir/spec_writer.cpp.o"
+  "CMakeFiles/chop_io.dir/spec_writer.cpp.o.d"
+  "libchop_io.a"
+  "libchop_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchop_io.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_library.dir/component_library.cpp.o"
+  "CMakeFiles/chop_library.dir/component_library.cpp.o.d"
+  "CMakeFiles/chop_library.dir/experiment_library.cpp.o"
+  "CMakeFiles/chop_library.dir/experiment_library.cpp.o.d"
+  "CMakeFiles/chop_library.dir/module_set.cpp.o"
+  "CMakeFiles/chop_library.dir/module_set.cpp.o.d"
+  "libchop_library.a"
+  "libchop_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

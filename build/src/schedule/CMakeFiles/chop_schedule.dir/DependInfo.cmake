@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/op_schedule.cpp" "src/schedule/CMakeFiles/chop_schedule.dir/op_schedule.cpp.o" "gcc" "src/schedule/CMakeFiles/chop_schedule.dir/op_schedule.cpp.o.d"
+  "/root/repo/src/schedule/register_demand.cpp" "src/schedule/CMakeFiles/chop_schedule.dir/register_demand.cpp.o" "gcc" "src/schedule/CMakeFiles/chop_schedule.dir/register_demand.cpp.o.d"
+  "/root/repo/src/schedule/task_schedule.cpp" "src/schedule/CMakeFiles/chop_schedule.dir/task_schedule.cpp.o" "gcc" "src/schedule/CMakeFiles/chop_schedule.dir/task_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/chop_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

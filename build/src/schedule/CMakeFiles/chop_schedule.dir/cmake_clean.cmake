@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_schedule.dir/op_schedule.cpp.o"
+  "CMakeFiles/chop_schedule.dir/op_schedule.cpp.o.d"
+  "CMakeFiles/chop_schedule.dir/register_demand.cpp.o"
+  "CMakeFiles/chop_schedule.dir/register_demand.cpp.o.d"
+  "CMakeFiles/chop_schedule.dir/task_schedule.cpp.o"
+  "CMakeFiles/chop_schedule.dir/task_schedule.cpp.o.d"
+  "libchop_schedule.a"
+  "libchop_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_util.dir/csv.cpp.o"
+  "CMakeFiles/chop_util.dir/csv.cpp.o.d"
+  "CMakeFiles/chop_util.dir/statval.cpp.o"
+  "CMakeFiles/chop_util.dir/statval.cpp.o.d"
+  "CMakeFiles/chop_util.dir/table.cpp.o"
+  "CMakeFiles/chop_util.dir/table.cpp.o.d"
+  "libchop_util.a"
+  "libchop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

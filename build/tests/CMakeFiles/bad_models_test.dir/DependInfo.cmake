@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bad_models_test.cpp" "tests/CMakeFiles/bad_models_test.dir/bad_models_test.cpp.o" "gcc" "tests/CMakeFiles/bad_models_test.dir/bad_models_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bad/CMakeFiles/chop_bad.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/chop_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/chop_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/chop_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/chop_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/chop_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

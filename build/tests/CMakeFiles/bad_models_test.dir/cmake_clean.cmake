@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bad_models_test.dir/bad_models_test.cpp.o"
+  "CMakeFiles/bad_models_test.dir/bad_models_test.cpp.o.d"
+  "bad_models_test"
+  "bad_models_test.pdb"
+  "bad_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bad_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_memory_test.dir/integration_memory_test.cpp.o"
+  "CMakeFiles/integration_memory_test.dir/integration_memory_test.cpp.o.d"
+  "integration_memory_test"
+  "integration_memory_test.pdb"
+  "integration_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

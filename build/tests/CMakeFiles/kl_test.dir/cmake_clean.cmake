@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_test.dir/kl_test.cpp.o"
+  "CMakeFiles/kl_test.dir/kl_test.cpp.o.d"
+  "kl_test"
+  "kl_test.pdb"
+  "kl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_schedule_test.dir/op_schedule_test.cpp.o"
+  "CMakeFiles/op_schedule_test.dir/op_schedule_test.cpp.o.d"
+  "op_schedule_test"
+  "op_schedule_test.pdb"
+  "op_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

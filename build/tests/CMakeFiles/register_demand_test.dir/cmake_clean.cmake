@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_demand_test.dir/register_demand_test.cpp.o"
+  "CMakeFiles/register_demand_test.dir/register_demand_test.cpp.o.d"
+  "register_demand_test"
+  "register_demand_test.pdb"
+  "register_demand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_demand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

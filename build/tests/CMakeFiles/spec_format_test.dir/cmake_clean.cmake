@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_format_test.dir/spec_format_test.cpp.o"
+  "CMakeFiles/spec_format_test.dir/spec_format_test.cpp.o.d"
+  "spec_format_test"
+  "spec_format_test.pdb"
+  "spec_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

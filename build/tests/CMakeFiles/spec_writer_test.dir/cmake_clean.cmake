@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_writer_test.dir/spec_writer_test.cpp.o"
+  "CMakeFiles/spec_writer_test.dir/spec_writer_test.cpp.o.d"
+  "spec_writer_test"
+  "spec_writer_test.pdb"
+  "spec_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statval_test.dir/statval_test.cpp.o"
+  "CMakeFiles/statval_test.dir/statval_test.cpp.o.d"
+  "statval_test"
+  "statval_test.pdb"
+  "statval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

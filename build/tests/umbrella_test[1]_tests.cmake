@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EverythingLinks]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=Umbrella.EverythingLinks]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EverythingLinks]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS Umbrella.EverythingLinks)

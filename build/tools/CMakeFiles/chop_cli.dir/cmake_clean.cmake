@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chop_cli.dir/chop_cli.cpp.o"
+  "CMakeFiles/chop_cli.dir/chop_cli.cpp.o.d"
+  "chop_cli"
+  "chop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_fir4 "/root/repo/build/tools/chop_cli" "/root/repo/examples/specs/fir4.chop" "--guideline")
+set_tests_properties(cli_fir4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fir4_enumeration "/root/repo/build/tools/chop_cli" "/root/repo/examples/specs/fir4.chop" "--heuristic=E")
+set_tests_properties(cli_fir4_enumeration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diffeq "/root/repo/build/tools/chop_cli" "/root/repo/examples/specs/diffeq.chop")
+set_tests_properties(cli_diffeq PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diffeq_auto "/root/repo/build/tools/chop_cli" "/root/repo/examples/specs/diffeq.chop" "--auto")
+set_tests_properties(cli_diffeq_auto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_keep_all "/root/repo/build/tools/chop_cli" "/root/repo/examples/specs/fir4.chop" "--keep-all")
+set_tests_properties(cli_keep_all PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_artifacts "/root/repo/build/tools/chop_cli" "/root/repo/examples/specs/fir4.chop" "--save=cli_roundtrip.chop" "--report=cli_report.md" "--dot=cli_graph.dot")
+set_tests_properties(cli_artifacts PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/chop_cli")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_parse_error "/root/repo/build/tools/chop_cli" "/root/repo/README.md")
+set_tests_properties(cli_parse_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
