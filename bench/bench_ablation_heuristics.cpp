@@ -69,6 +69,7 @@ BENCHMARK(BM_heuristic)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_ablation_heuristics");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

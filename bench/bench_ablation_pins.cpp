@@ -84,6 +84,7 @@ BENCHMARK(BM_pin_sweep)->Arg(84)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_ablation_pins");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -60,6 +60,7 @@ BENCHMARK(BM_power_constrained_search)->Arg(0)->Arg(200);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_ablation_power");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -70,6 +70,7 @@ BENCHMARK(BM_enumeration)->Arg(1)->Arg(0);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_ablation_pruning");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -121,6 +121,7 @@ BENCHMARK(BM_auto_partition)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_auto_partition");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -103,6 +103,7 @@ BENCHMARK(BM_kl_partition);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_baseline_kl");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

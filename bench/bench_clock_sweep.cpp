@@ -59,6 +59,7 @@ BENCHMARK(BM_clock_sweep)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_clock_sweep");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -99,6 +99,7 @@ BENCHMARK(BM_keep_all_search);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_fig7_design_space");
   run_figure();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

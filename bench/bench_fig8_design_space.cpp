@@ -63,6 +63,7 @@ BENCHMARK(BM_multicycle_bad_sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_fig8_design_space");
   run_figure();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -45,6 +45,7 @@ BENCHMARK(BM_bad_prediction_pass_multicycle)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_table5_bad_stats");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

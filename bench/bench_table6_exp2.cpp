@@ -75,6 +75,7 @@ BENCHMARK(BM_search_multicycle)->Args({2, 0})->Args({2, 1})->Args({3, 0})->Args(
 }  // namespace
 
 int main(int argc, char** argv) {
+  chop::bench::ScopedMetricsDump metrics_dump("bench_table6_exp2");
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

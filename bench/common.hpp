@@ -4,6 +4,7 @@
 // paper; see EXPERIMENTS.md for paper-vs-measured.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/session.hpp"
 #include "dfg/benchmarks.hpp"
 #include "library/experiment_library.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -69,5 +71,29 @@ inline void print_header(const std::string& title, const std::string& note) {
   if (!note.empty()) std::cout << note << "\n";
   std::cout << "\n";
 }
+
+/// Declared first thing in every bench main(): on exit, writes the global
+/// metrics snapshot to `<name>.metrics.json` next to the printed table so
+/// each table's run comes with its counter/histogram evidence.
+class ScopedMetricsDump {
+ public:
+  explicit ScopedMetricsDump(const std::string& name)
+      : path_(name + ".metrics.json") {}
+  ScopedMetricsDump(const ScopedMetricsDump&) = delete;
+  ScopedMetricsDump& operator=(const ScopedMetricsDump&) = delete;
+
+  ~ScopedMetricsDump() {
+    std::ofstream os(path_);
+    if (!os.good()) {
+      std::cerr << "cannot write " << path_ << "\n";
+      return;
+    }
+    os << obs::MetricsRegistry::global().snapshot().to_json() << "\n";
+    std::cout << "wrote " << path_ << "\n";
+  }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace chop::bench

@@ -8,6 +8,8 @@
 #include "bad/latency_model.hpp"
 #include "bad/power_model.hpp"
 #include "library/module_set.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "schedule/op_schedule.hpp"
 
 namespace chop::bad {
@@ -124,6 +126,7 @@ Predictor::Predictor(PredictorOptions options) : options_(std::move(options)) {
 
 std::vector<DesignPrediction> Predictor::predict(
     const PredictionRequest& req) const {
+  obs::TraceSpan span("bad.predict");
   CHOP_REQUIRE(req.graph != nullptr, "prediction request needs a graph");
   CHOP_REQUIRE(req.library != nullptr, "prediction request needs a library");
   req.clocks.validate();
@@ -147,6 +150,11 @@ std::vector<DesignPrediction> Predictor::predict(
   const lib::BitCellSpec mux = req.library->mux_bit();
   const Ns eligibility_overhead = reg.delay + 2.0 * mux.delay;
 
+  static obs::Counter& module_sets =
+      obs::MetricsRegistry::global().counter("bad.module_sets");
+  static obs::Counter& schedules =
+      obs::MetricsRegistry::global().counter("bad.schedules");
+
   std::vector<DesignPrediction> out;
 
   for (const lib::ModuleSet& set :
@@ -155,6 +163,7 @@ std::vector<DesignPrediction> Predictor::predict(
         operation_latencies(g, set, req.style.clocking, req.clocks,
                             eligibility_overhead, req.memory_access_time);
     if (!latency_opt) continue;  // single-cycle: module set does not fit
+    module_sets.add();
     const std::vector<Cycles>& latency = *latency_opt;
 
     // Allocation sweep: cartesian product of per-kind unit counts.
@@ -183,6 +192,7 @@ std::vector<DesignPrediction> Predictor::predict(
       limits.memory_ports = req.memory_ports;
 
       const sched::OpSchedule nonpipe = sched::list_schedule(g, latency, limits);
+      schedules.add();
       CHOP_ASSERT(nonpipe.feasible, "nonpipelined list schedule cannot fail");
       out.push_back(make_prediction(req, set, alloc, latency, nonpipe,
                                     DesignStyle::Nonpipelined,
@@ -197,6 +207,7 @@ std::vector<DesignPrediction> Predictor::predict(
       for (Cycles ii = min_ii; ii <= ii_cap; ++ii) {
         const sched::OpSchedule pipe =
             sched::pipeline_schedule(g, latency, limits, ii);
+        schedules.add();
         if (!pipe.feasible) continue;
         out.push_back(make_prediction(req, set, alloc, latency, pipe,
                                       DesignStyle::Pipelined,
@@ -204,6 +215,10 @@ std::vector<DesignPrediction> Predictor::predict(
       }
     }
   }
+  static obs::Counter& raw =
+      obs::MetricsRegistry::global().counter("bad.predictions_raw");
+  raw.add(out.size());
+  span.arg("predictions", out.size());
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "baseline/kernighan_lin.hpp"
 #include "baseline/partition_builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chop::core {
 
@@ -137,6 +139,11 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
                                    chip::MemorySubsystem memory,
                                    const ChopConfig& config,
                                    const AutoPartitionOptions& options) {
+  obs::TraceSpan span("auto_partition");
+  static obs::Counter& evaluations =
+      obs::MetricsRegistry::global().counter("auto.evaluations");
+  static obs::Counter& accepted =
+      obs::MetricsRegistry::global().counter("auto.moves_accepted");
   CHOP_REQUIRE(!chips.empty(), "auto_partition needs at least one chip");
   CHOP_REQUIRE(options.max_iterations >= 0 &&
                    options.max_candidates_per_iteration >= 1,
@@ -178,6 +185,8 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
 
   for (const auto& [seed_name, seed_members] : seeds) {
     if (static_cast<int>(seed_members.size()) != k) continue;  // repair merged
+    obs::TraceSpan seed_span("auto_partition.seed");
+    seed_span.arg("seed", seed_name);
     std::vector<std::vector<dfg::NodeId>> members = seed_members;
     auto session =
         make_session(spec, library, chips, memory, config, members);
@@ -186,6 +195,7 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
     SearchResult search;
     Score best = evaluate(*session, options.search, search);
     ++result.evaluations;
+    evaluations.add();
     log.push_back("seed (" + seed_name + "): " + best.describe());
     int moves_accepted = 0;
 
@@ -204,11 +214,13 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
         const Score score =
             evaluate(*candidate, options.search, candidate_search);
         ++result.evaluations;
+        evaluations.add();
         if (score.better_than(best)) {
           best = score;
           members = std::move(candidate_members);
           search = std::move(candidate_search);
           ++moves_accepted;
+          accepted.add();
           std::ostringstream os;
           os << "move " << spec.node(move.op).name << " (op " << move.op
              << ") P" << move.from + 1 << " -> P" << move.to + 1 << ": "
@@ -235,6 +247,8 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
 
   CHOP_REQUIRE(have_global, "no valid seed partitioning could be built");
   result.log.push_back("final: " + global_best.describe());
+  span.arg("evaluations", result.evaluations);
+  span.arg("moves_accepted", result.accepted_moves);
   return result;
 }
 

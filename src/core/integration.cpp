@@ -5,6 +5,7 @@
 #include <map>
 
 #include "bad/power_model.hpp"
+#include "obs/metrics.hpp"
 #include "schedule/task_schedule.hpp"
 
 namespace chop::core {
@@ -68,9 +69,16 @@ IntegrationResult integrate(
   CHOP_REQUIRE(extra_reserved_pins_per_chip >= 0,
                "extra pin reserve cannot be negative");
 
+  static obs::Counter& attempts =
+      obs::MetricsRegistry::global().counter("integration.attempts");
+  static obs::Counter& infeasible =
+      obs::MetricsRegistry::global().counter("integration.infeasible");
+  attempts.add();
+
   IntegrationResult out;
   out.ii_main = ii_main;
   auto fail = [&](std::string why) {
+    infeasible.add();
     out.feasible = false;
     out.reason = std::move(why);
     return out;

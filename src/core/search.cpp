@@ -4,6 +4,9 @@
 #include <limits>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace chop::core {
 
 std::size_t PartitionPredictions::raw_total() const {
@@ -46,10 +49,58 @@ std::vector<bad::DesignPrediction> prune_level1(
     }
     feasible.push_back(std::move(p));
   }
-  return bad::pareto_filter(std::move(feasible));
+  const std::size_t input_count = predictions.size();
+  std::vector<bad::DesignPrediction> kept =
+      bad::pareto_filter(std::move(feasible));
+  static obs::Counter& pruned =
+      obs::MetricsRegistry::global().counter("search.pruned_level1");
+  pruned.add(input_count - kept.size());
+  return kept;
 }
 
 namespace {
+
+/// Feeds the per-trial metrics counters and the optional SearchObserver
+/// for both heuristics. Counter references are cached so the hot loop
+/// pays one relaxed atomic add per trial.
+class TrialReporter {
+ public:
+  explicit TrialReporter(obs::SearchObserver* observer)
+      : observer_(observer),
+        trials_(obs::MetricsRegistry::global().counter("search.trials")),
+        feasible_(obs::MetricsRegistry::global().counter("search.feasible")) {}
+
+  void trial(std::size_t trials_so_far, const IntegrationResult& result) {
+    trials_.add();
+    if (result.feasible) {
+      feasible_.add();
+      ++feasible_count_;
+      if (best_ii_ < 0 || result.ii_main < best_ii_ ||
+          (result.ii_main == best_ii_ &&
+           result.system_delay_main < best_delay_)) {
+        best_ii_ = result.ii_main;
+        best_delay_ = result.system_delay_main;
+      }
+    }
+    if (observer_ == nullptr) return;
+    obs::SearchProgress p;
+    p.trials = trials_so_far;
+    p.feasible = feasible_count_;
+    p.best_ii = best_ii_;
+    p.best_delay = best_delay_;
+    p.trial_feasible = result.feasible;
+    p.reason = result.reason.c_str();
+    observer_->on_trial(p);
+  }
+
+ private:
+  obs::SearchObserver* observer_;
+  obs::Counter& trials_;
+  obs::Counter& feasible_;
+  std::size_t feasible_count_ = 0;
+  long long best_ii_ = -1;
+  long long best_delay_ = -1;
+};
 
 /// Records an integration attempt in the recorder (record_all mode).
 void record_point(DesignSpaceRecorder& recorder,
@@ -112,6 +163,7 @@ SearchResult search_enumeration(
   std::vector<GlobalDesign> feasible;
   std::vector<std::size_t> odo(lists.size(), 0);
   std::vector<const bad::DesignPrediction*> selection(lists.size());
+  TrialReporter reporter(options.observer);
 
   bool done = false;
   while (!done) {
@@ -129,6 +181,7 @@ SearchResult search_enumeration(
         integrate(pt, selection, transfers, clocks, constraints, criteria, ii,
                   extra_pins);
     if (options.record_all) record_point(out.recorder, selection, result);
+    reporter.trial(out.trials, result);
     if (result.feasible) {
       ++out.feasible_raw;
       feasible.push_back(GlobalDesign{odo, result});
@@ -190,6 +243,7 @@ SearchResult search_iterative(
 
   std::vector<GlobalDesign> feasible;
   std::vector<const bad::DesignPrediction*> selection(lists.size());
+  TrialReporter reporter(options.observer);
 
   auto integrate_at = [&](const std::vector<std::size_t>& w) {
     for (std::size_t p = 0; p < lists.size(); ++p) {
@@ -235,6 +289,7 @@ SearchResult search_iterative(
       ++out.trials;
       const IntegrationResult result = integrate_at(w);
       if (options.record_all) record_point(out.recorder, selection, result);
+      reporter.trial(out.trials, result);
 
       if (result.feasible) {
         ++out.feasible_raw;
@@ -296,13 +351,37 @@ SearchResult find_feasible_implementations(
     const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
     const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
     const SearchOptions& options, Pins extra_reserved_pins_per_chip) {
-  return options.heuristic == Heuristic::Enumeration
-             ? search_enumeration(pt, pred, transfers, clocks, constraints,
-                                  criteria, options,
-                                  extra_reserved_pins_per_chip)
-             : search_iterative(pt, pred, transfers, clocks, constraints,
-                                criteria, options,
-                                extra_reserved_pins_per_chip);
+  const bool enumeration = options.heuristic == Heuristic::Enumeration;
+  obs::TraceSpan span(enumeration ? "search.enumeration" : "search.iterative");
+  SearchResult out =
+      enumeration ? search_enumeration(pt, pred, transfers, clocks,
+                                       constraints, criteria, options,
+                                       extra_reserved_pins_per_chip)
+                  : search_iterative(pt, pred, transfers, clocks, constraints,
+                                     criteria, options,
+                                     extra_reserved_pins_per_chip);
+
+  // Feasible global designs discarded as Pareto-inferior (level-2 prune).
+  static obs::Counter& pruned_inferior =
+      obs::MetricsRegistry::global().counter("search.pruned_inferior");
+  pruned_inferior.add(out.feasible_raw - out.designs.size());
+  span.arg("trials", out.trials);
+  span.arg("feasible", out.feasible_raw);
+  span.arg("designs", out.designs.size());
+  span.arg("truncated", out.truncated);
+
+  if (options.observer != nullptr) {
+    obs::SearchProgress p;
+    p.trials = out.trials;
+    p.feasible = out.feasible_raw;
+    if (!out.designs.empty()) {
+      p.best_ii = out.designs.front().integration.ii_main;
+      p.best_delay = out.designs.front().integration.system_delay_main;
+      p.trial_feasible = true;
+    }
+    options.observer->on_done(p);
+  }
+  return out;
 }
 
 }  // namespace chop::core

@@ -17,6 +17,7 @@
 #include "bad/prediction.hpp"
 #include "core/integration.hpp"
 #include "core/recorder.hpp"
+#include "obs/observer.hpp"
 
 namespace chop::core {
 
@@ -38,6 +39,9 @@ struct SearchOptions {
   /// Safety cap on integration attempts (0 = unlimited). The paper's own
   /// unpruned experiment-2 run died of swap space; we fail gracefully.
   std::size_t max_trials = 0;
+  /// Live-progress observer: sees every counted trial and a final
+  /// summary. Not owned; may be null (the default — zero overhead).
+  obs::SearchObserver* observer = nullptr;
 };
 
 /// Per-partition prediction lists: BAD's raw output and the level-1-pruned

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
 namespace chop::core {
 
 ChopSession::ChopSession(const lib::ComponentLibrary& library,
@@ -31,6 +35,8 @@ void ChopSession::set_clocking(const bad::ArchitectureStyle& style,
 }
 
 PredictionStats ChopSession::predict_partitions() {
+  obs::TraceSpan span("session.predict");
+  Timer timer;
   partitioning_.validate();
   predictions_ = PartitionPredictions{};
 
@@ -45,6 +51,8 @@ PredictionStats ChopSession::predict_partitions() {
 
   bad::Predictor predictor(config_.predictor);
   for (std::size_t p = 0; p < partitions.size(); ++p) {
+    obs::TraceSpan partition_span("session.predict.partition");
+    partition_span.arg("partition", partitions[p].name);
     const dfg::Subgraph sub = partitioning_.subgraph(static_cast<int>(p));
 
     bad::PredictionRequest request;
@@ -72,8 +80,18 @@ PredictionStats ChopSession::predict_partitions() {
   }
 
   predictions_valid_ = true;
-  return PredictionStats{predictions_.raw_total(),
-                         predictions_.eligible_total()};
+  const PredictionStats stats{predictions_.raw_total(),
+                              predictions_.eligible_total()};
+  obs::MetricsRegistry::global()
+      .histogram("session.predict_ms")
+      .observe(timer.elapsed_ms());
+  static obs::Counter& eligible =
+      obs::MetricsRegistry::global().counter("bad.predictions_eligible");
+  eligible.add(stats.feasible);
+  span.arg("partitions", partitioning_.partitions().size());
+  span.arg("predictions_raw", stats.total);
+  span.arg("predictions_eligible", stats.feasible);
+  return stats;
 }
 
 std::vector<DataTransfer> ChopSession::transfer_tasks() const {
@@ -81,6 +99,7 @@ std::vector<DataTransfer> ChopSession::transfer_tasks() const {
 }
 
 SearchResult ChopSession::search(const SearchOptions& options) const {
+  obs::TraceSpan span("session.search");
   CHOP_REQUIRE(predictions_valid_,
                "call predict_partitions() before search()");
   const Pins test_pins = config_.testability.scan_design

@@ -5,6 +5,8 @@
 #include <set>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+
 namespace chop::core {
 
 namespace {
@@ -122,6 +124,9 @@ std::vector<DataTransfer> create_transfer_tasks(const Partitioning& pt) {
     out.push_back(std::move(t));
   }
 
+  static obs::Counter& created =
+      obs::MetricsRegistry::global().counter("integration.transfer_tasks");
+  created.add(out.size());
   return out;
 }
 

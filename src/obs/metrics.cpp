@@ -1,0 +1,249 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace chop::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+// --- Histogram -------------------------------------------------------------
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive (and NaN) samples
+  // Bucket 1 covers [2^-16, 2^-15), bucket 63 is the overflow catch-all.
+  const int e = std::ilogb(v);
+  const int idx = e + 17;
+  return static_cast<std::size_t>(std::clamp(idx, 1, 63));
+}
+
+double Histogram::bucket_lower(std::size_t b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 17);
+}
+
+double Histogram::bucket_upper(std::size_t b) {
+  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 16);
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  ++buckets_[bucket_of(v)];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;  // exact at the extremes
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside the bucket, clamped to the exact
+      // observed range so q=0 / q=1 return min / max.
+      const double frac =
+          buckets_[b] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[b]);
+      const double lo = bucket_lower(b);
+      const double hi = bucket_upper(b);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  buckets_.fill(0);
+}
+
+// --- MetricsSnapshot -------------------------------------------------------
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + fmt(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + fmt(h.sum) +
+           ",\"min\":" + fmt(h.min) + ",\"max\":" + fmt(h.max) +
+           ",\"mean\":" + fmt(h.mean) + ",\"p50\":" + fmt(h.p50) +
+           ",\"p90\":" + fmt(h.p90) + ",\"p99\":" + fmt(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Shared row shape for the CSV and table renderings.
+template <typename RowFn>
+void for_each_row(const MetricsSnapshot& snap, RowFn&& row) {
+  for (const auto& [name, value] : snap.counters) {
+    row(name, "counter", std::to_string(value), "", "", "", "", "", "", "");
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    row(name, "gauge", fmt(value), "", "", "", "", "", "", "");
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    row(name, "histogram", std::to_string(h.count), fmt(h.sum), fmt(h.min),
+        fmt(h.max), fmt(h.mean), fmt(h.p50), fmt(h.p90), fmt(h.p99));
+  }
+}
+
+const std::vector<std::string> kMetricColumns = {
+    "name", "kind", "value", "sum", "min", "max", "mean", "p50", "p90", "p99"};
+
+}  // namespace
+
+CsvWriter MetricsSnapshot::to_csv() const {
+  CsvWriter csv(kMetricColumns);
+  for_each_row(*this, [&](auto&&... cells) {
+    csv.add_row({std::string(cells)...});
+  });
+  return csv;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  TablePrinter table(kMetricColumns);
+  for_each_row(*this, [&](auto&&... cells) {
+    table.add_row({std::string(cells)...});
+  });
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramStats s;
+    s.count = h->count();
+    if (s.count > 0) {
+      s.sum = h->sum();
+      s.min = h->min();
+      s.max = h->max();
+      s.mean = h->mean();
+      s.p50 = h->quantile(0.50);
+      s.p90 = h->quantile(0.90);
+      s.p99 = h->quantile(0.99);
+    }
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) entry.second->reset();
+  for (auto& entry : gauges_) entry.second->reset();
+  for (auto& entry : histograms_) entry.second->reset();
+}
+
+}  // namespace chop::obs

@@ -1,0 +1,140 @@
+// Metrics layer of chop_obs: a process-wide registry of named counters,
+// gauges and histograms, snapshotted at the end of a run into a table,
+// CSV, or JSON dump (`chop_cli --metrics=<file>`, bench `*.metrics.json`).
+//
+// Naming scheme (see docs/OBSERVABILITY.md): dot-separated
+// `<subsystem>.<quantity>`, e.g. `search.trials`, `bad.predictions_raw`,
+// `session.predict_ms`. Units are suffixes (`_ms`, `_bits`) when not
+// dimensionless counts.
+//
+// Hot-path discipline: `registry.counter(name)` takes a lock and a map
+// lookup, so callers cache the returned reference (stable for the
+// registry's lifetime) — typically in a function-local static — and pay
+// only one relaxed atomic add per event afterwards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/csv.hpp"
+
+namespace chop::obs {
+
+/// Monotonic event count. Lock-free; safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (e.g. a current best, a configuration knob).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Distribution of observed samples: exact count/sum/min/max plus
+/// power-of-two buckets for quantile estimates (log-bucketed like
+/// HdrHistogram, bucket b covers [2^(b-17), 2^(b-16)) with bucket 0
+/// catching non-positive samples).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;  ///< +inf when empty.
+  double max() const;  ///< -inf when empty.
+  double mean() const; ///< 0 when empty.
+
+  /// Bucket-interpolated quantile estimate, q in [0,1]; exact at the
+  /// extremes (clamped to the observed min/max). 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  static std::size_t bucket_of(double v);
+  static double bucket_lower(std::size_t b);
+  static double bucket_upper(std::size_t b);
+
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every registered metric, renderable as a table,
+/// CSV, or JSON.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+  std::string to_json() const;
+
+  /// One row per metric: name, kind, value/count, sum, min, max, mean,
+  /// p50, p90, p99 (empty cells where not applicable).
+  CsvWriter to_csv() const;
+
+  /// Aligned ASCII table of the same rows.
+  std::string to_table() const;
+};
+
+/// Registry of named metrics. References returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime; reset() zeroes the
+/// values but keeps the objects, so cached references stay valid.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every chop subsystem reports into.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (between bench repetitions / tests).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace chop::obs

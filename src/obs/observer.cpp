@@ -1,0 +1,28 @@
+#include "obs/observer.hpp"
+
+namespace chop::obs {
+
+void ProgressPrinter::print(const SearchProgress& progress, const char* tag) {
+  *os_ << "[search] " << tag << " trials=" << progress.trials
+       << " feasible=" << progress.feasible;
+  if (progress.best_ii >= 0) {
+    *os_ << " best II=" << progress.best_ii
+         << " delay=" << progress.best_delay;
+  }
+  if (!progress.trial_feasible && progress.reason[0] != '\0') {
+    *os_ << " last reject: " << progress.reason;
+  }
+  *os_ << "\n";
+  os_->flush();
+}
+
+void ProgressPrinter::on_trial(const SearchProgress& progress) {
+  if (progress.trials % every_ != 0) return;
+  print(progress, "...");
+}
+
+void ProgressPrinter::on_done(const SearchProgress& progress) {
+  print(progress, "done");
+}
+
+}  // namespace chop::obs

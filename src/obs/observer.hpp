@@ -1,0 +1,57 @@
+// Search-progress layer of chop_obs: a callback interface threaded
+// through core::SearchOptions so long enumeration/iterative runs can
+// report live trial counts, the current best design, and why trials are
+// being rejected — instead of going dark until the Tables-4/6 aggregates.
+//
+// The interface deliberately speaks in plain integers/strings (no core
+// types) so chop_obs stays a leaf library under chop_core.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+
+namespace chop::obs {
+
+/// Progress of one running search, updated per integration trial.
+struct SearchProgress {
+  std::size_t trials = 0;      ///< Trials so far, including the current one.
+  std::size_t feasible = 0;    ///< Feasible integrations so far.
+  long long best_ii = -1;      ///< Best feasible initiation interval (-1: none).
+  long long best_delay = -1;   ///< System delay of that best design.
+  bool trial_feasible = false; ///< Whether the current trial integrated.
+  /// Infeasibility reason of the current trial ("" when feasible). Points
+  /// into the integration result; valid only during the callback.
+  const char* reason = "";
+};
+
+/// Observes a search run. Callbacks fire on the searching thread; keep
+/// them cheap (the enumeration heuristic can run millions of trials).
+class SearchObserver {
+ public:
+  virtual ~SearchObserver() = default;
+  /// Called once per counted integration trial.
+  virtual void on_trial(const SearchProgress& progress) = 0;
+  /// Called once when the search finishes (found, exhausted or truncated).
+  virtual void on_done(const SearchProgress& progress) {
+    (void)progress;
+  }
+};
+
+/// Throttled textual progress: one status line every `every` trials plus
+/// a final summary (the `chop_cli --progress` implementation).
+class ProgressPrinter : public SearchObserver {
+ public:
+  explicit ProgressPrinter(std::ostream& os, std::size_t every = 1000)
+      : os_(&os), every_(every == 0 ? 1 : every) {}
+
+  void on_trial(const SearchProgress& progress) override;
+  void on_done(const SearchProgress& progress) override;
+
+ private:
+  void print(const SearchProgress& progress, const char* tag);
+
+  std::ostream* os_;
+  std::size_t every_;
+};
+
+}  // namespace chop::obs

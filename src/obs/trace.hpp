@@ -1,0 +1,135 @@
+// Tracing layer of chop_obs: RAII spans that record where wall-clock time
+// goes inside the partitioner, emitted to a pluggable sink as Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto) or as a
+// JSONL event log.
+//
+// Design rule: with no sink installed the instrumentation must be free in
+// practice — constructing a TraceSpan is one relaxed atomic load and no
+// clock read, so hot paths can stay instrumented unconditionally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace chop::obs {
+
+/// One trace event, in Chrome trace-event vocabulary: phase 'X' is a
+/// complete span (ts + dur), phase 'i' an instant marker. Timestamps are
+/// microseconds on a process-wide steady clock.
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  /// Pre-rendered `"key":value` pairs (no surrounding braces), empty when
+  /// the event carries no arguments.
+  std::string args_json;
+};
+
+/// Receives every emitted event. Implementations must be safe to call from
+/// multiple threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(const TraceEvent& e) = 0;
+  /// Finalizes any buffered output (e.g. closes the JSON array).
+  virtual void flush() {}
+};
+
+/// Installs `sink` as the process-wide trace sink (nullptr disables
+/// tracing). The caller keeps ownership and must keep the sink alive until
+/// it is uninstalled; spans in flight across an uninstall are dropped.
+void install_trace_sink(TraceSink* sink);
+
+/// The currently installed sink, or nullptr.
+TraceSink* trace_sink();
+
+/// True when a sink is installed (the fast-path check).
+inline bool trace_enabled() { return trace_sink() != nullptr; }
+
+/// Microseconds since process start on the steady clock.
+std::uint64_t trace_now_us();
+
+/// Small dense id for the calling thread (1, 2, ... in first-use order).
+std::uint32_t trace_thread_id();
+
+/// Escapes `s` for embedding inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Emits an instant event (phase 'i'); no-op without a sink.
+void trace_instant(const char* name, const std::string& args_json = {});
+
+/// RAII span: records a complete ('X') event covering its lifetime. When
+/// no sink is installed at construction, every member is a no-op.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), enabled_(trace_enabled()) {
+    if (enabled_) start_us_ = trace_now_us();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { finish(); }
+
+  /// Attaches a `"key":value` argument to the completed event. Only
+  /// string-builds when a sink was installed at span start.
+  template <typename T>
+    requires std::is_integral_v<T>
+  void arg(std::string_view key, T value) {
+    arg_integer(key, static_cast<long long>(value));
+  }
+  void arg(std::string_view key, double value);
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, const char* value) {
+    arg(key, std::string_view(value));
+  }
+
+  /// Emits the event now instead of at destruction.
+  void finish();
+
+ private:
+  void arg_integer(std::string_view key, long long value);
+
+  const char* name_;
+  bool enabled_;
+  std::uint64_t start_us_ = 0;
+  std::string args_;
+};
+
+/// Sink writing the Chrome trace-event JSON object format:
+/// `{"traceEvents":[{...},{...}]}`. flush() (or destruction) closes the
+/// array; the stream must outlive the sink.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os);
+  ~ChromeTraceSink() override;
+  void event(const TraceEvent& e) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+  std::ostream* os_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// Sink writing one JSON object per line — greppable, streamable, and
+/// trivially concatenated across runs.
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(&os) {}
+  void event(const TraceEvent& e) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+  std::ostream* os_;
+};
+
+}  // namespace chop::obs

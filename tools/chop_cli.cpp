@@ -11,11 +11,16 @@
 //     --save=<file>     write the (possibly auto-)partitioned project back
 //                       out as a .chop file
 //     --report=<file>   write a Markdown report of the session
+//     --trace=<file>    write a Chrome trace-event JSON of the run
+//                       (open in chrome://tracing or Perfetto)
+//     --metrics=<file>  write the end-of-run metrics snapshot as JSON
+//     --progress        print live search progress to stderr
 //
 // Exit status: 0 when at least one feasible design exists, 2 when none,
 // 1 on usage/parse errors.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/auto_partition.hpp"
@@ -24,6 +29,9 @@
 #include "io/spec_format.hpp"
 #include "io/report.hpp"
 #include "io/spec_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -41,13 +49,17 @@ struct CliOptions {
   std::string dot_path;
   std::string save_path;
   std::string report_path;
+  std::string trace_path;
+  std::string metrics_path;
+  bool progress = false;
 };
 
 int usage() {
   std::cerr
       << "usage: chop_cli <project.chop> [--heuristic=E|I] [--keep-all]\n"
          "                [--guideline] [--auto] [--optimize-memory]\n"
-         "                [--dot=<file>]\n";
+         "                [--dot=<file>] [--save=<file>] [--report=<file>]\n"
+         "                [--trace=<file>] [--metrics=<file>] [--progress]\n";
   return 1;
 }
 
@@ -77,6 +89,12 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.save_path = arg.substr(7);
     } else if (arg.rfind("--report=", 0) == 0) {
       options.report_path = arg.substr(9);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      options.metrics_path = arg.substr(10);
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (!arg.empty() && arg[0] != '-' && options.project_path.empty()) {
       options.project_path = arg;
     } else {
@@ -103,11 +121,52 @@ void print_designs(const core::ChopSession& session,
   }
 }
 
+/// Finalizes the observability outputs on every exit path: closes the
+/// Chrome trace (uninstalling the sink first) and dumps the metrics
+/// snapshot.
+struct ObsFinalizer {
+  const CliOptions* options = nullptr;
+  std::unique_ptr<obs::ChromeTraceSink> trace_sink;
+
+  ~ObsFinalizer() {
+    if (trace_sink) {
+      obs::install_trace_sink(nullptr);
+      trace_sink->flush();
+      std::cout << "wrote " << options->trace_path << "\n";
+    }
+    if (!options->metrics_path.empty()) {
+      std::ofstream os(options->metrics_path);
+      if (os.good()) {
+        os << obs::MetricsRegistry::global().snapshot().to_json() << "\n";
+        std::cout << "wrote " << options->metrics_path << "\n";
+      } else {
+        std::cerr << "error: cannot open metrics output: "
+                  << options->metrics_path << "\n";
+      }
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_args(argc, argv, options)) return usage();
+
+  std::ofstream trace_stream;  // must outlive the sink writing to it
+  ObsFinalizer obs_finalizer;
+  obs_finalizer.options = &options;
+  if (!options.trace_path.empty()) {
+    trace_stream.open(options.trace_path);
+    if (!trace_stream.good()) {
+      std::cerr << "error: cannot open trace output: " << options.trace_path
+                << "\n";
+      return 1;
+    }
+    obs_finalizer.trace_sink =
+        std::make_unique<obs::ChromeTraceSink>(trace_stream);
+    obs::install_trace_sink(obs_finalizer.trace_sink.get());
+  }
 
   io::Project project;
   try {
@@ -123,6 +182,8 @@ int main(int argc, char** argv) {
     search.prune = !options.keep_all;
     search.record_all = options.keep_all;
     search.max_trials = options.keep_all ? 500000 : 0;
+    obs::ProgressPrinter progress_printer(std::cerr, 1000);
+    if (options.progress) search.observer = &progress_printer;
 
     // --auto replaces the file's partitions with automatic ones.
     if (options.auto_partition) {
