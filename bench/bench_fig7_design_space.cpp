@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "core/eval/candidate_evaluator.hpp"
 #include "core/recorder.hpp"
 
 namespace {
@@ -82,6 +83,10 @@ void run_figure() {
   std::cout << "raw points written to fig7_design_space.csv\n\n";
 }
 
+/// Keep-all enumeration at Arg(0) worker threads. A fresh zero-capacity
+/// evaluator per iteration keeps the comparison honest: with the
+/// session's memo cache every iteration after the first is a replay and
+/// thread scaling would be measured on cache lookups, not integrations.
 void BM_keep_all_search(benchmark::State& state) {
   core::ChopSession session =
       bench::make_experiment_session(bench::Experiment::One, 2);
@@ -90,11 +95,14 @@ void BM_keep_all_search(benchmark::State& state) {
   options.prune = false;
   options.record_all = true;
   options.max_trials = 500000;
+  options.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
+    core::CandidateEvaluator no_cache(0);
+    options.evaluator = &no_cache;
     benchmark::DoNotOptimize(session.search(options));
   }
 }
-BENCHMARK(BM_keep_all_search);
+BENCHMARK(BM_keep_all_search)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

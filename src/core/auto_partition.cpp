@@ -6,6 +6,7 @@
 
 #include "baseline/kernighan_lin.hpp"
 #include "baseline/partition_builders.hpp"
+#include "core/eval/candidate_evaluator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -163,6 +164,17 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
   const int k = static_cast<int>(chips.size());
   Rng rng(options.rng_seed);
 
+  // One memo cache across every candidate cut, seed and restart: a greedy
+  // step that moves one op leaves most candidate selections content-
+  // identical, and rejected moves get re-probed from later states — both
+  // become cache hits. Content-hashed keys make cross-session sharing
+  // safe (each candidate session would otherwise get a private cache).
+  CandidateEvaluator shared_evaluator;
+  SearchOptions search_options = options.search;
+  if (search_options.evaluator == nullptr) {
+    search_options.evaluator = &shared_evaluator;
+  }
+
   // Diverse seeds; each must be quotient-acyclic before use.
   std::vector<std::pair<std::string, std::vector<std::vector<dfg::NodeId>>>>
       seeds;
@@ -193,7 +205,7 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
     if (!session) continue;
     std::vector<std::string> log;
     SearchResult search;
-    Score best = evaluate(*session, options.search, search);
+    Score best = evaluate(*session, search_options, search);
     ++result.evaluations;
     evaluations.add();
     log.push_back("seed (" + seed_name + "): " + best.describe());
@@ -212,7 +224,7 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
         ++considered;
         SearchResult candidate_search;
         const Score score =
-            evaluate(*candidate, options.search, candidate_search);
+            evaluate(*candidate, search_options, candidate_search);
         ++result.evaluations;
         evaluations.add();
         if (score.better_than(best)) {

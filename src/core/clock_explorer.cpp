@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace chop::core {
 
 std::string ClockCandidate::label() const {
@@ -34,10 +36,14 @@ ClockExplorationResult explore_clocks(
     ChopSession& session, const std::vector<ClockCandidate>& candidates,
     const SearchOptions& search) {
   CHOP_REQUIRE(!candidates.empty(), "clock exploration needs candidates");
+  obs::TraceSpan span("clock_explorer");
+  span.arg("candidates", candidates.size());
   ClockExplorationResult out;
   out.points.reserve(candidates.size());
 
   for (const ClockCandidate& candidate : candidates) {
+    obs::TraceSpan candidate_span("clock_explorer.candidate");
+    candidate_span.arg("clock", candidate.label());
     session.set_clocking(candidate.style, candidate.clocks);
     ClockPoint point;
     point.candidate = candidate;

@@ -1,0 +1,111 @@
+// CandidateEvaluator — the memoizing front door to integrate(). The
+// iterative heuristic's serialization probes re-integrate points its main
+// loop already visited, auto_partition re-evaluates the same candidate
+// cuts across restarts, and clock sweeps re-run the winning candidate;
+// before this layer every one of those recomputed transfer plans, urgency
+// schedules and PLA sizings from scratch. The evaluator caches
+// IntegrationResults keyed on (context fingerprint, system II, content
+// digest of each selected prediction) so any repeat — within a search,
+// across searches, even across sessions — is a lookup.
+//
+// Thread safety: the cache is sharded (kShards independently locked maps)
+// so the parallel enumeration's workers can share one evaluator without
+// serializing on a single mutex. Concurrent misses on the same key may
+// both compute; integrate() is pure, so whichever insert wins the result
+// is identical.
+//
+// Eviction: bounded residency, enforced per shard in FIFO order — oldest
+// insertions go first. Each shard holds at most ⌈max_entries/kShards⌉
+// entries, so total residency never exceeds kShards·⌈max_entries/kShards⌉
+// (exactly max_entries when it is a multiple of kShards). Eviction only
+// costs a repeat integration later; correctness never depends on
+// residency.
+//
+// Observability: global counters `eval.cache_hits`, `eval.cache_misses`
+// and `eval.cache_evictions`, plus per-instance stats().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/integration.hpp"
+
+namespace chop::obs {
+class Counter;
+}
+
+namespace chop::core {
+
+class CandidateEvaluator {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+
+  /// `max_entries` bounds residency (see the eviction note above);
+  /// 0 disables caching entirely — every evaluate() integrates fresh,
+  /// which is the reference behavior cache-correctness tests compare
+  /// against.
+  explicit CandidateEvaluator(std::size_t max_entries = kDefaultMaxEntries);
+
+  CandidateEvaluator(const CandidateEvaluator&) = delete;
+  CandidateEvaluator& operator=(const CandidateEvaluator&) = delete;
+
+  /// Integrates `selection` at `ii_main` under `ctx`, returning a cached
+  /// result when this exact candidate was evaluated before. The returned
+  /// pointer is never null and stays valid after eviction (shared
+  /// ownership). Safe to call from multiple threads concurrently.
+  std::shared_ptr<const IntegrationResult> evaluate(
+      const EvalContext& ctx,
+      const std::vector<const bad::DesignPrediction*>& selection,
+      Cycles ii_main);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  /// Entries currently resident, across all shards.
+  std::size_t size() const;
+
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// Drops every entry (stats are kept).
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t context_fp = 0;
+    Cycles ii = 0;
+    std::vector<std::uint64_t> selection_fp;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const IntegrationResult>, KeyHash>
+        map;
+    std::deque<Key> fifo;  ///< Insertion order, for eviction.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  std::size_t max_entries_;
+  std::size_t shard_cap_;  ///< ⌈max_entries_ / kShards⌉ (0 = no caching).
+  std::array<Shard, kShards> shards_;
+  obs::Counter& hits_counter_;
+  obs::Counter& misses_counter_;
+  obs::Counter& evictions_counter_;
+};
+
+}  // namespace chop::core

@@ -1,0 +1,64 @@
+// Content fingerprinting for the evaluation engine: a streaming FNV-1a
+// hasher plus fingerprint() overloads for the model objects that feed an
+// integration — the EvalContext tuple and the per-partition predictions.
+//
+// The CandidateEvaluator keys its memo on *content*, not object identity:
+// two selections whose predictions carry identical characteristics yield
+// identical IntegrationResults (integrate() is a pure function of its
+// inputs), so a content key is reusable across sessions, restarts and
+// clock sweeps without any invalidation protocol. A 64-bit digest per
+// partition keeps the key compact; the cache-correctness tests assert the
+// memoized results match fresh evaluations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bad/prediction.hpp"
+#include "bad/style.hpp"
+#include "core/constraints.hpp"
+#include "core/transfer.hpp"
+
+namespace chop::core {
+
+/// Streaming 64-bit FNV-1a. Feed plain-old-data via mix(); strings via
+/// mix_bytes(). Deterministic across runs and platforms of equal widths.
+class Fnv1a {
+ public:
+  void mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ull;
+    }
+  }
+
+  void mix(std::uint64_t v) { mix_bytes(&v, sizeof(v)); }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(std::int32_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(double v) { mix_bytes(&v, sizeof(v)); }
+  void mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    mix_bytes(s.data(), s.size());
+  }
+  void mix(const StatVal& v) {
+    mix(v.lo());
+    mix(v.likely());
+    mix(v.hi());
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// Digest of every field of `p` that integrate() reads (directly or via
+/// the urgency schedule): style, timing, areas, clock charge, power and
+/// memory-access profile.
+std::uint64_t fingerprint(const bad::DesignPrediction& p);
+
+/// Digest of one data-transfer task.
+void mix_transfer(Fnv1a& h, const DataTransfer& t);
+
+}  // namespace chop::core

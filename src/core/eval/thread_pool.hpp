@@ -1,0 +1,49 @@
+// A small fixed-size thread pool for the evaluation engine. The parallel
+// enumeration submits one job per odometer chunk and joins them in chunk
+// order through the returned futures — the pool itself imposes no
+// ordering, so determinism lives entirely in the caller's merge step.
+//
+// Deliberately minimal: no work stealing, no resizing, no task priorities.
+// Search chunks are coarse (hundreds-plus integrations each), so a mutex-
+// guarded queue is nowhere near the bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chop::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(int threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue: jobs already submitted run to completion, then the
+  /// workers join.
+  ~ThreadPool();
+
+  /// Enqueues `job`; the future becomes ready when it finishes (or rethrows
+  /// what it threw).
+  std::future<void> submit(std::function<void()> job);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace chop::core

@@ -50,11 +50,15 @@ struct PinSharing {
 }  // namespace
 
 IntegrationResult integrate(
-    const Partitioning& pt,
+    const EvalContext& ctx,
     const std::vector<const bad::DesignPrediction*>& selection,
-    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
-    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
-    Cycles ii_main, Pins extra_reserved_pins_per_chip) {
+    Cycles ii_main) {
+  const Partitioning& pt = ctx.partitioning();
+  const std::vector<DataTransfer>& transfers = ctx.transfers();
+  const bad::ClockSpec& clocks = ctx.clocks();
+  const DesignConstraints& constraints = ctx.constraints();
+  const FeasibilityCriteria& criteria = ctx.criteria();
+  const Pins extra_reserved_pins_per_chip = ctx.extra_pins();
   const auto& partitions = pt.partitions();
   const auto& chips = pt.chips();
   CHOP_REQUIRE(selection.size() == partitions.size(),
@@ -62,12 +66,10 @@ IntegrationResult integrate(
   for (const bad::DesignPrediction* p : selection) {
     CHOP_REQUIRE(p != nullptr, "selection has an unselected partition");
   }
-  constraints.validate();
-  criteria.validate();
-  clocks.validate();
+  // Clocks/constraints/criteria/extra-pins were validated when the
+  // EvalContext was built; only the per-candidate arguments are checked
+  // here.
   CHOP_REQUIRE(ii_main >= 1, "system initiation interval must be positive");
-  CHOP_REQUIRE(extra_reserved_pins_per_chip >= 0,
-               "extra pin reserve cannot be negative");
 
   static obs::Counter& attempts =
       obs::MetricsRegistry::global().counter("integration.attempts");

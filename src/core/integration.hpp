@@ -27,6 +27,7 @@
 #include "bad/prediction.hpp"
 #include "bad/style.hpp"
 #include "core/constraints.hpp"
+#include "core/eval/eval_context.hpp"
 #include "core/transfer.hpp"
 #include "util/statval.hpp"
 
@@ -66,17 +67,16 @@ struct IntegrationResult {
 };
 
 /// Integrates `selection` (one prediction per partition, indexed like
-/// pt.partitions()) at system initiation interval `ii_main` main-clock
-/// cycles. `transfers` must come from create_transfer_tasks(pt).
-/// `extra_reserved_pins_per_chip` removes unshared pins from every chip's
-/// data budget before bandwidth allocation (e.g. scan-test access pins,
-/// §5 extension).
+/// ctx.partitioning().partitions()) at system initiation interval
+/// `ii_main` main-clock cycles. The context carries the partitioning, its
+/// transfer tasks (from create_transfer_tasks), the clock family, the
+/// constraint budget, the feasibility criteria and any extra reserved
+/// pins. Pure: same context + selection + ii always yields the same
+/// result, which is what lets CandidateEvaluator memoize it.
 IntegrationResult integrate(
-    const Partitioning& pt,
+    const EvalContext& ctx,
     const std::vector<const bad::DesignPrediction*>& selection,
-    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
-    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
-    Cycles ii_main, Pins extra_reserved_pins_per_chip = 0);
+    Cycles ii_main);
 
 /// The performance bound a combination implies: the slowest selected
 /// implementation ("the performance of each combination is upper bounded

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace chop::core {
 
 namespace {
@@ -41,6 +43,7 @@ Score evaluate(ChopSession& session, const SearchOptions& options,
 
 MemoryPlacementResult optimize_memory_placement(
     ChopSession& session, const MemoryPlacementOptions& options) {
+  obs::TraceSpan span("memory_optimizer");
   const std::size_t blocks =
       session.partitioning().memory().blocks.size();
   const int chips = static_cast<int>(session.partitioning().chips().size());
@@ -109,6 +112,8 @@ MemoryPlacementResult optimize_memory_placement(
   session.predict_partitions();
   result.placement = std::move(best_placement);
   result.search = std::move(best_search);
+  span.arg("evaluated", result.evaluated);
+  span.arg("truncated", result.truncated);
   return result;
 }
 

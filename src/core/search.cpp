@@ -1,9 +1,12 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <future>
 #include <limits>
 #include <set>
 
+#include "core/eval/candidate_evaluator.hpp"
+#include "core/eval/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -28,6 +31,7 @@ std::vector<bad::DesignPrediction> prune_level1(
   constraints.validate();
   criteria.validate();
 
+  const std::size_t input_count = predictions.size();
   std::vector<bad::DesignPrediction> feasible;
   for (auto& p : predictions) {
     if (!criteria.area_ok(p.total_area, chip_usable_area)) continue;
@@ -49,20 +53,42 @@ std::vector<bad::DesignPrediction> prune_level1(
     }
     feasible.push_back(std::move(p));
   }
-  const std::size_t input_count = predictions.size();
+  const std::size_t feasible_count = feasible.size();
   std::vector<bad::DesignPrediction> kept =
       bad::pareto_filter(std::move(feasible));
-  static obs::Counter& pruned =
-      obs::MetricsRegistry::global().counter("search.pruned_level1");
-  pruned.add(input_count - kept.size());
+  // Constraint-infeasible drops and Pareto-inferior drops are distinct
+  // phenomena (the Tables-3/5 reconciliation needs both), so they are
+  // counted separately.
+  static obs::Counter& pruned_infeasible =
+      obs::MetricsRegistry::global().counter("search.pruned_infeasible");
+  static obs::Counter& pruned_pareto =
+      obs::MetricsRegistry::global().counter("search.pruned_pareto");
+  pruned_infeasible.add(input_count - feasible_count);
+  pruned_pareto.add(feasible_count - kept.size());
   return kept;
 }
 
 namespace {
 
+/// The per-trial facts the reporting/merge path needs, detached from the
+/// full IntegrationResult so parallel chunks can buffer trials compactly.
+struct TrialView {
+  bool feasible = false;
+  Cycles ii_main = 0;
+  Cycles delay_main = 0;
+  const char* reason = "";
+};
+
+TrialView view_of(const IntegrationResult& result) {
+  return TrialView{result.feasible, result.ii_main, result.system_delay_main,
+                   result.reason.c_str()};
+}
+
 /// Feeds the per-trial metrics counters and the optional SearchObserver
 /// for both heuristics. Counter references are cached so the hot loop
-/// pays one relaxed atomic add per trial.
+/// pays one relaxed atomic add per trial. Always invoked on the search's
+/// calling thread, in trial order — the parallel enumeration funnels
+/// buffered trials through here during its in-order merge.
 class TrialReporter {
  public:
   explicit TrialReporter(obs::SearchObserver* observer)
@@ -70,16 +96,15 @@ class TrialReporter {
         trials_(obs::MetricsRegistry::global().counter("search.trials")),
         feasible_(obs::MetricsRegistry::global().counter("search.feasible")) {}
 
-  void trial(std::size_t trials_so_far, const IntegrationResult& result) {
+  void trial(std::size_t trials_so_far, const TrialView& result) {
     trials_.add();
     if (result.feasible) {
       feasible_.add();
       ++feasible_count_;
       if (best_ii_ < 0 || result.ii_main < best_ii_ ||
-          (result.ii_main == best_ii_ &&
-           result.system_delay_main < best_delay_)) {
+          (result.ii_main == best_ii_ && result.delay_main < best_delay_)) {
         best_ii_ = result.ii_main;
-        best_delay_ = result.system_delay_main;
+        best_delay_ = result.delay_main;
       }
     }
     if (observer_ == nullptr) return;
@@ -89,7 +114,7 @@ class TrialReporter {
     p.best_ii = best_ii_;
     p.best_delay = best_delay_;
     p.trial_feasible = result.feasible;
-    p.reason = result.reason.c_str();
+    p.reason = result.reason;
     observer_->on_trial(p);
   }
 
@@ -102,10 +127,9 @@ class TrialReporter {
   long long best_delay_ = -1;
 };
 
-/// Records an integration attempt in the recorder (record_all mode).
-void record_point(DesignSpaceRecorder& recorder,
-                  const std::vector<const bad::DesignPrediction*>& selection,
-                  const IntegrationResult& result) {
+/// Builds the recorder point for one integration attempt.
+DesignPoint make_point(const std::vector<const bad::DesignPrediction*>& selection,
+                       const IntegrationResult& result) {
   DesignPoint point;
   point.ii_main = result.ii_main;
   point.delay_main = result.system_delay_main;
@@ -116,7 +140,7 @@ void record_point(DesignSpaceRecorder& recorder,
   point.area_likely = area;
   point.clock_ns = result.clock_ns();
   point.feasible = result.feasible;
-  recorder.record(point);
+  return point;
 }
 
 /// Keeps only Pareto-optimal (ii, delay) designs, II ascending.
@@ -147,68 +171,204 @@ const std::vector<std::vector<bad::DesignPrediction>>& search_lists(
   return options.prune ? pred.eligible : pred.raw;
 }
 
-SearchResult search_enumeration(
-    const Partitioning& pt, const PartitionPredictions& pred,
-    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
-    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
-    const SearchOptions& options, Pins extra_pins) {
+// ---------------------------------------------------------------------------
+// Enumeration heuristic.
+//
+// The combination space is a mixed-radix odometer over the per-partition
+// lists, with digit 0 fastest — trial i selects lists[p][(i / stride[p]) %
+// len[p]]. Serial and parallel runs both walk indices 0..limit-1 in that
+// order; the parallel run merely evaluates contiguous chunks concurrently
+// and merges them back in chunk order, so every observable output is
+// identical.
+// ---------------------------------------------------------------------------
+
+/// One buffered enumeration trial, produced by a worker and consumed by
+/// the in-order merge. Holds the reason by value (a TrialView's borrowed
+/// pointer would dangle when the record moves — SSO strings relocate).
+struct TrialRecord {
+  DesignPoint point;
+  bool feasible = false;
+  Cycles ii_main = 0;
+  Cycles delay_main = 0;
+  std::string reason;
+  std::shared_ptr<const IntegrationResult> result;  ///< Set when feasible.
+  std::vector<std::size_t> choice;                  ///< Set when feasible.
+};
+
+struct OdometerSpace {
+  std::vector<std::size_t> len;
+  std::vector<std::size_t> stride;
+  std::size_t total = 0;       ///< Product of lens, saturated at max().
+  bool saturated = false;      ///< Product overflowed std::size_t.
+};
+
+OdometerSpace odometer_space(
+    const std::vector<std::vector<bad::DesignPrediction>>& lists) {
+  OdometerSpace space;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  space.total = 1;
+  for (const auto& list : lists) {
+    space.len.push_back(list.size());
+    space.stride.push_back(space.total);
+    if (!list.empty() && space.total > kMax / list.size()) {
+      space.saturated = true;
+      space.total = kMax;
+    } else if (!space.saturated) {
+      space.total *= list.size();
+    }
+  }
+  return space;
+}
+
+std::vector<std::size_t> decode_odometer(const OdometerSpace& space,
+                                         std::size_t index) {
+  std::vector<std::size_t> odo(space.len.size());
+  for (std::size_t p = 0; p < space.len.size(); ++p) {
+    odo[p] = (index / space.stride[p]) % space.len[p];
+  }
+  return odo;
+}
+
+/// Evaluates enumeration trial `index` into a buffered record.
+TrialRecord evaluate_trial(
+    const EvalContext& ctx,
+    const std::vector<std::vector<bad::DesignPrediction>>& lists,
+    const OdometerSpace& space, std::size_t index,
+    CandidateEvaluator& evaluator,
+    std::vector<const bad::DesignPrediction*>& selection) {
+  std::vector<std::size_t> odo = decode_odometer(space, index);
+  for (std::size_t p = 0; p < lists.size(); ++p) {
+    selection[p] = &lists[p][odo[p]];
+  }
+  const Cycles ii = combination_ii(selection);
+  std::shared_ptr<const IntegrationResult> result =
+      evaluator.evaluate(ctx, selection, ii);
+
+  TrialRecord record;
+  record.point = make_point(selection, *result);
+  record.feasible = result->feasible;
+  record.ii_main = result->ii_main;
+  record.delay_main = result->system_delay_main;
+  record.reason = result->reason;
+  if (result->feasible) {
+    record.result = std::move(result);
+    record.choice = std::move(odo);
+  }
+  return record;
+}
+
+/// Merges one trial into the accumulating SearchResult, in trial order.
+void merge_trial(SearchResult& out, TrialRecord record, TrialReporter& reporter,
+                 const SearchOptions& options,
+                 std::vector<GlobalDesign>& feasible) {
+  ++out.trials;
+  if (options.record_all) out.recorder.record(record.point);
+  reporter.trial(out.trials,
+                 TrialView{record.feasible, record.ii_main, record.delay_main,
+                           record.reason.c_str()});
+  if (record.feasible) {
+    ++out.feasible_raw;
+    feasible.push_back(
+        GlobalDesign{std::move(record.choice), *record.result});
+  }
+}
+
+SearchResult search_enumeration(const EvalContext& ctx,
+                                const PartitionPredictions& pred,
+                                const SearchOptions& options,
+                                CandidateEvaluator& evaluator) {
   SearchResult out;
   const auto& lists = search_lists(pred, options);
-  CHOP_REQUIRE(lists.size() == pt.partitions().size(),
+  CHOP_REQUIRE(lists.size() == ctx.partitioning().partitions().size(),
                "prediction lists must match partition count");
   for (const auto& list : lists) {
     if (list.empty()) return out;  // some partition has no implementation
   }
 
-  std::vector<GlobalDesign> feasible;
-  std::vector<std::size_t> odo(lists.size(), 0);
-  std::vector<const bad::DesignPrediction*> selection(lists.size());
-  TrialReporter reporter(options.observer);
-
-  bool done = false;
-  while (!done) {
-    if (options.max_trials > 0 && out.trials >= options.max_trials) {
-      out.truncated = true;
-      break;
-    }
-    ++out.trials;
-    for (std::size_t p = 0; p < lists.size(); ++p) {
-      selection[p] = &lists[p][odo[p]];
-    }
-
-    const Cycles ii = combination_ii(selection);
-    const IntegrationResult result =
-        integrate(pt, selection, transfers, clocks, constraints, criteria, ii,
-                  extra_pins);
-    if (options.record_all) record_point(out.recorder, selection, result);
-    reporter.trial(out.trials, result);
-    if (result.feasible) {
-      ++out.feasible_raw;
-      feasible.push_back(GlobalDesign{odo, result});
-    }
-
-    // Advance the odometer.
-    for (std::size_t p = 0;; ++p) {
-      if (p == odo.size()) {
-        done = true;
-        break;
-      }
-      if (++odo[p] < lists[p].size()) break;
-      odo[p] = 0;
-    }
+  const OdometerSpace space = odometer_space(lists);
+  std::size_t limit = space.total;
+  if (options.max_trials > 0 && options.max_trials < space.total) {
+    limit = options.max_trials;
   }
 
+  std::vector<GlobalDesign> feasible;
+  TrialReporter reporter(options.observer);
+
+  // A saturated odometer (> 2^64 combinations) cannot be chunked by global
+  // index; it also cannot finish, so the serial walk's incremental
+  // truncation is the only sane mode.
+  const bool parallel = options.threads > 1 && !space.saturated && limit > 1;
+
+  if (!parallel) {
+    std::vector<const bad::DesignPrediction*> selection(lists.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+      merge_trial(out,
+                  evaluate_trial(ctx, lists, space, i, evaluator, selection),
+                  reporter, options, feasible);
+    }
+  } else {
+    obs::TraceSpan span("search.parallel");
+    const std::size_t chunk_count = std::min<std::size_t>(
+        limit, static_cast<std::size_t>(options.threads) * 4);
+    const std::size_t chunk_size = (limit + chunk_count - 1) / chunk_count;
+    ThreadPool pool(std::min<int>(options.threads,
+                                  static_cast<int>(chunk_count)));
+
+    std::vector<std::vector<TrialRecord>> chunk_records(chunk_count);
+    std::vector<std::future<void>> done;
+    done.reserve(chunk_count);
+    for (std::size_t k = 0; k < chunk_count; ++k) {
+      // Ceiling-divided chunks can run past the end; trailing chunks are
+      // then empty and merge as no-ops.
+      const std::size_t start = std::min(limit, k * chunk_size);
+      const std::size_t end = std::min(limit, start + chunk_size);
+      done.push_back(pool.submit([&, k, start, end] {
+        obs::TraceSpan chunk_span("search.parallel.chunk");
+        chunk_span.arg("chunk", k);
+        chunk_span.arg("start", start);
+        chunk_span.arg("trials", end - start);
+        std::vector<const bad::DesignPrediction*> selection(lists.size());
+        auto& records = chunk_records[k];
+        records.reserve(end - start);
+        for (std::size_t i = start; i < end; ++i) {
+          records.push_back(
+              evaluate_trial(ctx, lists, space, i, evaluator, selection));
+        }
+      }));
+    }
+
+    // In-order merge: chunk k is folded in only once complete, so the
+    // observer, the recorder and the result fields see exactly the serial
+    // sequence. Workers keep racing ahead on later chunks meanwhile.
+    for (std::size_t k = 0; k < chunk_count; ++k) {
+      done[k].get();
+      for (TrialRecord& record : chunk_records[k]) {
+        merge_trial(out, std::move(record), reporter, options, feasible);
+      }
+      chunk_records[k].clear();
+      chunk_records[k].shrink_to_fit();
+    }
+    span.arg("threads", options.threads);
+    span.arg("chunks", chunk_count);
+    span.arg("trials", out.trials);
+  }
+
+  out.truncated = limit < space.total;
   out.designs = non_inferior(std::move(feasible));
   return out;
 }
 
-SearchResult search_iterative(
-    const Partitioning& pt, const PartitionPredictions& pred,
-    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
-    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
-    const SearchOptions& options, Pins extra_pins) {
+// ---------------------------------------------------------------------------
+// Iterative heuristic (Figure 5).
+// ---------------------------------------------------------------------------
+
+SearchResult search_iterative(const EvalContext& ctx,
+                              const PartitionPredictions& pred,
+                              const SearchOptions& options,
+                              CandidateEvaluator& evaluator) {
   SearchResult out;
   const auto& input_lists = search_lists(pred, options);
+  const Partitioning& pt = ctx.partitioning();
   CHOP_REQUIRE(input_lists.size() == pt.partitions().size(),
                "prediction lists must match partition count");
   for (const auto& list : input_lists) {
@@ -234,8 +394,8 @@ SearchResult search_iterative(
   std::set<Cycles> candidate_iis;
   for (const auto& list : lists) {
     for (const bad::DesignPrediction* p : list) {
-      if (static_cast<double>(p->ii_main) * clocks.main_clock <=
-          constraints.performance_ns) {
+      if (static_cast<double>(p->ii_main) * ctx.clocks().main_clock <=
+          ctx.constraints().performance_ns) {
         candidate_iis.insert(p->ii_main);
       }
     }
@@ -244,14 +404,19 @@ SearchResult search_iterative(
   std::vector<GlobalDesign> feasible;
   std::vector<const bad::DesignPrediction*> selection(lists.size());
   TrialReporter reporter(options.observer);
+  // The serialization probes bypass the trial count (the paper's counts
+  // exclude them) but are real integrations — surfaced via this counter
+  // so --progress/metrics no longer under-report work done. The memo
+  // cache also means a probe revisited by the main walk costs nothing.
+  static obs::Counter& probe_counter =
+      obs::MetricsRegistry::global().counter("search.probe_integrations");
 
   auto integrate_at = [&](const std::vector<std::size_t>& w) {
     for (std::size_t p = 0; p < lists.size(); ++p) {
       selection[p] = lists[p][w[p]];
     }
     const Cycles ii = combination_ii(selection);
-    return integrate(pt, selection, transfers, clocks, constraints, criteria,
-                     ii, extra_pins);
+    return evaluator.evaluate(ctx, selection, ii);
   };
 
   for (Cycles l : candidate_iis) {
@@ -287,11 +452,13 @@ SearchResult search_iterative(
         break;
       }
       ++out.trials;
-      const IntegrationResult result = integrate_at(w);
-      if (options.record_all) record_point(out.recorder, selection, result);
-      reporter.trial(out.trials, result);
+      const std::shared_ptr<const IntegrationResult> result = integrate_at(w);
+      if (options.record_all) {
+        out.recorder.record(make_point(selection, *result));
+      }
+      reporter.trial(out.trials, view_of(*result));
 
-      if (result.feasible) {
+      if (result->feasible) {
         ++out.feasible_raw;
         // Map sorted positions back to indices in the searched list so
         // GlobalDesign::choice means the same thing for both heuristics.
@@ -300,13 +467,13 @@ SearchResult search_iterative(
           original[p] = static_cast<std::size_t>(lists[p][w[p]] -
                                                  input_lists[p].data());
         }
-        feasible.push_back(GlobalDesign{std::move(original), result});
+        feasible.push_back(GlobalDesign{std::move(original), *result});
         break;
       }
 
       // Q: partitions residing on chips whose area constraint is violated.
       std::vector<std::size_t> q;
-      for (int chip : result.violated_chips) {
+      for (int chip : result->violated_chips) {
         for (int p : pt.partitions_on_chip(chip)) {
           q.push_back(static_cast<std::size_t>(p));
         }
@@ -324,9 +491,12 @@ SearchResult search_iterative(
         if (next >= lists[p].size()) continue;
         std::vector<std::size_t> probe = w;
         probe[p] = next;
-        const IntegrationResult probed = integrate_at(probe);
-        const Cycles delay = probed.system_delay_main > 0
-                                 ? probed.system_delay_main
+        ++out.probe_integrations;
+        probe_counter.add();
+        const std::shared_ptr<const IntegrationResult> probed =
+            integrate_at(probe);
+        const Cycles delay = probed->system_delay_main > 0
+                                 ? probed->system_delay_main
                                  : std::numeric_limits<Cycles>::max() / 2;
         if (delay < best_delay) {
           best_delay = delay;
@@ -346,20 +516,23 @@ SearchResult search_iterative(
 
 }  // namespace
 
-SearchResult find_feasible_implementations(
-    const Partitioning& pt, const PartitionPredictions& pred,
-    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
-    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
-    const SearchOptions& options, Pins extra_reserved_pins_per_chip) {
+SearchResult find_feasible_implementations(const EvalContext& ctx,
+                                           const PartitionPredictions& pred,
+                                           const SearchOptions& options) {
   const bool enumeration = options.heuristic == Heuristic::Enumeration;
   obs::TraceSpan span(enumeration ? "search.enumeration" : "search.iterative");
-  SearchResult out =
-      enumeration ? search_enumeration(pt, pred, transfers, clocks,
-                                       constraints, criteria, options,
-                                       extra_reserved_pins_per_chip)
-                  : search_iterative(pt, pred, transfers, clocks, constraints,
-                                     criteria, options,
-                                     extra_reserved_pins_per_chip);
+  CHOP_REQUIRE(options.threads >= 1, "search needs at least one thread");
+
+  // A caller-provided evaluator carries its memo across searches (the
+  // session/auto-partition/clock-sweep reuse cases); otherwise a private
+  // one still serves repeats within this run.
+  CandidateEvaluator local_evaluator;
+  CandidateEvaluator& evaluator =
+      options.evaluator != nullptr ? *options.evaluator : local_evaluator;
+
+  SearchResult out = enumeration
+                         ? search_enumeration(ctx, pred, options, evaluator)
+                         : search_iterative(ctx, pred, options, evaluator);
 
   // Feasible global designs discarded as Pareto-inferior (level-2 prune).
   static obs::Counter& pruned_inferior =
@@ -369,6 +542,7 @@ SearchResult find_feasible_implementations(
   span.arg("feasible", out.feasible_raw);
   span.arg("designs", out.designs.size());
   span.arg("truncated", out.truncated);
+  span.arg("threads", options.threads);
 
   if (options.observer != nullptr) {
     obs::SearchProgress p;

@@ -10,6 +10,15 @@
 // the heuristics can be claimed to be better than the other in terms of
 // the quality of results or run-time but they explore the design space
 // differently."
+//
+// Both heuristics run on the evaluation engine (src/core/eval/): an
+// immutable EvalContext carries the problem, and a memoizing
+// CandidateEvaluator services every integration. The enumeration heuristic
+// can additionally run on SearchOptions::threads workers — the odometer
+// space is chunked, chunks evaluate concurrently, and results merge in
+// chunk order, so the SearchResult (trials, feasible_raw, designs,
+// recorder contents, observer callback sequence) is identical to the
+// single-threaded run.
 #pragma once
 
 #include <vector>
@@ -20,6 +29,8 @@
 #include "obs/observer.hpp"
 
 namespace chop::core {
+
+class CandidateEvaluator;
 
 /// Which search heuristic to run ("H" column of Tables 4/6).
 enum class Heuristic { Enumeration, Iterative };
@@ -41,7 +52,18 @@ struct SearchOptions {
   std::size_t max_trials = 0;
   /// Live-progress observer: sees every counted trial and a final
   /// summary. Not owned; may be null (the default — zero overhead).
+  /// Callbacks always fire on the calling thread, in trial order, even
+  /// when threads > 1 (they are serialized through the merge step).
   obs::SearchObserver* observer = nullptr;
+  /// Worker threads for the enumeration heuristic. 1 (the default) is
+  /// exactly the historical serial behavior; N > 1 evaluates odometer
+  /// chunks concurrently with a deterministic in-order merge. The
+  /// iterative heuristic is inherently sequential and ignores this.
+  int threads = 1;
+  /// Shared memo cache (not owned; may outlive many searches). When null,
+  /// the search uses a private cache that lives for this call only —
+  /// ChopSession::search() substitutes its session-lifetime evaluator.
+  CandidateEvaluator* evaluator = nullptr;
 };
 
 /// Per-partition prediction lists: BAD's raw output and the level-1-pruned
@@ -65,6 +87,11 @@ struct SearchResult {
   std::vector<GlobalDesign> designs;  ///< Feasible, non-inferior, II-ascending.
   std::size_t trials = 0;             ///< "Partitioning Imp. Trials".
   std::size_t feasible_raw = 0;       ///< Feasible integrations seen.
+  /// Serialization-probe integrations of the iterative heuristic (the
+  /// Figure-5 urgency probes). Not counted in `trials` — the paper's trial
+  /// counts exclude them — but real work, also tracked by the
+  /// `search.probe_integrations` metric.
+  std::size_t probe_integrations = 0;
   bool truncated = false;             ///< Hit SearchOptions::max_trials.
   DesignSpaceRecorder recorder;       ///< Populated when record_all.
 };
@@ -72,19 +99,18 @@ struct SearchResult {
 /// Level-1 pruning (paper §2.1): drops predictions that are infeasible on
 /// their own — area beyond their chip's usable area, initiation interval
 /// or latency beyond the absolute constraints even before integration —
-/// and then removes Pareto-inferior predictions.
+/// and then removes Pareto-inferior predictions. Drops are counted
+/// separately as `search.pruned_infeasible` and `search.pruned_pareto`.
 std::vector<bad::DesignPrediction> prune_level1(
     std::vector<bad::DesignPrediction> predictions, AreaMil2 chip_usable_area,
     const bad::ClockSpec& clocks, const DesignConstraints& constraints,
     const FeasibilityCriteria& criteria);
 
 /// Runs the selected heuristic over `pred` (uses `eligible` when
-/// options.prune, else `raw`). `extra_reserved_pins_per_chip` is forwarded
-/// to every integration (scan-test pins, §5 extension).
-SearchResult find_feasible_implementations(
-    const Partitioning& pt, const PartitionPredictions& pred,
-    const std::vector<DataTransfer>& transfers, const bad::ClockSpec& clocks,
-    const DesignConstraints& constraints, const FeasibilityCriteria& criteria,
-    const SearchOptions& options, Pins extra_reserved_pins_per_chip = 0);
+/// options.prune, else `raw`) under `ctx`, which must describe the same
+/// partitioning the predictions were made for.
+SearchResult find_feasible_implementations(const EvalContext& ctx,
+                                           const PartitionPredictions& pred,
+                                           const SearchOptions& options);
 
 }  // namespace chop::core

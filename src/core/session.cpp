@@ -13,7 +13,8 @@ ChopSession::ChopSession(const lib::ComponentLibrary& library,
                          Partitioning partitioning, ChopConfig config)
     : library_(&library),
       partitioning_(std::move(partitioning)),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      evaluator_(std::make_unique<CandidateEvaluator>()) {
   config_.clocks.validate();
   config_.constraints.validate();
   config_.criteria.validate();
@@ -98,16 +99,22 @@ std::vector<DataTransfer> ChopSession::transfer_tasks() const {
   return create_transfer_tasks(partitioning_);
 }
 
+EvalContext ChopSession::make_eval_context() const {
+  const Pins test_pins = config_.testability.scan_design
+                             ? config_.testability.test_pins_per_chip
+                             : 0;
+  return EvalContext(partitioning_, transfer_tasks(), config_.clocks,
+                     config_.constraints, config_.criteria, test_pins);
+}
+
 SearchResult ChopSession::search(const SearchOptions& options) const {
   obs::TraceSpan span("session.search");
   CHOP_REQUIRE(predictions_valid_,
                "call predict_partitions() before search()");
-  const Pins test_pins = config_.testability.scan_design
-                             ? config_.testability.test_pins_per_chip
-                             : 0;
-  return find_feasible_implementations(
-      partitioning_, predictions_, transfer_tasks(), config_.clocks,
-      config_.constraints, config_.criteria, options, test_pins);
+  SearchOptions opts = options;
+  if (opts.evaluator == nullptr) opts.evaluator = evaluator_.get();
+  return find_feasible_implementations(make_eval_context(), predictions_,
+                                       opts);
 }
 
 std::string ChopSession::guideline(const GlobalDesign& design) const {

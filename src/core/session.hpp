@@ -5,9 +5,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "bad/predictor.hpp"
+#include "core/eval/candidate_evaluator.hpp"
 #include "core/partitioning.hpp"
 #include "core/search.hpp"
 
@@ -70,8 +72,21 @@ class ChopSession {
   /// Data transfer tasks of the current partitioning.
   std::vector<DataTransfer> transfer_tasks() const;
 
+  /// The evaluation context for the current partitioning + configuration:
+  /// the (partitioning, transfers, clocks, constraints, criteria,
+  /// extra-pins) tuple every integrate() needs. The returned context
+  /// references this session's partitioning — keep the session alive.
+  EvalContext make_eval_context() const;
+
+  /// The session-lifetime memo cache. Every search() on this session
+  /// shares it, so clock sweeps and repeated searches over unchanged
+  /// state hit the cache; content-hashed keys make entries from stale
+  /// configurations harmless (they simply stop matching).
+  CandidateEvaluator& evaluator() const { return *evaluator_; }
+
   /// Runs a search over the stored predictions. predict_partitions() must
-  /// have been called since the last structural modification.
+  /// have been called since the last structural modification. When
+  /// options.evaluator is null the session's own evaluator is used.
   SearchResult search(const SearchOptions& options) const;
 
   /// Renders the designer guideline for one feasible design (the §3.1
@@ -85,6 +100,11 @@ class ChopSession {
   ChopConfig config_;
   PartitionPredictions predictions_;
   bool predictions_valid_ = false;
+  /// Session-lifetime memo cache for integrate(); behind a pointer so the
+  /// session stays movable (the cache holds mutexes), mutable because
+  /// caching is invisible to the session's logical state (search() stays
+  /// const). Never null.
+  mutable std::unique_ptr<CandidateEvaluator> evaluator_;
 };
 
 }  // namespace chop::core

@@ -31,15 +31,15 @@ TEST(ErrorPaths, ControlReservationsCanExhaustPins) {
                         memory);
   pt.add_partition("P1", arm.all_operations(), 0);
   pt.validate();
-  const auto transfers = core::create_transfer_tasks(pt);
 
   bad::DesignPrediction pred;
   pred.style = bad::DesignStyle::Nonpipelined;
   pred.ii_main = pred.ii_dp = pred.stages = pred.latency_main = 40;
   pred.total_area = StatVal(1000.0);
   pred.power_mw = StatVal(1.0);
-  const core::IntegrationResult r = core::integrate(
-      pt, {&pred}, transfers, {300.0, 10, 1}, {60000.0, 60000.0}, {}, 40);
+  const core::EvalContext ctx(pt, core::create_transfer_tasks(pt),
+                              {300.0, 10, 1}, {60000.0, 60000.0}, {});
+  const core::IntegrationResult r = core::integrate(ctx, {&pred}, 40);
   EXPECT_FALSE(r.feasible);
   EXPECT_NE(r.reason.find("no data pins"), std::string::npos);
   EXPECT_NE(r.reason.find("tiny"), std::string::npos);
@@ -50,21 +50,21 @@ TEST(ErrorPaths, ScanPinsCanExhaustPinsToo) {
   core::Partitioning pt(ar.graph, {{"c0", chip::mosis_package_64()}});
   pt.add_partition("P1", ar.all_operations(), 0);
   pt.validate();
-  const auto transfers = core::create_transfer_tasks(pt);
   bad::DesignPrediction pred;
   pred.style = bad::DesignStyle::Nonpipelined;
   pred.ii_main = pred.ii_dp = pred.stages = pred.latency_main = 80;
   pred.total_area = StatVal(1000.0);
   pred.power_mw = StatVal(1.0);
   // 60 reserved test pins on a 64-pin package: nothing left for data.
-  const core::IntegrationResult r = core::integrate(
-      pt, {&pred}, transfers, {300.0, 10, 1}, {60000.0, 60000.0}, {}, 80,
-      /*extra_reserved_pins_per_chip=*/60);
+  const core::EvalContext scan_ctx(pt, core::create_transfer_tasks(pt),
+                                   {300.0, 10, 1}, {60000.0, 60000.0}, {},
+                                   /*extra_pins=*/60);
+  const core::IntegrationResult r = core::integrate(scan_ctx, {&pred}, 80);
   EXPECT_FALSE(r.feasible);
-  EXPECT_THROW(
-      core::integrate(pt, {&pred}, transfers, {300.0, 10, 1},
-                      {60000.0, 60000.0}, {}, 80, -1),
-      Error);
+  // Negative reservations are rejected at context construction.
+  EXPECT_THROW(core::EvalContext(pt, core::create_transfer_tasks(pt),
+                                 {300.0, 10, 1}, {60000.0, 60000.0}, {}, -1),
+               Error);
 }
 
 TEST(ErrorPaths, HopelessConstraintsReportCleanly) {
@@ -122,10 +122,9 @@ TEST(ErrorPaths, SelectionPointerValidation) {
   core::Partitioning pt(ar.graph, {{"c0", chip::mosis_package_84()}});
   pt.add_partition("P1", ar.all_operations(), 0);
   pt.validate();
-  const auto transfers = core::create_transfer_tasks(pt);
-  EXPECT_THROW(core::integrate(pt, {nullptr}, transfers, {300.0, 10, 1},
-                               {30000.0, 30000.0}, {}, 30),
-               Error);
+  const core::EvalContext ctx(pt, core::create_transfer_tasks(pt),
+                              {300.0, 10, 1}, {30000.0, 30000.0}, {});
+  EXPECT_THROW(core::integrate(ctx, {nullptr}, 30), Error);
 }
 
 TEST(ErrorPaths, BadProbabilitiesRejectedEverywhere) {

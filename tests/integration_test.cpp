@@ -47,6 +47,12 @@ struct Fixture {
   bad::ClockSpec clocks{300.0, 10, 1};
   DesignConstraints constraints{30000.0, 30000.0};
   FeasibilityCriteria criteria;
+
+  /// Bundles `pt` with its transfer tasks and this fixture's config.
+  EvalContext context(const Partitioning& pt) const {
+    return EvalContext(pt, create_transfer_tasks(pt), clocks, constraints,
+                       criteria);
+  }
 };
 
 TEST(Integration, FeasibleTwoChipDesign) {
@@ -56,13 +62,10 @@ TEST(Integration, FeasibleTwoChipDesign) {
   pt.add_partition("P1", cuts[0], 0);
   pt.add_partition("P2", cuts[1], 1);
   pt.validate();
-  const auto transfers = create_transfer_tasks(pt);
 
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 30, 30, 40000.0);
   const DesignPrediction b = pred(DesignStyle::Nonpipelined, 30, 30, 40000.0);
-  const IntegrationResult r =
-      integrate(pt, {&a, &b}, transfers, f.clocks, f.constraints, f.criteria,
-                30);
+  const IntegrationResult r = integrate(f.context(pt), {&a, &b}, 30);
   ASSERT_TRUE(r.feasible) << r.reason;
   EXPECT_EQ(r.ii_main, 30);
   // System delay: both PUs plus the inter-chip and env transfers.
@@ -97,11 +100,9 @@ TEST(Integration, MismatchedSelectionRejected) {
   const auto cuts = dfg::ar_two_way_cut(f.ar);
   pt.add_partition("P1", cuts[0], 0);
   pt.add_partition("P2", cuts[1], 1);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Pipelined, 30, 60, 1000.0);
   const DesignPrediction b = pred(DesignStyle::Pipelined, 40, 60, 1000.0);
-  const IntegrationResult r = integrate(pt, {&a, &b}, transfers, f.clocks,
-                                        f.constraints, f.criteria, 40);
+  const IntegrationResult r = integrate(f.context(pt), {&a, &b}, 40);
   EXPECT_FALSE(r.feasible);
   EXPECT_NE(r.reason.find("mismatch"), std::string::npos);
 }
@@ -110,10 +111,8 @@ TEST(Integration, PartitionSlowerThanSystemIiRejected) {
   Fixture f;
   Partitioning pt(f.ar.graph, chips(1));
   pt.add_partition("P1", f.ar.all_operations(), 0);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 80, 80, 1000.0);
-  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks,
-                                        f.constraints, f.criteria, 40);
+  const IntegrationResult r = integrate(f.context(pt), {&a}, 40);
   EXPECT_FALSE(r.feasible);
 }
 
@@ -123,12 +122,10 @@ TEST(Integration, AreaViolationNamesChips) {
   const auto cuts = dfg::ar_two_way_cut(f.ar);
   pt.add_partition("P1", cuts[0], 0);
   pt.add_partition("P2", cuts[1], 1);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction big =
       pred(DesignStyle::Nonpipelined, 30, 30, 120000.0);  // over 84-pin die
   const DesignPrediction ok = pred(DesignStyle::Nonpipelined, 30, 30, 1000.0);
-  const IntegrationResult r = integrate(pt, {&big, &ok}, transfers, f.clocks,
-                                        f.constraints, f.criteria, 30);
+  const IntegrationResult r = integrate(f.context(pt), {&big, &ok}, 30);
   EXPECT_FALSE(r.feasible);
   ASSERT_EQ(r.violated_chips.size(), 1u);
   EXPECT_EQ(r.violated_chips[0], 0);
@@ -139,10 +136,8 @@ TEST(Integration, DataClashRuleRejectsSlowTransfers) {
   Fixture f;
   Partitioning pt(f.ar.graph, chips(1));
   pt.add_partition("P1", f.ar.all_operations(), 0);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Pipelined, 2, 30, 1000.0);
-  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks,
-                                        f.constraints, f.criteria, 2);
+  const IntegrationResult r = integrate(f.context(pt), {&a}, 2);
   EXPECT_FALSE(r.feasible);
   EXPECT_NE(r.reason.find("initiation interval"), std::string::npos);
 }
@@ -153,10 +148,8 @@ TEST(Integration, BufferFormulaMatchesPaper) {
   const auto cuts = dfg::ar_two_way_cut(f.ar);
   pt.add_partition("P1", cuts[0], 0);
   pt.add_partition("P2", cuts[1], 1);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 30, 30, 1000.0);
-  const IntegrationResult r = integrate(pt, {&a, &a}, transfers, f.clocks,
-                                        f.constraints, f.criteria, 30);
+  const IntegrationResult r = integrate(f.context(pt), {&a, &a}, 30);
   ASSERT_TRUE(r.feasible) << r.reason;
   for (const TransferPlan& plan : r.transfers) {
     if (!plan.task.crosses_pins()) continue;
@@ -192,13 +185,13 @@ TEST(Integration, FewerPinsLongerTransfers) {
   auto delay_with = [&](chip::ChipPackage pkg) {
     Partitioning pt(g, chips(1, pkg));
     pt.add_partition("P1", sums, 0);
-    const auto transfers = create_transfer_tasks(pt);
     const DesignPrediction a =
         pred(DesignStyle::Nonpipelined, 30, 30, 1000.0);
     const DesignConstraints loose{60000.0, 60000.0};
-    const IntegrationResult r =
-        integrate(pt, {&a}, transfers, bad::ClockSpec{300.0, 10, 1}, loose,
-                  FeasibilityCriteria{}, 30);
+    const EvalContext ctx(pt, create_transfer_tasks(pt),
+                          bad::ClockSpec{300.0, 10, 1}, loose,
+                          FeasibilityCriteria{});
+    const IntegrationResult r = integrate(ctx, {&a}, 30);
     EXPECT_TRUE(r.feasible) << r.reason;
     return r.system_delay_main;
   };
@@ -213,10 +206,8 @@ TEST(Integration, OnChipMemoryAreaCharged) {
   mem.chip_of_block = {0};
   Partitioning pt(f.ar.graph, chips(1), mem);
   pt.add_partition("P1", f.ar.all_operations(), 0);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 40, 40, 1000.0);
-  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks,
-                                        f.constraints, f.criteria, 40);
+  const IntegrationResult r = integrate(f.context(pt), {&a}, 40);
   ASSERT_TRUE(r.feasible) << r.reason;
   EXPECT_GE(r.chip_area[0].likely(), 9000.0 + 1000.0);
 }
@@ -225,12 +216,10 @@ TEST(Integration, PerformanceConstraintUsesAdjustedClock) {
   Fixture f;
   Partitioning pt(f.ar.graph, chips(1));
   pt.add_partition("P1", f.ar.all_operations(), 0);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 90, 90, 1000.0);
   // 90 cycles x ~305 ns > 27000: tighten the budget to force a perf fail.
-  const DesignConstraints tight{27000.0, 90000.0};
-  const IntegrationResult r = integrate(pt, {&a}, transfers, f.clocks, tight,
-                                        f.criteria, 90);
+  f.constraints = DesignConstraints{27000.0, 90000.0};
+  const IntegrationResult r = integrate(f.context(pt), {&a}, 90);
   EXPECT_FALSE(r.feasible);
   EXPECT_NE(r.reason.find("performance"), std::string::npos);
 }
@@ -239,17 +228,13 @@ TEST(Integration, DelayCheckedAtEightyPercent) {
   Fixture f;
   Partitioning pt(f.ar.graph, chips(1));
   pt.add_partition("P1", f.ar.all_operations(), 0);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 60, 60, 1000.0);
-  const IntegrationResult ok = integrate(pt, {&a}, transfers, f.clocks,
-                                         f.constraints, f.criteria, 60);
+  const IntegrationResult ok = integrate(f.context(pt), {&a}, 60);
   ASSERT_TRUE(ok.feasible) << ok.reason;
   // Shrink the delay budget to just below the likely value: the 80%
   // criterion must reject it.
-  DesignConstraints tight = f.constraints;
-  tight.delay_ns = ok.delay_ns.likely() - 1.0;
-  const IntegrationResult no = integrate(pt, {&a}, transfers, f.clocks,
-                                         tight, f.criteria, 60);
+  f.constraints.delay_ns = ok.delay_ns.likely() - 1.0;
+  const IntegrationResult no = integrate(f.context(pt), {&a}, 60);
   EXPECT_FALSE(no.feasible);
 }
 
@@ -257,14 +242,10 @@ TEST(Integration, ValidatesArguments) {
   Fixture f;
   Partitioning pt(f.ar.graph, chips(1));
   pt.add_partition("P1", f.ar.all_operations(), 0);
-  const auto transfers = create_transfer_tasks(pt);
   const DesignPrediction a = pred(DesignStyle::Nonpipelined, 30, 30, 1.0);
-  EXPECT_THROW(integrate(pt, {}, transfers, f.clocks, f.constraints,
-                         f.criteria, 30),
-               Error);
-  EXPECT_THROW(integrate(pt, {&a}, transfers, f.clocks, f.constraints,
-                         f.criteria, 0),
-               Error);
+  const EvalContext ctx = f.context(pt);
+  EXPECT_THROW(integrate(ctx, {}, 30), Error);
+  EXPECT_THROW(integrate(ctx, {&a}, 0), Error);
 }
 
 }  // namespace

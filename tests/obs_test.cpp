@@ -488,7 +488,10 @@ TEST(SearchMetrics, GlobalCountersTrackSearch) {
   EXPECT_EQ(snap.counters.at("search.feasible"), result.feasible_raw);
   EXPECT_EQ(snap.counters.at("search.pruned_inferior"),
             result.feasible_raw - result.designs.size());
-  EXPECT_EQ(snap.counters.at("search.pruned_level1"),
+  // Level-1 drops split by cause; together they account for every raw
+  // prediction that did not survive.
+  EXPECT_EQ(snap.counters.at("search.pruned_infeasible") +
+                snap.counters.at("search.pruned_pareto"),
             stats.total - stats.feasible);
   EXPECT_EQ(snap.counters.at("bad.predictions_raw"), stats.total);
   EXPECT_EQ(snap.counters.at("bad.predictions_eligible"), stats.feasible);

@@ -1,0 +1,216 @@
+// Determinism tests for the parallel enumeration search: any thread count
+// must produce a SearchResult — designs, trial counts, recorder contents,
+// observer callback sequence — byte-identical to the serial run, on the
+// Figure-7 (AR filter, keep-all) workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "chip/mosis_packages.hpp"
+#include "core/eval/candidate_evaluator.hpp"
+#include "core/eval/thread_pool.hpp"
+#include "core/search.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+
+namespace chop::core {
+namespace {
+
+/// Ready-to-search session on the AR filter (the Figure-7 experiment).
+ChopSession fig7_session(int nparts) {
+  static const lib::ComponentLibrary lib = lib::dac91_experiment_library();
+  static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  std::vector<chip::ChipInstance> chips;
+  for (int c = 0; c < nparts; ++c) {
+    chips.push_back({"chip" + std::to_string(c), chip::mosis_package_84()});
+  }
+  Partitioning pt(ar.graph, std::move(chips));
+  const auto cuts =
+      nparts == 1 ? std::vector<std::vector<dfg::NodeId>>{ar.all_operations()}
+                  : (nparts == 2 ? dfg::ar_two_way_cut(ar)
+                                 : dfg::ar_three_way_cut(ar));
+  for (int p = 0; p < nparts; ++p) {
+    pt.add_partition("P" + std::to_string(p + 1),
+                     cuts[static_cast<std::size_t>(p)], p);
+  }
+  ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = {30000.0, 30000.0};
+  return ChopSession(lib, std::move(pt), config);
+}
+
+/// Records the full observer callback sequence for comparison.
+struct CaptureObserver : obs::SearchObserver {
+  struct Event {
+    std::size_t trials;
+    std::size_t feasible;
+    long long best_ii;
+    long long best_delay;
+    bool trial_feasible;
+    std::string reason;
+  };
+  std::vector<Event> events;
+  std::size_t done_calls = 0;
+
+  void on_trial(const obs::SearchProgress& p) override {
+    events.push_back({p.trials, p.feasible, p.best_ii, p.best_delay,
+                      p.trial_feasible, p.reason});
+  }
+  void on_done(const obs::SearchProgress&) override { ++done_calls; }
+};
+
+void expect_identical(const SearchResult& serial, const SearchResult& parallel,
+                      int threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_EQ(serial.trials, parallel.trials);
+  EXPECT_EQ(serial.feasible_raw, parallel.feasible_raw);
+  EXPECT_EQ(serial.truncated, parallel.truncated);
+  ASSERT_EQ(serial.designs.size(), parallel.designs.size());
+  for (std::size_t i = 0; i < serial.designs.size(); ++i) {
+    const GlobalDesign& a = serial.designs[i];
+    const GlobalDesign& b = parallel.designs[i];
+    EXPECT_EQ(a.choice, b.choice) << "design " << i;
+    EXPECT_EQ(a.integration.feasible, b.integration.feasible);
+    EXPECT_EQ(a.integration.ii_main, b.integration.ii_main);
+    EXPECT_EQ(a.integration.system_delay_main, b.integration.system_delay_main);
+    EXPECT_EQ(a.integration.clock_ns(), b.integration.clock_ns());
+    EXPECT_EQ(a.integration.transfers.size(), b.integration.transfers.size());
+  }
+  ASSERT_EQ(serial.recorder.total(), parallel.recorder.total());
+  EXPECT_EQ(serial.recorder.unique(), parallel.recorder.unique());
+  EXPECT_EQ(serial.recorder.feasible_count(), parallel.recorder.feasible_count());
+  const auto& pa = serial.recorder.points();
+  const auto& pb = parallel.recorder.points();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].ii_main, pb[i].ii_main) << "point " << i;
+    EXPECT_EQ(pa[i].delay_main, pb[i].delay_main) << "point " << i;
+    EXPECT_EQ(pa[i].area_likely, pb[i].area_likely) << "point " << i;
+    EXPECT_EQ(pa[i].clock_ns, pb[i].clock_ns) << "point " << i;
+    EXPECT_EQ(pa[i].feasible, pb[i].feasible) << "point " << i;
+  }
+}
+
+/// Runs the enumeration with a private evaluator (no cross-run cache
+/// reuse, so every thread count does its own full integration work).
+SearchResult run_at(const ChopSession& session, int threads, bool prune,
+                    std::size_t max_trials = 0,
+                    obs::SearchObserver* observer = nullptr) {
+  CandidateEvaluator evaluator;
+  SearchOptions opt;
+  opt.heuristic = Heuristic::Enumeration;
+  opt.prune = prune;
+  opt.record_all = true;
+  opt.threads = threads;
+  opt.max_trials = max_trials;
+  opt.evaluator = &evaluator;
+  opt.observer = observer;
+  return session.search(opt);
+}
+
+TEST(ParallelSearch, KeepAllIdenticalAcrossThreadCounts) {
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+  const SearchResult serial = run_at(session, 1, /*prune=*/false);
+  ASSERT_GT(serial.trials, 0u);
+  for (int threads : {2, 4, 8}) {
+    expect_identical(serial, run_at(session, threads, /*prune=*/false),
+                     threads);
+  }
+}
+
+TEST(ParallelSearch, PrunedIdenticalAcrossThreadCounts) {
+  ChopSession session = fig7_session(3);
+  session.predict_partitions();
+  const SearchResult serial = run_at(session, 1, /*prune=*/true);
+  for (int threads : {2, 4, 8}) {
+    expect_identical(serial, run_at(session, threads, /*prune=*/true),
+                     threads);
+  }
+}
+
+TEST(ParallelSearch, TruncationIdenticalAcrossThreadCounts) {
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+  const std::size_t cap = 37;  // mid-chunk, not on any chunk boundary
+  const SearchResult serial = run_at(session, 1, /*prune=*/false, cap);
+  EXPECT_TRUE(serial.truncated);
+  EXPECT_EQ(serial.trials, cap);
+  for (int threads : {2, 4, 8}) {
+    expect_identical(serial, run_at(session, threads, /*prune=*/false, cap),
+                     threads);
+  }
+}
+
+TEST(ParallelSearch, ObserverSequenceIdenticalAndInOrder) {
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+  CaptureObserver serial_obs;
+  const SearchResult serial =
+      run_at(session, 1, /*prune=*/false, 0, &serial_obs);
+  CaptureObserver parallel_obs;
+  const SearchResult parallel =
+      run_at(session, 4, /*prune=*/false, 0, &parallel_obs);
+  expect_identical(serial, parallel, 4);
+
+  ASSERT_EQ(serial_obs.events.size(), parallel_obs.events.size());
+  EXPECT_EQ(serial_obs.events.size(), serial.trials);
+  EXPECT_EQ(parallel_obs.done_calls, 1u);
+  for (std::size_t i = 0; i < serial_obs.events.size(); ++i) {
+    const auto& a = serial_obs.events[i];
+    const auto& b = parallel_obs.events[i];
+    EXPECT_EQ(a.trials, b.trials) << "event " << i;
+    EXPECT_EQ(a.feasible, b.feasible) << "event " << i;
+    EXPECT_EQ(a.best_ii, b.best_ii) << "event " << i;
+    EXPECT_EQ(a.best_delay, b.best_delay) << "event " << i;
+    EXPECT_EQ(a.trial_feasible, b.trial_feasible) << "event " << i;
+    EXPECT_EQ(a.reason, b.reason) << "event " << i;
+    // Callbacks arrive in trial order: trials is exactly i+1.
+    EXPECT_EQ(b.trials, i + 1);
+  }
+}
+
+TEST(ParallelSearch, SharedEvaluatorAcrossThreadCountsStillIdentical) {
+  // The session's own evaluator serves all four runs — later runs are
+  // pure cache replays and must still merge into identical results. Keep
+  // the explored slice below the evaluator's residency bound, otherwise
+  // the FIFO cache thrashes on the sequential re-scan and never hits.
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+  SearchOptions opt;
+  opt.heuristic = Heuristic::Enumeration;
+  opt.prune = false;
+  opt.record_all = true;
+  opt.max_trials = 20000;
+  static_assert(20000 < CandidateEvaluator::kDefaultMaxEntries);
+  const SearchResult serial = session.search(opt);
+  for (int threads : {2, 4, 8}) {
+    opt.threads = threads;
+    expect_identical(serial, session.search(opt), threads);
+  }
+  EXPECT_GT(session.evaluator().stats().hits, 0u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 64; ++i) {
+    done.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+}  // namespace
+}  // namespace chop::core

@@ -2,6 +2,9 @@
 //
 //   chop_cli <project.chop> [options]
 //     --heuristic=E|I   search heuristic (default I, the Figure-5 walk)
+//     --threads=N       worker threads for the enumeration heuristic
+//                       (default 1; also read from CHOP_THREADS; results
+//                       are identical at any thread count)
 //     --keep-all        disable pruning, report the design-space size
 //     --guideline       print the full designer guideline for every design
 //     --auto            ignore the file's partitions; partition
@@ -18,6 +21,7 @@
 //
 // Exit status: 0 when at least one feasible design exists, 2 when none,
 // 1 on usage/parse errors.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -42,6 +46,7 @@ using namespace chop;
 struct CliOptions {
   std::string project_path;
   core::Heuristic heuristic = core::Heuristic::Iterative;
+  int threads = 1;
   bool keep_all = false;
   bool guideline = false;
   bool auto_partition = false;
@@ -56,14 +61,35 @@ struct CliOptions {
 
 int usage() {
   std::cerr
-      << "usage: chop_cli <project.chop> [--heuristic=E|I] [--keep-all]\n"
-         "                [--guideline] [--auto] [--optimize-memory]\n"
-         "                [--dot=<file>] [--save=<file>] [--report=<file>]\n"
-         "                [--trace=<file>] [--metrics=<file>] [--progress]\n";
+      << "usage: chop_cli <project.chop> [--heuristic=E|I] [--threads=N]\n"
+         "                [--keep-all] [--guideline] [--auto]\n"
+         "                [--optimize-memory] [--dot=<file>] [--save=<file>]\n"
+         "                [--report=<file>] [--trace=<file>]\n"
+         "                [--metrics=<file>] [--progress]\n"
+         "  --threads=N runs the enumeration search on N workers (default 1,\n"
+         "  or the CHOP_THREADS environment variable); any thread count\n"
+         "  produces identical results.\n";
   return 1;
 }
 
+/// Parses a positive thread count; returns 0 on garbage.
+int parse_threads(const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const int n = std::stoi(value, &used);
+    if (used != value.size() || n < 1) return 0;
+    return n;
+  } catch (...) {
+    return 0;
+  }
+}
+
 bool parse_args(int argc, char** argv, CliOptions& options) {
+  // Environment default; an explicit --threads= overrides it.
+  if (const char* env = std::getenv("CHOP_THREADS")) {
+    const int n = parse_threads(env);
+    if (n > 0) options.threads = n;
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--keep-all") {
@@ -83,6 +109,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       } else {
         return false;
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = parse_threads(arg.substr(10));
+      if (options.threads < 1) return false;
     } else if (arg.rfind("--dot=", 0) == 0) {
       options.dot_path = arg.substr(6);
     } else if (arg.rfind("--save=", 0) == 0) {
@@ -179,6 +208,7 @@ int main(int argc, char** argv) {
   try {
     core::SearchOptions search;
     search.heuristic = options.heuristic;
+    search.threads = options.threads;
     search.prune = !options.keep_all;
     search.record_all = options.keep_all;
     search.max_trials = options.keep_all ? 500000 : 0;
@@ -191,6 +221,7 @@ int main(int argc, char** argv) {
                 << project.chips.size() << " chip(s)...\n";
       core::AutoPartitionOptions auto_options;
       auto_options.search.heuristic = options.heuristic;
+      auto_options.search.threads = options.threads;
       const core::AutoPartitionResult r = core::auto_partition(
           project.graph, project.library, project.chips, project.memory,
           project.config, auto_options);
