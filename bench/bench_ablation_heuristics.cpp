@@ -31,6 +31,8 @@ void print_table() {
           session.predict_partitions();
           core::SearchOptions options;
           options.heuristic = h;
+          // Compare the paper's E/I walks on their own trial counts.
+          options.bound_pruning = false;
           Timer timer;
           const core::SearchResult r = session.search(options);
           const double ms = timer.elapsed_ms();

@@ -32,6 +32,9 @@ void print_table() {
         options.prune = prune;
         options.record_all = !prune;
         options.max_trials = 500000;
+        // This ablation isolates the paper's level-1/keep-all pruning;
+        // branch-and-bound would skew both trial columns.
+        options.bound_pruning = false;
         Timer timer;
         const core::SearchResult r = session.search(options);
         const double ms = timer.elapsed_ms();

@@ -46,6 +46,9 @@ void run_figure() {
       keep_all.prune = false;
       keep_all.record_all = true;
       keep_all.max_trials = 500000;
+      // Branch-and-bound would skip most of the space; the figure is
+      // precisely about recording every considered design.
+      keep_all.bound_pruning = false;
       Timer timer;
       const core::SearchResult r = session.search(keep_all);
       keep_all_ms += timer.elapsed_ms();
@@ -95,6 +98,7 @@ void BM_keep_all_search(benchmark::State& state) {
   options.prune = false;
   options.record_all = true;
   options.max_trials = 500000;
+  options.bound_pruning = false;  // thread-scaling of the full keep-all walk
   options.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     core::CandidateEvaluator no_cache(0);
@@ -106,9 +110,33 @@ BENCHMARK(BM_keep_all_search)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisec
 
 }  // namespace
 
+/// The BENCH_search.json contribution: the experiment-1 enumeration sweep
+/// (the Table-4 partition/package combinations) with and without
+/// branch-and-bound subtree pruning.
+void run_bound_modes() {
+  std::vector<chop::core::ChopSession> sessions;
+  struct Run {
+    int nparts;
+    int package;
+  };
+  const Run runs[] = {{1, 2}, {2, 2}, {2, 1}, {3, 2}};
+  for (const Run& run : runs) {
+    sessions.push_back(bench::make_experiment_session(
+        bench::Experiment::One, run.nparts,
+        bench::package_by_paper_index(run.package)));
+  }
+  // The raw-list (keep-all) space is the Figure-7 workload proper; it is
+  // where the subtree bounds pay for themselves.
+  bench::run_bound_comparison(
+      "Branch-and-bound vs exhaustive enumeration (experiment 1 keep-all "
+      "space)",
+      "fig7_exp1", std::move(sessions), /*level1_prune=*/false);
+}
+
 int main(int argc, char** argv) {
   chop::bench::ScopedMetricsDump metrics_dump("bench_fig7_design_space");
   run_figure();
+  run_bound_modes();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -62,9 +62,25 @@ BENCHMARK(BM_multicycle_bad_sweep);
 
 }  // namespace
 
+/// The BENCH_search.json contribution: the multi-partition experiment-2
+/// enumeration (the sweep the 1990 run could not afford unpruned) with
+/// and without branch-and-bound subtree pruning.
+void run_bound_modes() {
+  std::vector<chop::core::ChopSession> sessions;
+  for (int nparts : {2, 3}) {
+    sessions.push_back(
+        bench::make_experiment_session(bench::Experiment::Two, nparts));
+  }
+  bench::run_bound_comparison(
+      "Branch-and-bound vs exhaustive enumeration (experiment 2, 2-3 "
+      "partitions)",
+      "fig8_exp2", std::move(sessions));
+}
+
 int main(int argc, char** argv) {
   chop::bench::ScopedMetricsDump metrics_dump("bench_fig8_design_space");
   run_figure();
+  run_bound_modes();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

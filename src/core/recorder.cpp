@@ -17,9 +17,40 @@ double round_sig3(double v) {
 
 }  // namespace
 
+void ParetoFrontier::insert(Cycles ii, Cycles delay) {
+  // First point at or right of `ii` (the staircase is II-ascending with
+  // strictly descending delays, so everything left of `lo` has smaller II).
+  auto lo = std::lower_bound(
+      points_.begin(), points_.end(), ii,
+      [](const std::pair<Cycles, Cycles>& p, Cycles v) { return p.first < v; });
+  // Weakly dominated by an existing point (i <= ii, d <= delay)?
+  if (lo != points_.begin() && std::prev(lo)->second <= delay) return;
+  if (lo != points_.end() && lo->first == ii && lo->second <= delay) return;
+  // Remove entries the new point weakly dominates (i >= ii, d >= delay).
+  auto hi = lo;
+  while (hi != points_.end() && hi->second >= delay) ++hi;
+  points_.insert(points_.erase(lo, hi), {ii, delay});
+}
+
+bool ParetoFrontier::dominates_strictly(Cycles ii, Cycles delay) const {
+  // First point with i > ii; delays descend, so the cheapest delay among
+  // points with i <= ii (resp. i < ii) sits just before the boundary.
+  auto gt = std::upper_bound(
+      points_.begin(), points_.end(), ii,
+      [](Cycles v, const std::pair<Cycles, Cycles>& p) { return v < p.first; });
+  if (gt != points_.begin() && std::prev(gt)->second < delay) return true;
+  auto ge = std::lower_bound(
+      points_.begin(), points_.end(), ii,
+      [](const std::pair<Cycles, Cycles>& p, Cycles v) { return p.first < v; });
+  return ge != points_.begin() && std::prev(ge)->second <= delay;
+}
+
 void DesignSpaceRecorder::record(const DesignPoint& point) {
   points_.push_back(point);
-  if (point.feasible) ++feasible_;
+  if (point.feasible) {
+    ++feasible_;
+    frontier_.insert(point.ii_main, point.delay_main);
+  }
   char key[96];
   std::snprintf(key, sizeof key, "%lld/%lld/%g",
                 static_cast<long long>(point.ii_main),

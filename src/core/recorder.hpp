@@ -8,12 +8,43 @@
 #include <cstddef>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/csv.hpp"
 #include "util/units.hpp"
 
 namespace chop::core {
+
+/// Incremental Pareto frontier over feasible (II, system-delay) points —
+/// the incumbent front the branch-and-bound enumerator tests optimistic
+/// subtree bounds against. Stores only the non-dominated staircase (II
+/// ascending, delay strictly descending), so queries are a binary search.
+class ParetoFrontier {
+ public:
+  /// Adds a feasible design's (ii, delay); dominated entries (either
+  /// direction) are folded away. Weakly dominated inserts are no-ops.
+  void insert(Cycles ii, Cycles delay);
+
+  /// Strict-dominance query for bound pruning: true when some inserted
+  /// point (i, d) satisfies (i <= ii && d < delay) or (i < ii && d <=
+  /// delay). Any design whose coordinates are componentwise >= (ii,
+  /// delay) is then guaranteed to be dropped by non-inferior filtering,
+  /// so a subtree whose *lower bounds* are (ii, delay) can be cut without
+  /// changing the final design set.
+  bool dominates_strictly(Cycles ii, Cycles delay) const;
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// The staircase, II ascending / delay strictly descending.
+  const std::vector<std::pair<Cycles, Cycles>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<Cycles, Cycles>> points_;
+};
 
 /// One recorded design point: the axes of the paper's scatter plots.
 struct DesignPoint {
@@ -36,6 +67,10 @@ class DesignSpaceRecorder {
 
   const std::vector<DesignPoint>& points() const { return points_; }
 
+  /// Pareto front of the feasible points recorded so far, maintained
+  /// incrementally — the dominance oracle for bound pruning.
+  const ParetoFrontier& frontier() const { return frontier_; }
+
   /// CSV with one row per recorded point (ii, delay, area, clock,
   /// feasible) for external re-plotting.
   CsvWriter to_csv() const;
@@ -48,6 +83,7 @@ class DesignSpaceRecorder {
   std::vector<DesignPoint> points_;
   std::set<std::string> unique_keys_;
   std::size_t feasible_ = 0;
+  ParetoFrontier frontier_;
 };
 
 }  // namespace chop::core

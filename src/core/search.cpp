@@ -1,10 +1,16 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <future>
 #include <limits>
+#include <memory>
 #include <set>
+#include <string>
 
+#include "core/eval/bound_state.hpp"
 #include "core/eval/candidate_evaluator.hpp"
 #include "core/eval/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -143,9 +149,13 @@ DesignPoint make_point(const std::vector<const bad::DesignPrediction*>& selectio
   return point;
 }
 
-/// Keeps only Pareto-optimal (ii, delay) designs, II ascending.
+/// Keeps only Pareto-optimal (ii, delay) designs, II ascending. The sort
+/// must be stable: among designs with equal (ii, delay) the first found
+/// wins, and branch-and-bound pruning relies on that tie-break being
+/// insertion order (pruning removes only strictly-dominated designs, which
+/// can never be the first of an equal group's survivors).
 std::vector<GlobalDesign> non_inferior(std::vector<GlobalDesign> designs) {
-  std::sort(designs.begin(), designs.end(),
+  std::stable_sort(designs.begin(), designs.end(),
             [](const GlobalDesign& a, const GlobalDesign& b) {
               if (a.integration.ii_main != b.integration.ii_main) {
                 return a.integration.ii_main < b.integration.ii_main;
@@ -172,14 +182,27 @@ const std::vector<std::vector<bad::DesignPrediction>>& search_lists(
 }
 
 // ---------------------------------------------------------------------------
-// Enumeration heuristic.
+// Enumeration heuristic: depth-first branch-and-bound.
 //
 // The combination space is a mixed-radix odometer over the per-partition
 // lists, with digit 0 fastest — trial i selects lists[p][(i / stride[p]) %
-// len[p]]. Serial and parallel runs both walk indices 0..limit-1 in that
-// order; the parallel run merely evaluates contiguous chunks concurrently
-// and merges them back in chunk order, so every observable output is
-// identical.
+// len[p]]. The walk is organised as a DFS that commits partitions from the
+// highest index (the slowest digit) downward, so its leaf order IS the
+// odometer order. With bound pruning on, an incremental PrefixState plus
+// the precomputed BoundTables cut subtrees whose admissible lower bounds
+// already violate a hard constraint or are strictly dominated by the
+// incumbent Pareto frontier; the surviving leaf sequence is a subsequence
+// of the exhaustive order and the final design set is provably identical.
+//
+// Work (and incumbent-frontier scope) is split on the outermost digits
+// into a fixed number of units — the split depth grows until at least
+// kMinUnits units exist, independent of the thread count, so the unit
+// boundaries (and therefore every observable output) are identical at any
+// SearchOptions::threads. Units evaluate concurrently and merge strictly
+// in unit order. Each unit's frontier starts from deterministic seed
+// probes (greedy per-partition picks, evaluated up front) and grows with
+// the unit's own feasible finds; cross-unit feasible designs are NOT
+// shared, which keeps pruning decisions independent of timing.
 // ---------------------------------------------------------------------------
 
 /// One buffered enumeration trial, produced by a worker and consumed by
@@ -197,7 +220,6 @@ struct TrialRecord {
 
 struct OdometerSpace {
   std::vector<std::size_t> len;
-  std::vector<std::size_t> stride;
   std::size_t total = 0;       ///< Product of lens, saturated at max().
   bool saturated = false;      ///< Product overflowed std::size_t.
 };
@@ -209,7 +231,6 @@ OdometerSpace odometer_space(
   space.total = 1;
   for (const auto& list : lists) {
     space.len.push_back(list.size());
-    space.stride.push_back(space.total);
     if (!list.empty() && space.total > kMax / list.size()) {
       space.saturated = true;
       space.total = kMax;
@@ -220,26 +241,72 @@ OdometerSpace odometer_space(
   return space;
 }
 
-std::vector<std::size_t> decode_odometer(const OdometerSpace& space,
-                                         std::size_t index) {
-  std::vector<std::size_t> odo(space.len.size());
-  for (std::size_t p = 0; p < space.len.size(); ++p) {
-    odo[p] = (index / space.stride[p]) % space.len[p];
+std::size_t sat_mul(std::size_t a, std::size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<std::size_t>::max() / b) {
+    return std::numeric_limits<std::size_t>::max();
   }
-  return odo;
+  return a * b;
 }
 
-/// Evaluates enumeration trial `index` into a buffered record.
-TrialRecord evaluate_trial(
-    const EvalContext& ctx,
-    const std::vector<std::vector<bad::DesignPrediction>>& lists,
-    const OdometerSpace& space, std::size_t index,
-    CandidateEvaluator& evaluator,
-    std::vector<const bad::DesignPrediction*>& selection) {
-  std::vector<std::size_t> odo = decode_odometer(space, index);
-  for (std::size_t p = 0; p < lists.size(); ++p) {
-    selection[p] = &lists[p][odo[p]];
+std::size_t sat_add(std::size_t a, std::size_t b) {
+  return a > std::numeric_limits<std::size_t>::max() - b
+             ? std::numeric_limits<std::size_t>::max()
+             : a + b;
+}
+
+/// Minimum number of work units the outermost-digit split must produce.
+/// A constant (never derived from the thread count) so unit boundaries —
+/// and with them the per-unit incumbent frontiers of the bounded walk —
+/// are identical at every thread count.
+constexpr std::size_t kMinUnits = 64;
+
+/// The outermost-digit split: partitions [inner_count, P) are fixed per
+/// unit (unit index u decodes to their digits, digit `inner_count`
+/// fastest), partitions [0, inner_count) are walked within the unit. Unit
+/// u covers global odometer indices [u * leaves_per_unit,
+/// (u + 1) * leaves_per_unit) — no global index is ever materialised, so
+/// spaces beyond 2^64 combinations split exactly like small ones.
+struct UnitPlan {
+  std::size_t inner_count = 0;
+  std::size_t unit_count = 1;
+  std::size_t leaves_per_unit = 1;  ///< Saturated product of inner lens.
+};
+
+UnitPlan plan_units(const OdometerSpace& space) {
+  UnitPlan plan;
+  const std::size_t nparts = space.len.size();
+  std::size_t split = 0;
+  while (split < nparts && plan.unit_count < kMinUnits) {
+    plan.unit_count = sat_mul(plan.unit_count, space.len[nparts - 1 - split]);
+    ++split;
   }
+  plan.inner_count = nparts - split;
+  for (std::size_t p = 0; p < plan.inner_count; ++p) {
+    plan.leaves_per_unit = sat_mul(plan.leaves_per_unit, space.len[p]);
+  }
+  return plan;
+}
+
+/// Decodes unit `u` into the outer digits of `digits` (digits[p] for p in
+/// [inner_count, P)) and points `selection` at them.
+void decode_unit(const std::vector<std::vector<bad::DesignPrediction>>& lists,
+                 const UnitPlan& plan, std::size_t u,
+                 std::vector<std::size_t>& digits,
+                 std::vector<const bad::DesignPrediction*>& selection) {
+  std::size_t rest = u;
+  for (std::size_t p = plan.inner_count; p < lists.size(); ++p) {
+    digits[p] = rest % lists[p].size();
+    rest /= lists[p].size();
+    selection[p] = &lists[p][digits[p]];
+  }
+}
+
+/// Evaluates the current selection into a buffered record.
+TrialRecord evaluate_leaf(
+    const EvalContext& ctx,
+    const std::vector<const bad::DesignPrediction*>& selection,
+    const std::vector<std::size_t>& digits, CandidateEvaluator& evaluator) {
   const Cycles ii = combination_ii(selection);
   std::shared_ptr<const IntegrationResult> result =
       evaluator.evaluate(ctx, selection, ii);
@@ -252,9 +319,218 @@ TrialRecord evaluate_trial(
   record.reason = result->reason;
   if (result->feasible) {
     record.result = std::move(result);
-    record.choice = std::move(odo);
+    record.choice = digits;
   }
   return record;
+}
+
+/// Everything one unit produces. Records from a unit the merge never
+/// consumed (because the trial cap was already reached) may be incomplete
+/// — workers abort via the shared stop flag — and are discarded unseen.
+struct UnitOutcome {
+  std::vector<TrialRecord> records;
+  std::size_t pruned_subtrees = 0;
+  std::size_t skipped_leaves = 0;  ///< Saturating.
+  bool capped = false;  ///< Stopped at the per-unit record cap.
+};
+
+/// Exhaustive unit walk (bound pruning off): visits the unit's global
+/// index range [u*B, u*B + B) clipped to `limit`, in odometer order — the
+/// exact historical serial walk, sliced per unit. Units wholly past
+/// `limit` come out empty (saturating start arithmetic keeps that correct
+/// for > 2^64 spaces: a saturated start is provably >= any limit).
+UnitOutcome run_unit_unbounded(
+    const EvalContext& ctx,
+    const std::vector<std::vector<bad::DesignPrediction>>& lists,
+    const UnitPlan& plan, std::size_t u, std::size_t limit,
+    CandidateEvaluator& evaluator) {
+  UnitOutcome out;
+  const std::size_t start = sat_mul(u, plan.leaves_per_unit);
+  if (start >= limit) return out;
+  std::size_t count = limit - start;
+  if (plan.leaves_per_unit < count) count = plan.leaves_per_unit;
+
+  std::vector<std::size_t> digits(lists.size(), 0);
+  std::vector<const bad::DesignPrediction*> selection(lists.size());
+  decode_unit(lists, plan, u, digits, selection);
+  for (std::size_t p = 0; p < plan.inner_count; ++p) {
+    selection[p] = &lists[p].front();
+  }
+  if (count < (std::size_t{1} << 20)) out.records.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    out.records.push_back(evaluate_leaf(ctx, selection, digits, evaluator));
+    for (std::size_t p = 0; p < plan.inner_count; ++p) {
+      if (++digits[p] < lists[p].size()) {
+        selection[p] = &lists[p][digits[p]];
+        break;
+      }
+      digits[p] = 0;
+      selection[p] = &lists[p].front();
+    }
+  }
+  return out;
+}
+
+/// Branch-and-bound unit walk. Commits the unit's outer digits first
+/// (pruning the whole unit if the bound already fails), then DFS-walks the
+/// inner digits, innermost fastest. `remaining` open partitions are always
+/// [0, remaining), matching BoundTables' suffix indexing.
+class BoundedWalker {
+ public:
+  BoundedWalker(const EvalContext& ctx,
+                const std::vector<std::vector<bad::DesignPrediction>>& lists,
+                const UnitPlan& plan, const BoundTables& tables,
+                const ParetoFrontier& seed, std::size_t record_cap,
+                const std::atomic<bool>* stop, CandidateEvaluator& evaluator)
+      : ctx_(ctx),
+        lists_(lists),
+        plan_(plan),
+        tables_(tables),
+        record_cap_(record_cap),
+        stop_(stop),
+        evaluator_(evaluator),
+        frontier_(seed),
+        prefix_(ctx.partitioning().chips().size()),
+        digits_(lists.size(), 0),
+        selection_(lists.size(), nullptr) {}
+
+  UnitOutcome run(std::size_t u) {
+    decode_unit(lists_, plan_, u, digits_, selection_);
+    const std::size_t nparts = lists_.size();
+    for (std::size_t p = nparts; p-- > plan_.inner_count;) {
+      if (!prefix_.push(tables_.chip_of(p), *selection_[p]) ||
+          tables_.prune(prefix_, p, frontier_)) {
+        ++out_.pruned_subtrees;
+        out_.skipped_leaves =
+            sat_add(out_.skipped_leaves, plan_.leaves_per_unit);
+        return std::move(out_);
+      }
+    }
+    walk(plan_.inner_count);
+    return std::move(out_);
+  }
+
+ private:
+  void walk(std::size_t remaining) {
+    if (remaining == 0) {
+      leaf();
+      return;
+    }
+    const std::size_t p = remaining - 1;
+    for (std::size_t d = 0; d < lists_[p].size(); ++d) {
+      digits_[p] = d;
+      selection_[p] = &lists_[p][d];
+      if (!prefix_.push(tables_.chip_of(p), *selection_[p])) {
+        // Pipelined-rate conflict: an exact prune, nothing was committed.
+        ++out_.pruned_subtrees;
+        out_.skipped_leaves =
+            sat_add(out_.skipped_leaves, tables_.leaves_below(p));
+        continue;
+      }
+      if (tables_.prune(prefix_, p, frontier_)) {
+        prefix_.pop();
+        ++out_.pruned_subtrees;
+        out_.skipped_leaves =
+            sat_add(out_.skipped_leaves, tables_.leaves_below(p));
+        continue;
+      }
+      walk(p);
+      prefix_.pop();
+      if (stopped_) return;
+    }
+  }
+
+  void leaf() {
+    if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+      stopped_ = true;  // partial outcome; the merge will never read it
+      return;
+    }
+    TrialRecord record = evaluate_leaf(ctx_, selection_, digits_, evaluator_);
+    if (record.feasible) {
+      frontier_.insert(record.ii_main, record.delay_main);
+    }
+    out_.records.push_back(std::move(record));
+    if (record_cap_ > 0 && out_.records.size() >= record_cap_) {
+      out_.capped = true;
+      stopped_ = true;
+    }
+  }
+
+  const EvalContext& ctx_;
+  const std::vector<std::vector<bad::DesignPrediction>>& lists_;
+  const UnitPlan& plan_;
+  const BoundTables& tables_;
+  const std::size_t record_cap_;
+  const std::atomic<bool>* stop_;
+  CandidateEvaluator& evaluator_;
+  ParetoFrontier frontier_;
+  PrefixState prefix_;
+  std::vector<std::size_t> digits_;
+  std::vector<const bad::DesignPrediction*> selection_;
+  UnitOutcome out_;
+  bool stopped_ = false;
+};
+
+/// True unless CHOP_BOUND_PRUNING is set to 0/false/off — the run-time
+/// escape hatch that disables branch-and-bound without a rebuild.
+bool bound_pruning_env_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("CHOP_BOUND_PRUNING");
+    if (env == nullptr) return true;
+    std::string v(env);
+    for (char& c : v) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return !(v == "0" || v == "false" || v == "off");
+  }();
+  return enabled;
+}
+
+/// Greedy seed probes: per-partition argmin by (ii, latency) and by
+/// (latency, ii). Real integrations (counted as probe_integrations, not
+/// trials) whose feasible results seed every unit's incumbent frontier, so
+/// dominance pruning bites from the first unit. Each seed is a leaf the
+/// walk itself would visit: a feasible seed can never be pruned along its
+/// own path (the bounds there are lower bounds of its own exact values),
+/// so every design the seeds dominate away stays dominated by a design in
+/// the merged result.
+ParetoFrontier seed_frontier(
+    const EvalContext& ctx,
+    const std::vector<std::vector<bad::DesignPrediction>>& lists,
+    CandidateEvaluator& evaluator, SearchResult& out,
+    obs::Counter& probe_counter) {
+  ParetoFrontier seed;
+  const std::size_t nparts = lists.size();
+  if (nparts == 0) return seed;
+  std::vector<const bad::DesignPrediction*> by_ii(nparts);
+  std::vector<const bad::DesignPrediction*> by_latency(nparts);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    by_ii[p] = by_latency[p] = &lists[p].front();
+    for (const bad::DesignPrediction& cand : lists[p]) {
+      if (cand.ii_main < by_ii[p]->ii_main ||
+          (cand.ii_main == by_ii[p]->ii_main &&
+           cand.latency_main < by_ii[p]->latency_main)) {
+        by_ii[p] = &cand;
+      }
+      if (cand.latency_main < by_latency[p]->latency_main ||
+          (cand.latency_main == by_latency[p]->latency_main &&
+           cand.ii_main < by_latency[p]->ii_main)) {
+        by_latency[p] = &cand;
+      }
+    }
+  }
+  const auto probe = [&](const std::vector<const bad::DesignPrediction*>& s) {
+    ++out.probe_integrations;
+    probe_counter.add();
+    const std::shared_ptr<const IntegrationResult> result =
+        evaluator.evaluate(ctx, s, combination_ii(s));
+    if (result->feasible) {
+      seed.insert(result->ii_main, result->system_delay_main);
+    }
+  };
+  probe(by_ii);
+  if (by_latency != by_ii) probe(by_latency);
+  return seed;
 }
 
 /// Merges one trial into the accumulating SearchResult, in trial order.
@@ -285,75 +561,147 @@ SearchResult search_enumeration(const EvalContext& ctx,
     if (list.empty()) return out;  // some partition has no implementation
   }
 
+  static obs::Counter& pruned_counter =
+      obs::MetricsRegistry::global().counter("search.pruned_subtrees");
+  static obs::Counter& skipped_counter =
+      obs::MetricsRegistry::global().counter("search.bound_skipped_leaves");
+  static obs::Counter& probe_counter =
+      obs::MetricsRegistry::global().counter("search.probe_integrations");
+
   const OdometerSpace space = odometer_space(lists);
   std::size_t limit = space.total;
   if (options.max_trials > 0 && options.max_trials < space.total) {
     limit = options.max_trials;
   }
 
+  const bool bounded = options.bound_pruning && bound_pruning_env_enabled();
+  const UnitPlan plan = plan_units(space);
+
+  std::unique_ptr<BoundTables> tables;
+  ParetoFrontier seed;
+  if (bounded) {
+    obs::TraceSpan tables_span("search.bound_tables");
+    tables = std::make_unique<BoundTables>(ctx, lists);
+    seed = seed_frontier(ctx, lists, evaluator, out, probe_counter);
+    tables_span.arg("partitions", lists.size());
+    tables_span.arg("units", plan.unit_count);
+    tables_span.arg("seed_points", seed.size());
+    if (tables->space_infeasible()) {
+      // No selection can integrate (e.g. a chip with no data pins left):
+      // the historical walk would have visited every leaf only to fail it.
+      out.pruned_subtrees = 1;
+      out.bound_skipped_leaves = space.total;
+      pruned_counter.add(out.pruned_subtrees);
+      skipped_counter.add(out.bound_skipped_leaves);
+      return out;
+    }
+  }
+
   std::vector<GlobalDesign> feasible;
   TrialReporter reporter(options.observer);
+  std::atomic<bool> stop{false};
+  // Per-unit record cap: with bound pruning the global cap applies to
+  // *surviving* leaves, which only the in-order merge can count — each
+  // unit over-collects up to the full cap and the merge truncates.
+  const std::size_t record_cap = bounded ? options.max_trials : 0;
 
-  // A saturated odometer (> 2^64 combinations) cannot be chunked by global
-  // index; it also cannot finish, so the serial walk's incremental
-  // truncation is the only sane mode.
-  const bool parallel = options.threads > 1 && !space.saturated && limit > 1;
+  const auto run_unit = [&](std::size_t u) -> UnitOutcome {
+    if (bounded) {
+      return BoundedWalker(ctx, lists, plan, *tables, seed, record_cap, &stop,
+                           evaluator)
+          .run(u);
+    }
+    return run_unit_unbounded(ctx, lists, plan, u, limit, evaluator);
+  };
 
-  if (!parallel) {
-    std::vector<const bad::DesignPrediction*> selection(lists.size());
-    for (std::size_t i = 0; i < limit; ++i) {
-      merge_trial(out,
-                  evaluate_trial(ctx, lists, space, i, evaluator, selection),
-                  reporter, options, feasible);
+  // In-order merge state. `reached_cap`/`more_after_cap` are computed only
+  // from units the merge actually consumed, which all completed before the
+  // stop flag could have been raised — deterministic at any thread count.
+  bool reached_cap = false;
+  bool more_after_cap = false;
+  const std::size_t unit_count = plan.unit_count;
+  const auto consume = [&](std::size_t u, UnitOutcome&& unit) {
+    out.pruned_subtrees = sat_add(out.pruned_subtrees, unit.pruned_subtrees);
+    out.bound_skipped_leaves =
+        sat_add(out.bound_skipped_leaves, unit.skipped_leaves);
+    for (std::size_t i = 0; i < unit.records.size(); ++i) {
+      merge_trial(out, std::move(unit.records[i]), reporter, options,
+                  feasible);
+      if (options.max_trials > 0 && out.trials >= options.max_trials) {
+        reached_cap = true;
+        more_after_cap = (i + 1 < unit.records.size()) || unit.capped ||
+                         (u + 1 < unit_count);
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (options.threads <= 1 || unit_count <= 1) {
+    for (std::size_t u = 0; u < unit_count && !reached_cap; ++u) {
+      consume(u, run_unit(u));
     }
   } else {
     obs::TraceSpan span("search.parallel");
-    const std::size_t chunk_count = std::min<std::size_t>(
-        limit, static_cast<std::size_t>(options.threads) * 4);
-    const std::size_t chunk_size = (limit + chunk_count - 1) / chunk_count;
-    ThreadPool pool(std::min<int>(options.threads,
-                                  static_cast<int>(chunk_count)));
+    // Tasks group consecutive units; grouping affects scheduling only —
+    // every observable comes from per-unit outcomes merged in unit order.
+    const std::size_t task_count = std::min<std::size_t>(
+        unit_count, static_cast<std::size_t>(options.threads) * 4);
+    const std::size_t task_size = (unit_count + task_count - 1) / task_count;
+    ThreadPool pool(
+        std::min<int>(options.threads, static_cast<int>(task_count)));
 
-    std::vector<std::vector<TrialRecord>> chunk_records(chunk_count);
+    std::vector<std::vector<UnitOutcome>> task_outcomes(task_count);
     std::vector<std::future<void>> done;
-    done.reserve(chunk_count);
-    for (std::size_t k = 0; k < chunk_count; ++k) {
-      // Ceiling-divided chunks can run past the end; trailing chunks are
-      // then empty and merge as no-ops.
-      const std::size_t start = std::min(limit, k * chunk_size);
-      const std::size_t end = std::min(limit, start + chunk_size);
-      done.push_back(pool.submit([&, k, start, end] {
-        obs::TraceSpan chunk_span("search.parallel.chunk");
-        chunk_span.arg("chunk", k);
-        chunk_span.arg("start", start);
-        chunk_span.arg("trials", end - start);
-        std::vector<const bad::DesignPrediction*> selection(lists.size());
-        auto& records = chunk_records[k];
-        records.reserve(end - start);
-        for (std::size_t i = start; i < end; ++i) {
-          records.push_back(
-              evaluate_trial(ctx, lists, space, i, evaluator, selection));
+    done.reserve(task_count);
+    for (std::size_t t = 0; t < task_count; ++t) {
+      const std::size_t first = std::min(unit_count, t * task_size);
+      const std::size_t last = std::min(unit_count, first + task_size);
+      done.push_back(pool.submit([&, t, first, last] {
+        obs::TraceSpan task_span("search.parallel.chunk");
+        task_span.arg("chunk", t);
+        task_span.arg("units", last - first);
+        auto& outcomes = task_outcomes[t];
+        outcomes.reserve(last - first);
+        for (std::size_t u = first; u < last; ++u) {
+          if (stop.load(std::memory_order_relaxed)) break;
+          outcomes.push_back(run_unit(u));
         }
       }));
     }
 
-    // In-order merge: chunk k is folded in only once complete, so the
+    // In-order merge: task t is folded in only once complete, so the
     // observer, the recorder and the result fields see exactly the serial
-    // sequence. Workers keep racing ahead on later chunks meanwhile.
-    for (std::size_t k = 0; k < chunk_count; ++k) {
-      done[k].get();
-      for (TrialRecord& record : chunk_records[k]) {
-        merge_trial(out, std::move(record), reporter, options, feasible);
+    // sequence. Workers keep racing ahead on later units meanwhile.
+    for (std::size_t t = 0; t < task_count && !reached_cap; ++t) {
+      done[t].get();
+      const std::size_t first = std::min(unit_count, t * task_size);
+      for (std::size_t i = 0; i < task_outcomes[t].size() && !reached_cap;
+           ++i) {
+        consume(first + i, std::move(task_outcomes[t][i]));
       }
-      chunk_records[k].clear();
-      chunk_records[k].shrink_to_fit();
+      task_outcomes[t].clear();
+      task_outcomes[t].shrink_to_fit();
+    }
+    // Unblock any still-queued tasks before the pool tears down.
+    stop.store(true, std::memory_order_relaxed);
+    for (std::size_t t = 0; t < task_count; ++t) {
+      if (done[t].valid()) done[t].wait();
     }
     span.arg("threads", options.threads);
-    span.arg("chunks", chunk_count);
+    span.arg("units", unit_count);
+    span.arg("tasks", task_count);
     span.arg("trials", out.trials);
   }
 
-  out.truncated = limit < space.total;
+  pruned_counter.add(out.pruned_subtrees);
+  skipped_counter.add(out.bound_skipped_leaves);
+
+  // Unbounded truncation is exact (the walk stops at a known global
+  // index); bounded truncation is deterministically pessimistic — the
+  // un-walked tail might have contained no further survivors.
+  out.truncated =
+      bounded ? (reached_cap && more_after_cap) : (limit < space.total);
   out.designs = non_inferior(std::move(feasible));
   return out;
 }
@@ -543,6 +891,10 @@ SearchResult find_feasible_implementations(const EvalContext& ctx,
   span.arg("designs", out.designs.size());
   span.arg("truncated", out.truncated);
   span.arg("threads", options.threads);
+  if (enumeration) {
+    span.arg("pruned_subtrees", out.pruned_subtrees);
+    span.arg("bound_skipped_leaves", out.bound_skipped_leaves);
+  }
 
   if (options.observer != nullptr) {
     obs::SearchProgress p;

@@ -14,11 +14,16 @@
 // Both heuristics run on the evaluation engine (src/core/eval/): an
 // immutable EvalContext carries the problem, and a memoizing
 // CandidateEvaluator services every integration. The enumeration heuristic
-// can additionally run on SearchOptions::threads workers — the odometer
-// space is chunked, chunks evaluate concurrently, and results merge in
-// chunk order, so the SearchResult (trials, feasible_raw, designs,
-// recorder contents, observer callback sequence) is identical to the
-// single-threaded run.
+// is a depth-first branch-and-bound walk over the odometer space: an
+// incremental PrefixState plus precomputed BoundTables (src/core/eval/
+// bound_state.hpp) cut whole subtrees whose admissible lower bounds
+// already violate a hard constraint or are dominated by the incumbent
+// Pareto front, while provably returning the identical design set as the
+// exhaustive walk. The work is split on top-level digit prefixes into a
+// fixed number of units; units evaluate concurrently on
+// SearchOptions::threads workers and merge in prefix order, so the
+// SearchResult (trials, feasible_raw, designs, recorder contents,
+// observer callback sequence) is identical across thread counts.
 #pragma once
 
 #include <vector>
@@ -64,6 +69,15 @@ struct SearchOptions {
   /// the search uses a private cache that lives for this call only —
   /// ChopSession::search() substitutes its session-lifetime evaluator.
   CandidateEvaluator* evaluator = nullptr;
+  /// Branch-and-bound subtree pruning for the enumeration heuristic.
+  /// Admissible lower bounds cut subtrees that provably cannot contribute
+  /// to `designs`, so the returned design set is byte-identical with the
+  /// flag on or off; `trials` (visited leaves), and therefore the observer
+  /// sequence and recorder contents, shrink when subtrees are cut. Also
+  /// switchable off at run time via CHOP_BOUND_PRUNING=0 (env wins over a
+  /// `true` here only when set to a disabling value). The iterative
+  /// heuristic ignores this.
+  bool bound_pruning = true;
 };
 
 /// Per-partition prediction lists: BAD's raw output and the level-1-pruned
@@ -92,6 +106,13 @@ struct SearchResult {
   /// counts exclude them — but real work, also tracked by the
   /// `search.probe_integrations` metric.
   std::size_t probe_integrations = 0;
+  /// Enumeration subtrees cut by branch-and-bound lower bounds, and the
+  /// number of leaf evaluations those cuts skipped (saturating; a
+  /// saturated odometer space reports the skipped count as SIZE_MAX).
+  /// Also exported as the `search.pruned_subtrees` and
+  /// `search.bound_skipped_leaves` metrics.
+  std::size_t pruned_subtrees = 0;
+  std::size_t bound_skipped_leaves = 0;
   bool truncated = false;             ///< Hit SearchOptions::max_trials.
   DesignSpaceRecorder recorder;       ///< Populated when record_all.
 };

@@ -4,15 +4,18 @@
 // Figure-7 (AR filter, keep-all) workload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <vector>
 
 #include "chip/mosis_packages.hpp"
 #include "core/eval/candidate_evaluator.hpp"
+#include "core/eval/eval_context.hpp"
 #include "core/eval/thread_pool.hpp"
 #include "core/search.hpp"
 #include "core/session.hpp"
+#include "core/transfer.hpp"
 #include "dfg/benchmarks.hpp"
 #include "library/experiment_library.hpp"
 
@@ -192,6 +195,99 @@ TEST(ParallelSearch, SharedEvaluatorAcrossThreadCountsStillIdentical) {
     expect_identical(serial, session.search(opt), threads);
   }
   EXPECT_GT(session.evaluator().stats().hits, 0u);
+}
+
+/// Builds an evaluation problem whose odometer space saturates
+/// std::size_t: the AR filter split over 8 generously-sized chips, with
+/// 256 (identical, individually feasible) candidates per partition —
+/// 256^8 = 2^64 leaves. The historical flat walk could not parallelize
+/// this (it indexed trials by a single global counter); the prefix-unit
+/// enumeration must slice it, honor max_trials, and stay deterministic
+/// at every thread count in both bounded and exhaustive modes.
+struct SaturatedSpace {
+  static constexpr int kParts = 8;
+  static constexpr std::size_t kCandidates = 256;
+
+  Partitioning pt;
+  EvalContext ctx;
+  PartitionPredictions pred;
+
+  static Partitioning make_partitioning() {
+    static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+    chip::ChipPackage big;
+    big.name = "big";
+    big.width_mil = 10000.0;
+    big.height_mil = 10000.0;
+    big.pin_count = 400;
+    big.pad_delay = 5.0;
+    big.io_pad_area = 10.0;
+    std::vector<chip::ChipInstance> chips;
+    for (int c = 0; c < kParts; ++c) {
+      chips.push_back({"chip" + std::to_string(c), big});
+    }
+    Partitioning pt(ar.graph, std::move(chips));
+    const std::vector<dfg::NodeId> ops = ar.all_operations();
+    // Balanced split: every partition gets floor(n/k) ops, the first
+    // n % k partitions one extra, so none is ever empty.
+    std::size_t first = 0;
+    for (int p = 0; p < kParts; ++p) {
+      const std::size_t size =
+          ops.size() / kParts +
+          (static_cast<std::size_t>(p) < ops.size() % kParts ? 1 : 0);
+      pt.add_partition(
+          "P" + std::to_string(p + 1),
+          std::vector<dfg::NodeId>(
+              ops.begin() + static_cast<long>(first),
+              ops.begin() + static_cast<long>(first + size)),
+          p);
+      first += size;
+    }
+    return pt;
+  }
+
+  SaturatedSpace()
+      : pt(make_partitioning()),
+        ctx(pt, create_transfer_tasks(pt), bad::ClockSpec{300.0, 10, 1},
+            DesignConstraints{1e9, 1e9}, FeasibilityCriteria{}) {
+    bad::DesignPrediction p;
+    p.style = bad::DesignStyle::Nonpipelined;
+    p.module_set_label = "t";
+    p.fu_alloc[dfg::OpKind::Mul] = 1;
+    p.stages = 30;
+    p.ii_dp = 30;
+    p.ii_main = 30;
+    p.latency_main = 30;
+    p.register_bits = 32;
+    p.total_area = StatVal(900.0, 1000.0, 1100.0);
+    p.clock_overhead_ns = 4.0;
+    pred.eligible.assign(
+        kParts, std::vector<bad::DesignPrediction>(kCandidates, p));
+    pred.raw = pred.eligible;
+  }
+};
+
+TEST(ParallelSearch, SaturatedSpaceHonorsCapAtEveryThreadCount) {
+  SaturatedSpace space;
+  const std::size_t cap = 500;
+  for (bool bound_pruning : {false, true}) {
+    SCOPED_TRACE(bound_pruning ? "bounded" : "exhaustive");
+    SearchOptions opt;
+    opt.heuristic = Heuristic::Enumeration;
+    opt.bound_pruning = bound_pruning;
+    opt.record_all = true;
+    opt.max_trials = cap;
+    const SearchResult serial =
+        find_feasible_implementations(space.ctx, space.pred, opt);
+    EXPECT_EQ(serial.trials, cap);
+    EXPECT_TRUE(serial.truncated);
+    ASSERT_FALSE(serial.designs.empty());
+    for (int threads : {2, 4, 8}) {
+      opt.threads = threads;
+      expect_identical(
+          serial, find_feasible_implementations(space.ctx, space.pred, opt),
+          threads);
+    }
+  }
 }
 
 TEST(ThreadPool, RunsEverySubmittedJob) {

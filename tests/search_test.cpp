@@ -107,6 +107,9 @@ TEST(SearchEnumeration, TrialsEqualProductOfEligibleLists) {
   for (const auto& list : pred.eligible) product *= list.size();
   SearchOptions opt;
   opt.heuristic = Heuristic::Enumeration;
+  // Exhaustive mode: branch-and-bound would visit fewer leaves, and this
+  // test is precisely about the full product.
+  opt.bound_pruning = false;
   const SearchResult r = session.search(opt);
   EXPECT_EQ(r.trials, product);
   EXPECT_FALSE(r.designs.empty());
@@ -117,6 +120,8 @@ TEST(SearchIterative, FewerTrialsThanEnumeration) {
   session.predict_partitions();
   SearchOptions e;
   e.heuristic = Heuristic::Enumeration;
+  // Compare against the paper's exhaustive enumeration trial counts.
+  e.bound_pruning = false;
   SearchOptions i;
   i.heuristic = Heuristic::Iterative;
   const SearchResult re = session.search(e);
@@ -152,9 +157,13 @@ TEST(Search, PruningSoundness) {
   SearchOptions pruned;
   pruned.heuristic = Heuristic::Enumeration;
   pruned.prune = true;
+  // This test reasons about level-1 pruning alone; exhaustive trial
+  // counts keep the comparison meaningful.
+  pruned.bound_pruning = false;
   SearchOptions raw;
   raw.heuristic = Heuristic::Enumeration;
   raw.prune = false;
+  raw.bound_pruning = false;
   raw.max_trials = 2'000'000;
   const SearchResult rp = session.search(pruned);
   const SearchResult rr = session.search(raw);

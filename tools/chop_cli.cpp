@@ -5,7 +5,13 @@
 //     --threads=N       worker threads for the enumeration heuristic
 //                       (default 1; also read from CHOP_THREADS; results
 //                       are identical at any thread count)
-//     --keep-all        disable pruning, report the design-space size
+//     --no-bound-pruning  disable the branch-and-bound subtree pruning of
+//                       the enumeration search (identical designs either
+//                       way; useful for timing comparisons and for
+//                       recording the full design space). Also settable
+//                       via CHOP_BOUND_PRUNING=0.
+//     --keep-all        disable pruning (including branch-and-bound),
+//                       report the design-space size
 //     --guideline       print the full designer guideline for every design
 //     --auto            ignore the file's partitions; partition
 //                       automatically (one partition per declared chip)
@@ -47,6 +53,7 @@ struct CliOptions {
   std::string project_path;
   core::Heuristic heuristic = core::Heuristic::Iterative;
   int threads = 1;
+  bool bound_pruning = true;
   bool keep_all = false;
   bool guideline = false;
   bool auto_partition = false;
@@ -62,13 +69,17 @@ struct CliOptions {
 int usage() {
   std::cerr
       << "usage: chop_cli <project.chop> [--heuristic=E|I] [--threads=N]\n"
-         "                [--keep-all] [--guideline] [--auto]\n"
-         "                [--optimize-memory] [--dot=<file>] [--save=<file>]\n"
-         "                [--report=<file>] [--trace=<file>]\n"
+         "                [--no-bound-pruning] [--keep-all] [--guideline]\n"
+         "                [--auto] [--optimize-memory] [--dot=<file>]\n"
+         "                [--save=<file>] [--report=<file>] [--trace=<file>]\n"
          "                [--metrics=<file>] [--progress]\n"
          "  --threads=N runs the enumeration search on N workers (default 1,\n"
          "  or the CHOP_THREADS environment variable); any thread count\n"
-         "  produces identical results.\n";
+         "  produces identical results.\n"
+         "  --no-bound-pruning disables the enumeration search's\n"
+         "  branch-and-bound subtree pruning (the design set is identical\n"
+         "  either way; only the number of visited leaves changes). The\n"
+         "  CHOP_BOUND_PRUNING=0 environment variable does the same.\n";
   return 1;
 }
 
@@ -94,6 +105,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     const std::string arg = argv[i];
     if (arg == "--keep-all") {
       options.keep_all = true;
+    } else if (arg == "--no-bound-pruning") {
+      options.bound_pruning = false;
     } else if (arg == "--guideline") {
       options.guideline = true;
     } else if (arg == "--auto") {
@@ -209,6 +222,9 @@ int main(int argc, char** argv) {
     core::SearchOptions search;
     search.heuristic = options.heuristic;
     search.threads = options.threads;
+    // --keep-all exists to record the full design space, so it implies
+    // the exhaustive walk (branch-and-bound skips most of the space).
+    search.bound_pruning = options.bound_pruning && !options.keep_all;
     search.prune = !options.keep_all;
     search.record_all = options.keep_all;
     search.max_trials = options.keep_all ? 500000 : 0;
@@ -222,6 +238,7 @@ int main(int argc, char** argv) {
       core::AutoPartitionOptions auto_options;
       auto_options.search.heuristic = options.heuristic;
       auto_options.search.threads = options.threads;
+      auto_options.search.bound_pruning = options.bound_pruning;
       const core::AutoPartitionResult r = core::auto_partition(
           project.graph, project.library, project.chips, project.memory,
           project.config, auto_options);
