@@ -1,0 +1,73 @@
+// Throughput of the differential fuzzing harness: scenarios generated
+// and oracle batteries completed per second. Tracks how much wall clock a
+// CI fuzz budget (e.g. --scenarios=200) buys, and catches regressions in
+// the generator or the battery itself.
+#include <benchmark/benchmark.h>
+
+#include "io/spec_writer.hpp"
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+
+namespace chop::bench {
+namespace {
+
+/// Scenario construction alone: knob sampling + DAG + library + chips +
+/// partitioning, no search.
+void BM_ScenarioGeneration(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const testing::ScenarioKnobs knobs =
+        testing::sample_knobs(testing::scenario_seed(42, i++));
+    benchmark::DoNotOptimize(testing::build_scenario(knobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioGeneration);
+
+/// Generation plus the `.chop` spec round trip the first oracle performs.
+void BM_ScenarioSpecRoundTrip(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const io::Project project = testing::build_scenario(
+        testing::sample_knobs(testing::scenario_seed(42, i++)));
+    benchmark::DoNotOptimize(io::write_project_string(project));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScenarioSpecRoundTrip);
+
+/// The full battery, as the chop_fuzz driver runs it. The metamorphic
+/// group re-evaluates the raw design space five times, so it dominates;
+/// benchmark both with and without it.
+void run_battery(benchmark::State& state, bool metamorphic) {
+  testing::OracleLimits limits;
+  limits.metamorphic = metamorphic;
+  std::uint64_t i = 0;
+  std::size_t scenarios = 0;
+  for (auto _ : state) {
+    const testing::ScenarioReport report = testing::run_oracles(
+        testing::build_scenario(
+            testing::sample_knobs(testing::scenario_seed(42, i++))),
+        limits);
+    benchmark::DoNotOptimize(report);
+    if (!report.skipped) ++scenarios;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["oracle_runs"] =
+      benchmark::Counter(static_cast<double>(scenarios));
+}
+
+void BM_OracleBatteryQuick(benchmark::State& state) {
+  run_battery(state, /*metamorphic=*/false);
+}
+BENCHMARK(BM_OracleBatteryQuick)->Unit(benchmark::kMillisecond);
+
+void BM_OracleBatteryFull(benchmark::State& state) {
+  run_battery(state, /*metamorphic=*/true);
+}
+BENCHMARK(BM_OracleBatteryFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chop::bench
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "core/eval/bound_state.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -28,7 +29,15 @@ StatVal component_min(const StatVal& a, const StatVal& b) {
                  std::min(a.hi(), b.hi()));
 }
 
+std::atomic<double> g_bound_slack{kBoundSlack};
+
 }  // namespace
+
+double bound_slack() { return g_bound_slack.load(std::memory_order_relaxed); }
+
+void set_bound_slack_for_testing(double slack) {
+  g_bound_slack.store(slack, std::memory_order_relaxed);
+}
 
 bool PrefixState::push(int chip, const bad::DesignPrediction& cand) {
   if (cand.style == bad::DesignStyle::Pipelined && pipelined_rate_ != 0 &&
@@ -222,11 +231,11 @@ bool BoundTables::prune(const PrefixState& prefix, std::size_t remaining,
   // Additive per-chip bounds accumulate in a different order than
   // integrate(); shave by kBoundSlack so rounding drift can never cut a
   // feasible leaf.
+  const double slack = bound_slack();
   const std::size_t nchips = chip_usable_.size();
   for (std::size_t c = 0; c < nchips; ++c) {
     const StatVal area_lb =
-        (chip_base_area_[c] + prefix.area(c) + rem_min_area_[m][c]) *
-        kBoundSlack;
+        (chip_base_area_[c] + prefix.area(c) + rem_min_area_[m][c]) * slack;
     if (!criteria.area_ok(area_lb, chip_usable_[c])) return true;
   }
   if (constraints.power_constrained()) {
@@ -234,12 +243,12 @@ bool BoundTables::prune(const PrefixState& prefix, std::size_t remaining,
     for (std::size_t c = 0; c < nchips; ++c) {
       const StatVal chip_lb = prefix.power(c) + rem_min_power_[m][c];
       system_lb += chip_lb;
-      if (!criteria.power_ok(chip_lb * kBoundSlack,
+      if (!criteria.power_ok(chip_lb * slack,
                              constraints.chip_power_mw)) {
         return true;
       }
     }
-    if (!criteria.power_ok(system_lb * kBoundSlack,
+    if (!criteria.power_ok(system_lb * slack,
                            constraints.system_power_mw)) {
       return true;
     }

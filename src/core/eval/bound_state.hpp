@@ -50,6 +50,13 @@ namespace chop::core {
 /// constraint comparison, covering accumulation-order rounding drift.
 inline constexpr double kBoundSlack = 1.0 - 1e-9;
 
+/// The slack factor prune() actually applies. Defaults to kBoundSlack;
+/// overridable for fault-injection testing (chop_fuzz --inject-bound-bug
+/// sets an inadmissible factor > 1 to prove the differential oracles catch
+/// a bound that cuts feasible leaves). Never override in production code.
+double bound_slack();
+void set_bound_slack_for_testing(double slack);
+
 /// Incremental state of one enumeration prefix: exact aggregates of the
 /// committed candidates, maintained push/pop in O(1) per step (each push
 /// touches exactly one chip). Pops restore the previous values verbatim

@@ -121,6 +121,18 @@ void Partitioning::validate() const {
   }
   memory_.validate(static_cast<int>(chips_.size()));
 
+  // Every memory operation must reference a declared block — transfer
+  // creation indexes the block table with these ids unchecked.
+  for (std::size_t i = 0; i < spec_->node_count(); ++i) {
+    const dfg::Node& n = spec_->node(static_cast<dfg::NodeId>(i));
+    if (n.kind == dfg::OpKind::MemRead || n.kind == dfg::OpKind::MemWrite) {
+      CHOP_REQUIRE(n.memory_block >= 0 &&
+                       static_cast<std::size_t>(n.memory_block) <
+                           memory_.blocks.size(),
+                   "memory operation references an undeclared memory block");
+    }
+  }
+
   // Quotient graph acyclicity: "no two partitions should have mutual data
   // dependency" and no cycles among same-chip partitions either.
   const std::size_t n = partitions_.size();

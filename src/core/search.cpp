@@ -473,17 +473,16 @@ class BoundedWalker {
 
 /// True unless CHOP_BOUND_PRUNING is set to 0/false/off — the run-time
 /// escape hatch that disables branch-and-bound without a rebuild.
+/// Re-read on every search (one getenv per search, never per trial) so
+/// tests can toggle the variable within one process.
 bool bound_pruning_env_enabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("CHOP_BOUND_PRUNING");
-    if (env == nullptr) return true;
-    std::string v(env);
-    for (char& c : v) {
-      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    }
-    return !(v == "0" || v == "false" || v == "off");
-  }();
-  return enabled;
+  const char* env = std::getenv("CHOP_BOUND_PRUNING");
+  if (env == nullptr) return true;
+  std::string v(env);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return !(v == "0" || v == "false" || v == "off");
 }
 
 /// Greedy seed probes: per-partition argmin by (ii, latency) and by

@@ -12,6 +12,10 @@ BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec) {
   CHOP_REQUIRE(spec.width > 0, "random_dag width must be positive");
   CHOP_REQUIRE(spec.mul_fraction >= 0.0 && spec.mul_fraction <= 1.0,
                "mul_fraction must be a probability");
+  CHOP_REQUIRE(spec.mem_reads >= 0 && spec.mem_writes >= 0,
+               "memory op counts must be non-negative");
+  CHOP_REQUIRE(spec.mem_reads + spec.mem_writes == 0 || spec.memory_blocks >= 1,
+               "memory operations need at least one memory block");
 
   BenchmarkGraph bg;
   Graph& g = bg.graph;
@@ -21,6 +25,17 @@ BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec) {
   const int n_inputs = std::max(2, spec.extra_inputs);
   for (int i = 0; i < n_inputs; ++i) {
     sources.push_back(g.add_input("in" + std::to_string(i), spec.width));
+  }
+
+  // Streamed memory reads feed the datapath from the start; they join the
+  // first layer's member list below so layer-span partitions adopt them.
+  std::vector<NodeId> mem_read_nodes;
+  for (int i = 0; i < spec.mem_reads; ++i) {
+    const int block = static_cast<int>(
+        rng.uniform(0, static_cast<std::int64_t>(spec.memory_blocks) - 1));
+    mem_read_nodes.push_back(
+        g.add_mem_read(block, spec.width, kNoNode, "mr" + std::to_string(i)));
+    sources.push_back(mem_read_nodes.back());
   }
 
   // Distribute ops over layers as evenly as possible, at least one per
@@ -54,13 +69,32 @@ BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec) {
     chain_prev = this_layer.front();
     bg.layers.push_back(std::move(this_layer));
   }
+  bg.layers.front().insert(bg.layers.front().end(), mem_read_nodes.begin(),
+                           mem_read_nodes.end());
 
-  // Expose every value with no consumer as a primary output.
+  // Memory writes consume random operation results; they live in the last
+  // layer so every write's data edge points backward in layer order.
+  const std::size_t first_op = static_cast<std::size_t>(n_inputs) +
+                               mem_read_nodes.size();
+  for (int i = 0; i < spec.mem_writes; ++i) {
+    const int block = static_cast<int>(
+        rng.uniform(0, static_cast<std::int64_t>(spec.memory_blocks) - 1));
+    const NodeId data = sources[static_cast<std::size_t>(rng.uniform(
+        static_cast<std::int64_t>(first_op),
+        static_cast<std::int64_t>(sources.size()) - 1))];
+    bg.layers.back().push_back(
+        g.add_mem_write(block, data, kNoNode, "mw" + std::to_string(i)));
+  }
+
+  // Expose every value with no consumer as a primary output. MemWrite
+  // produces no value; MemRead results without consumers are exposed like
+  // any other dangling value.
   int out_idx = 0;
   const std::size_t node_count = g.node_count();
   for (std::size_t i = 0; i < node_count; ++i) {
     const NodeId id = static_cast<NodeId>(i);
-    if (g.node(id).kind == OpKind::Input) continue;
+    const OpKind kind = g.node(id).kind;
+    if (kind == OpKind::Input || kind == OpKind::MemWrite) continue;
     if (g.fanout(id).empty()) {
       g.add_output("y" + std::to_string(out_idx++), id);
     }

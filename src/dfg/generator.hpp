@@ -16,12 +16,19 @@ struct RandomDagSpec {
   double mul_fraction = 0.4; ///< Probability an op is a Mul (else Add).
   Bits width = 16;           ///< Data width of every value.
   int extra_inputs = 4;      ///< Primary inputs beyond the first layer's needs.
+  int memory_blocks = 0;     ///< Memory blocks the graph may reference.
+  int mem_reads = 0;         ///< MemRead ops (requires memory_blocks >= 1).
+  int mem_writes = 0;        ///< MemWrite ops (requires memory_blocks >= 1).
 };
 
 /// Builds a random layered acyclic graph: `depth` layers with operations
 /// distributed as evenly as possible, every operation drawing its two
 /// operands from strictly earlier layers (or primary inputs), every sink
-/// exposed as a primary output. Deterministic for a given Rng state.
+/// exposed as a primary output. Optional memory traffic: `mem_reads`
+/// streamed reads join the first layer as operand sources, `mem_writes`
+/// consume random operation results from the last layer, so layer-span
+/// partitions always keep the partition quotient graph acyclic.
+/// Deterministic for a given Rng state.
 BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec);
 
 }  // namespace chop::dfg

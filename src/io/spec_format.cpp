@@ -1,5 +1,6 @@
 #include "io/spec_format.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -35,18 +36,30 @@ dfg::OpKind parse_op(int line, const std::string& name) {
 }
 
 double parse_number(int line, const std::string& token) {
+  double v = 0.0;
   try {
     std::size_t used = 0;
-    const double v = std::stod(token, &used);
+    v = std::stod(token, &used);
     if (used != token.size()) throw std::invalid_argument(token);
-    return v;
   } catch (const std::exception&) {
     throw ParseError(line, "expected a number, got '" + token + "'");
   }
+  // NaN/infinity would poison every downstream comparison silently.
+  if (!std::isfinite(v)) {
+    throw ParseError(line, "number is not finite: '" + token + "'");
+  }
+  return v;
 }
 
 long parse_int(int line, const std::string& token) {
   const double v = parse_number(line, token);
+  // Bound before the cast: double -> long of an out-of-range value is
+  // undefined behavior, and no quantity in a project legitimately needs
+  // magnitudes anywhere near this.
+  constexpr double kMaxMagnitude = 1e15;
+  if (v < -kMaxMagnitude || v > kMaxMagnitude) {
+    throw ParseError(line, "integer out of range: '" + token + "'");
+  }
   const long i = static_cast<long>(v);
   if (static_cast<double>(i) != v) {
     throw ParseError(line, "expected an integer, got '" + token + "'");
@@ -358,17 +371,26 @@ Project parse_project(std::istream& in) {
     } else if (t[0] == "config") {
       section = Section::Config;
     } else {
-      switch (section) {
-        case Section::None:
-          throw ParseError(line_no,
-                           "statement outside any section: " + t[0]);
-        case Section::Graph: parse_graph_line(st, line_no, t); break;
-        case Section::Library: parse_library_line(st, line_no, t); break;
-        case Section::Chips: parse_chips_line(st, line_no, t); break;
-        case Section::Partitions:
-          parse_partitions_line(st, line_no, t);
-          break;
-        case Section::Config: parse_config_line(st, line_no, t); break;
+      // Builder methods (Graph::add_*, validate helpers) throw plain
+      // chop::Error; rewrap with the line number so every malformed input
+      // surfaces as a ParseError rather than escaping unlocated.
+      try {
+        switch (section) {
+          case Section::None:
+            throw ParseError(line_no,
+                             "statement outside any section: " + t[0]);
+          case Section::Graph: parse_graph_line(st, line_no, t); break;
+          case Section::Library: parse_library_line(st, line_no, t); break;
+          case Section::Chips: parse_chips_line(st, line_no, t); break;
+          case Section::Partitions:
+            parse_partitions_line(st, line_no, t);
+            break;
+          case Section::Config: parse_config_line(st, line_no, t); break;
+        }
+      } catch (const ParseError&) {
+        throw;
+      } catch (const Error& e) {
+        throw ParseError(line_no, e.what());
       }
     }
   }
@@ -378,6 +400,18 @@ Project parse_project(std::istream& in) {
     st.project.memory.validate(static_cast<int>(st.project.chips.size()));
   } catch (const Error& e) {
     throw ParseError(line_no, e.what());
+  }
+  // Memory operations must reference declared blocks: an out-of-range
+  // index would be read unchecked when transfer tasks are created.
+  const auto block_count = static_cast<int>(st.project.memory.blocks.size());
+  for (std::size_t i = 0; i < st.project.graph.node_count(); ++i) {
+    const dfg::Node& n = st.project.graph.node(static_cast<dfg::NodeId>(i));
+    if ((n.kind == dfg::OpKind::MemRead || n.kind == dfg::OpKind::MemWrite) &&
+        n.memory_block >= block_count) {
+      throw ParseError(line_no, "memory operation '" + n.name +
+                                    "' references undeclared block " +
+                                    std::to_string(n.memory_block));
+    }
   }
   return st.project;
 }

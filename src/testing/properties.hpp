@@ -1,0 +1,104 @@
+// Reusable property checks for the StatVal triplet algebra, shared
+// between tests/statval_test.cpp and the fuzzing harness's statval
+// oracle. Header-only and gtest-free: each check returns std::nullopt on
+// success or a deterministic description of the first violation, so both
+// EXPECT-style tests and the fuzz driver can consume them.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "util/statval.hpp"
+
+namespace chop::testing {
+
+inline bool near(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol * (1.0 + std::fabs(a) + std::fabs(b));
+}
+
+/// a + b == b + a, componentwise exactly (FP addition is commutative).
+inline std::optional<std::string> check_sum_commutative(const StatVal& a,
+                                                        const StatVal& b) {
+  if ((a + b) == (b + a)) return std::nullopt;
+  return std::string("sum not commutative");
+}
+
+/// (a + b) + c ~= a + (b + c) within FP tolerance on every component.
+inline std::optional<std::string> check_sum_associative(const StatVal& a,
+                                                        const StatVal& b,
+                                                        const StatVal& c) {
+  const StatVal l = (a + b) + c;
+  const StatVal r = a + (b + c);
+  if (near(l.lo(), r.lo()) && near(l.likely(), r.likely()) &&
+      near(l.hi(), r.hi())) {
+    return std::nullopt;
+  }
+  return std::string("sum not associative within tolerance");
+}
+
+/// max(a, b) dominates both operands componentwise and is commutative.
+inline std::optional<std::string> check_max_monotone(const StatVal& a,
+                                                     const StatVal& b) {
+  const StatVal m = StatVal::max(a, b);
+  if (m.lo() < a.lo() || m.lo() < b.lo() || m.likely() < a.likely() ||
+      m.likely() < b.likely() || m.hi() < a.hi() || m.hi() < b.hi()) {
+    return std::string("max does not dominate its operands");
+  }
+  if (!(StatVal::max(a, b) == StatVal::max(b, a))) {
+    return std::string("max not commutative");
+  }
+  return std::nullopt;
+}
+
+/// CDF is a proper distribution function: bounded to [0, 1], monotone
+/// nondecreasing, 0 below the support and 1 at/above its top.
+inline std::optional<std::string> check_cdf_bounds(const StatVal& v) {
+  const double span = v.hi() - v.lo();
+  const double step = span > 0.0 ? span / 8.0 : 1.0;
+  double prev = -1.0;
+  for (int i = -2; i <= 10; ++i) {
+    const double x = v.lo() + static_cast<double>(i) * step;
+    const double p = v.cdf(x);
+    if (std::isnan(p) || p < 0.0 || p > 1.0) {
+      std::ostringstream os;
+      os << "cdf(" << x << ") = " << p << " outside [0, 1]";
+      return os.str();
+    }
+    if (p + 1e-12 < prev) {
+      std::ostringstream os;
+      os << "cdf not monotone at x = " << x;
+      return os.str();
+    }
+    prev = p;
+  }
+  if (v.cdf(v.lo() - step) != 0.0) return std::string("cdf below support != 0");
+  if (v.cdf(v.hi()) != 1.0) return std::string("cdf at upper bound != 1");
+  return std::nullopt;
+}
+
+/// satisfies(limit, p) must be monotone in the limit: once satisfied at
+/// some bound it stays satisfied at every looser bound.
+inline std::optional<std::string> check_satisfies_monotone(const StatVal& v,
+                                                           double prob) {
+  const double span = v.hi() - v.lo();
+  const double step = span > 0.0 ? span / 8.0 : 1.0;
+  bool seen = false;
+  for (int i = -2; i <= 10; ++i) {
+    const double x = v.lo() + static_cast<double>(i) * step;
+    const bool ok = v.satisfies(x, prob);
+    if (seen && !ok) {
+      std::ostringstream os;
+      os << "satisfies(" << x << ", " << prob << ") regressed";
+      return os.str();
+    }
+    seen = seen || ok;
+  }
+  if (!v.satisfies(v.hi() + step, prob)) {
+    return std::string("satisfies false above the support");
+  }
+  return std::nullopt;
+}
+
+}  // namespace chop::testing

@@ -1,0 +1,95 @@
+// Deterministic end-to-end scenario generation for the differential
+// fuzzing harness (tools/chop_fuzz).
+//
+// A scenario is a complete io::Project — behavioral graph, component
+// library, chip set, memory subsystem, partitioning, and configuration —
+// derived entirely from a small integer knob vector plus one seed. Two
+// properties make that representation the backbone of the harness:
+//
+//  * Reproducibility: build_scenario(knobs) is a pure function. The knob
+//    vector (including its seed) IS the repro; serializing the built
+//    project to a `.chop` file gives a replayable artifact that needs no
+//    harness code to re-run.
+//  * Shrinkability: failures are minimized by shrinking *knobs* (fewer
+//    operations, fewer partitions, looser constraints) and rebuilding,
+//    rather than by mutating the project structurally — every shrink
+//    candidate is a valid project by construction.
+//
+// Partitions are formed from contiguous spans of the generated layered
+// DAG, which guarantees the partition quotient graph is acyclic (edges
+// only ever point to equal-or-later layers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/spec_format.hpp"
+#include "util/rng.hpp"
+
+namespace chop::testing {
+
+/// The complete generation parameter vector. Everything is integral so a
+/// knob vector can be logged, compared, and shrunk without FP noise; the
+/// builder converts to the model's units. Invariants are established by
+/// normalize() rather than asserted, so arbitrary shrink arithmetic can
+/// never produce an unbuildable vector.
+struct ScenarioKnobs {
+  std::uint64_t seed = 0;  ///< Drives every random choice in the builder.
+
+  // Graph shape.
+  int operations = 12;
+  int depth = 3;
+  int mul_permille = 400;  ///< P(op is Mul) in 1/1000 units.
+  int width = 16;
+  int extra_inputs = 3;
+  int memory_blocks = 0;
+  int mem_reads = 0;
+  int mem_writes = 0;
+
+  // Hardware.
+  int chips = 2;
+  int partitions = 2;
+  int modules_per_op = 2;  ///< Library alternatives per operation kind.
+
+  // Style and clocks.
+  bool multi_cycle = false;
+  bool allow_pipelining = true;
+  int main_clock_ns = 300;
+  int datapath_mult = 10;
+  int transfer_mult = 1;
+
+  // Constraint budget and criteria.
+  int performance_ns = 30000;
+  int delay_ns = 30000;
+  int system_power_mw = 0;  ///< 0 = unconstrained.
+  int chip_power_mw = 0;    ///< 0 = unconstrained.
+  int performance_prob_pct = 100;
+  int delay_prob_pct = 80;
+
+  /// Clamps every knob into its legal range (depth <= operations,
+  /// partitions <= depth, memory ops need blocks, ...). Idempotent.
+  void normalize();
+
+  /// Compact single-line rendering for logs and repro headers.
+  std::string describe() const;
+};
+
+/// Samples a fresh knob vector from `seed` (the per-scenario distribution
+/// of the fuzzer). The result is normalized.
+ScenarioKnobs sample_knobs(std::uint64_t seed);
+
+/// Deterministically builds the complete project a knob vector describes.
+/// The same knobs always produce a byte-identical project; knobs are
+/// normalized first. The result parses/serializes losslessly through the
+/// `.chop` format (all sampled quantities are integral).
+io::Project build_scenario(ScenarioKnobs knobs);
+
+/// FNV-1a hash of a seed string, so `--seed=ci` style tags map onto the
+/// 64-bit seed space deterministically. Digit-only strings are parsed as
+/// the literal number instead.
+std::uint64_t parse_seed(const std::string& text);
+
+/// Per-scenario derived seed: scenario `index` of a run seeded `base`.
+std::uint64_t scenario_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace chop::testing

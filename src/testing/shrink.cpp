@@ -1,0 +1,149 @@
+#include "testing/shrink.hpp"
+
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "io/spec_writer.hpp"
+
+namespace chop::testing {
+
+namespace {
+
+/// One candidate transformation; returns false when it cannot apply (the
+/// knob is already minimal), so the driver can move on.
+using Transform = std::function<bool(ScenarioKnobs&)>;
+
+const std::vector<std::pair<const char*, Transform>>& transforms() {
+  static const std::vector<std::pair<const char*, Transform>> kTransforms = {
+      {"halve operations",
+       [](ScenarioKnobs& k) {
+         if (k.operations <= 1) return false;
+         k.operations /= 2;
+         return true;
+       }},
+      {"decrement operations",
+       [](ScenarioKnobs& k) {
+         if (k.operations <= 1) return false;
+         k.operations -= 1;
+         return true;
+       }},
+      {"decrement depth",
+       [](ScenarioKnobs& k) {
+         if (k.depth <= 1) return false;
+         k.depth -= 1;
+         return true;
+       }},
+      {"decrement partitions",
+       [](ScenarioKnobs& k) {
+         if (k.partitions <= 1) return false;
+         k.partitions -= 1;
+         return true;
+       }},
+      {"decrement chips",
+       [](ScenarioKnobs& k) {
+         if (k.chips <= 1) return false;
+         k.chips -= 1;
+         return true;
+       }},
+      {"decrement module alternatives",
+       [](ScenarioKnobs& k) {
+         if (k.modules_per_op <= 1) return false;
+         k.modules_per_op -= 1;
+         return true;
+       }},
+      {"drop memory subsystem",
+       [](ScenarioKnobs& k) {
+         if (k.memory_blocks == 0) return false;
+         k.memory_blocks = 0;
+         return true;
+       }},
+      {"shrink width",
+       [](ScenarioKnobs& k) {
+         if (k.width <= 8) return false;
+         k.width = 8;
+         return true;
+       }},
+      {"fewer inputs",
+       [](ScenarioKnobs& k) {
+         if (k.extra_inputs <= 2) return false;
+         k.extra_inputs = 2;
+         return true;
+       }},
+      {"loosen performance",
+       [](ScenarioKnobs& k) {
+         if (k.performance_ns >= 200000) return false;
+         k.performance_ns *= 2;
+         return true;
+       }},
+      {"loosen delay",
+       [](ScenarioKnobs& k) {
+         if (k.delay_ns >= 200000) return false;
+         k.delay_ns *= 2;
+         return true;
+       }},
+      {"drop power budget",
+       [](ScenarioKnobs& k) {
+         if (k.system_power_mw == 0 && k.chip_power_mw == 0) return false;
+         k.system_power_mw = 0;
+         k.chip_power_mw = 0;
+         return true;
+       }},
+  };
+  return kTransforms;
+}
+
+ScenarioReport evaluate(const ScenarioKnobs& knobs,
+                        const OracleLimits& limits) {
+  return run_oracles(build_scenario(knobs), limits);
+}
+
+}  // namespace
+
+ShrinkResult shrink_failure(const ScenarioKnobs& start,
+                            const OracleLimits& limits) {
+  ShrinkResult result;
+  result.knobs = start;
+  result.knobs.normalize();
+  result.report = evaluate(result.knobs, limits);
+  if (result.report.ok()) return result;
+
+  // Greedy descent with restart: each successful shrink can unlock earlier
+  // transformations again. The attempt cap bounds the worst case; every
+  // adopted step strictly reduces some knob, so the fixpoint is reached
+  // long before it in practice.
+  int attempts = 0;
+  bool progressed = true;
+  while (progressed && attempts < 400) {
+    progressed = false;
+    for (const auto& [name, transform] : transforms()) {
+      ScenarioKnobs candidate = result.knobs;
+      if (!transform(candidate)) continue;
+      candidate.normalize();
+      ++attempts;
+      const ScenarioReport candidate_report = evaluate(candidate, limits);
+      if (!candidate_report.ok() && !candidate_report.skipped) {
+        result.knobs = candidate;
+        result.report = candidate_report;
+        ++result.steps;
+        progressed = true;
+        break;  // restart from the first transformation
+      }
+    }
+  }
+  return result;
+}
+
+std::string repro_document(const ShrinkResult& result) {
+  std::ostringstream os;
+  os << "# chop_fuzz shrunk repro\n";
+  os << "# knobs: " << result.knobs.describe() << "\n";
+  os << "# shrink steps: " << result.steps << "\n";
+  for (const OracleFailure& f : result.report.failures) {
+    os << "# failed oracle: " << f.oracle << " — " << f.detail << "\n";
+  }
+  io::write_project(build_scenario(result.knobs), os);
+  return os.str();
+}
+
+}  // namespace chop::testing

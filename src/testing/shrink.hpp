@@ -1,0 +1,41 @@
+// Knob-level failure shrinking: given a knob vector whose scenario fails
+// the oracle battery, greedily search for a smaller/looser vector that
+// still fails, and serialize the winner as a replayable `.chop` spec.
+//
+// Shrinking operates on ScenarioKnobs, not on the built project: every
+// candidate is re-generated from its (unchanged) seed, so each attempt is
+// a structurally valid scenario by construction — there is no risk of the
+// shrinker manufacturing an inconsistent project that fails for a
+// different reason than the original. The transformations try, in order:
+// halving/decrementing the operation count, reducing depth, partitions,
+// chips, module alternatives and widths, dropping the memory subsystem,
+// and loosening one constraint knob at a time. The loop restarts from the
+// first transformation after every success and stops at a fixpoint.
+#pragma once
+
+#include <string>
+
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+
+namespace chop::testing {
+
+/// Result of a shrink run: the minimal still-failing knob vector, its
+/// report, and how many successful shrink steps were applied.
+struct ShrinkResult {
+  ScenarioKnobs knobs;
+  ScenarioReport report;
+  int steps = 0;
+};
+
+/// Shrinks `knobs` (which must currently fail `run_oracles` under
+/// `limits`) to a fixpoint. If the initial vector does not fail, it is
+/// returned unchanged with its (passing) report and steps == 0.
+ShrinkResult shrink_failure(const ScenarioKnobs& knobs,
+                            const OracleLimits& limits);
+
+/// Renders the shrunk scenario as a replayable `.chop` document with a
+/// header comment recording the knob vector and the failed oracles.
+std::string repro_document(const ShrinkResult& result);
+
+}  // namespace chop::testing

@@ -1,0 +1,186 @@
+#include "testing/spec_fuzz.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "io/spec_format.hpp"
+#include "io/spec_writer.hpp"
+
+namespace chop::testing {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& doc) {
+  std::vector<std::string> lines;
+  std::istringstream is(doc);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Hostile number literals: overflow, non-finite, negative, fractional.
+const char* poison_number(Rng& rng) {
+  static const char* kPoison[] = {"1e300",  "-1e300", "nan",     "inf",
+                                  "-7",     "0.5",    "1e-300",  "99999999999999999999",
+                                  "0x10",   "3.",     "-0",      "2147483648"};
+  return kPoison[rng.uniform(0, 11)];
+}
+
+std::string apply_one_mutation(Rng& rng, std::string doc) {
+  if (doc.empty()) return doc;
+  switch (rng.uniform(0, 7)) {
+    case 0: {  // flip a byte to a random printable character
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(doc.size()) - 1));
+      doc[pos] = static_cast<char>(rng.uniform(32, 126));
+      return doc;
+    }
+    case 1: {  // delete a random span
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(doc.size()) - 1));
+      const auto len = static_cast<std::size_t>(rng.uniform(1, 16));
+      doc.erase(pos, len);
+      return doc;
+    }
+    case 2: {  // truncate
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(doc.size()) - 1));
+      doc.resize(pos);
+      return doc;
+    }
+    case 3: {  // duplicate a line
+      auto lines = split_lines(doc);
+      if (lines.empty()) return doc;
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(lines.size()) - 1));
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+      return join_lines(lines);
+    }
+    case 4: {  // delete a line
+      auto lines = split_lines(doc);
+      if (lines.empty()) return doc;
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(lines.size()) - 1));
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(i));
+      return join_lines(lines);
+    }
+    case 5: {  // swap two lines (section statements drift across sections)
+      auto lines = split_lines(doc);
+      if (lines.size() < 2) return doc;
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(lines.size()) - 1));
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(lines.size()) - 1));
+      std::swap(lines[i], lines[j]);
+      return join_lines(lines);
+    }
+    case 6: {  // replace a numeric token with a hostile literal
+      const std::size_t digit = doc.find_first_of("0123456789");
+      if (digit == std::string::npos) return doc;
+      // Pick a random digit occurrence, then replace its whole token.
+      std::vector<std::size_t> digits;
+      for (std::size_t i = 0; i < doc.size(); ++i) {
+        if (doc[i] >= '0' && doc[i] <= '9') digits.push_back(i);
+      }
+      const std::size_t pos = digits[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(digits.size()) - 1))];
+      std::size_t begin = pos;
+      while (begin > 0 && !std::isspace(static_cast<unsigned char>(
+                              doc[begin - 1]))) {
+        --begin;
+      }
+      std::size_t end = pos;
+      while (end < doc.size() &&
+             !std::isspace(static_cast<unsigned char>(doc[end]))) {
+        ++end;
+      }
+      return doc.substr(0, begin) + poison_number(rng) + doc.substr(end);
+    }
+    default: {  // insert random token characters
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(doc.size())));
+      std::string junk;
+      const int len = static_cast<int>(rng.uniform(1, 8));
+      for (int i = 0; i < len; ++i) {
+        junk += static_cast<char>(rng.uniform(33, 126));
+      }
+      return doc.substr(0, pos) + junk + doc.substr(pos);
+    }
+  }
+}
+
+}  // namespace
+
+std::string mutate_spec(Rng& rng, const std::string& doc) {
+  std::string mutated = doc;
+  const int n = static_cast<int>(rng.uniform(1, 4));
+  for (int i = 0; i < n; ++i) mutated = apply_one_mutation(rng, mutated);
+  return mutated;
+}
+
+SpecFuzzStats fuzz_spec_parser(Rng& rng, const std::string& seed_doc,
+                               std::size_t cases) {
+  SpecFuzzStats stats;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::string mutated = mutate_spec(rng, seed_doc);
+    ++stats.cases;
+    io::Project project;
+    try {
+      project = io::parse_project_string(mutated);
+    } catch (const io::ParseError&) {
+      ++stats.parse_errors;
+      continue;
+    } catch (const Error&) {
+      ++stats.other_errors;
+      continue;
+    } catch (const std::exception& e) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": unexpected exception from parse: " +
+                                 e.what());
+      continue;
+    }
+    ++stats.parsed;
+
+    // Accepted documents must serialize to a stable fixpoint.
+    try {
+      const std::string once = io::write_project_string(project);
+      const std::string twice =
+          io::write_project_string(io::parse_project_string(once));
+      if (once != twice) {
+        stats.violations.push_back(
+            "case " + std::to_string(i) + ": unstable round trip");
+      }
+    } catch (const std::exception& e) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": round trip threw: " + e.what());
+      continue;
+    }
+
+    // Building the session may reject (semantic errors are fine) but must
+    // only ever do so through chop::Error.
+    try {
+      const core::ChopSession session = project.make_session();
+      session.partitioning().validate();
+      ++stats.sessions;
+    } catch (const Error&) {
+      ++stats.session_errors;
+    } catch (const std::exception& e) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": session build threw non-chop error: " +
+                                 e.what());
+    }
+  }
+  return stats;
+}
+
+}  // namespace chop::testing

@@ -1,0 +1,41 @@
+// Mutational fuzzing of the `.chop` parser: take a well-formed document,
+// corrupt it (byte flips, line splices, truncation, pathological number
+// literals), and require the parser to either reject with a located
+// ParseError / chop::Error or accept and round-trip stably — never crash,
+// never throw anything else, never produce a project whose re-serialized
+// form fails to re-parse to the same document.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace chop::testing {
+
+/// Aggregate outcome of one fuzzing run.
+struct SpecFuzzStats {
+  std::size_t cases = 0;         ///< Mutated documents fed to the parser.
+  std::size_t parse_errors = 0;  ///< Rejected with ParseError (expected).
+  std::size_t other_errors = 0;  ///< Rejected with plain chop::Error.
+  std::size_t parsed = 0;        ///< Accepted and round-tripped.
+  std::size_t session_errors = 0;  ///< Accepted but session build rejected.
+  std::size_t sessions = 0;        ///< Accepted and session built cleanly.
+  /// Contract violations: unexpected exception types or unstable round
+  /// trips. Each entry is a deterministic description; the run is a
+  /// failure iff this is nonempty.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Produces one mutated variant of `doc` (1-4 stacked mutations).
+std::string mutate_spec(Rng& rng, const std::string& doc);
+
+/// Runs `cases` mutations of `seed_doc` through parse / round-trip /
+/// session-build. Deterministic for a given Rng state.
+SpecFuzzStats fuzz_spec_parser(Rng& rng, const std::string& seed_doc,
+                               std::size_t cases);
+
+}  // namespace chop::testing

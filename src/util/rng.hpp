@@ -23,11 +23,37 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [0, span) with no modulo bias (Lemire's
+  /// multiply-shift rejection). span == 0 means the full 64-bit range.
+  std::uint64_t bounded(std::uint64_t span) {
+    if (span == 0) return next();
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(span);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      // Reject the first (2^64 mod span) values of each residue class —
+      // what a plain `next() % span` would fold unevenly onto [0, span).
+      const std::uint64_t threshold = -span % span;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(next()) *
+            static_cast<unsigned __int128>(span);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. The lo == hi case consumes no
+  /// generator state.
   std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
     CHOP_REQUIRE(lo <= hi, "Rng::uniform requires lo <= hi");
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next() % span);
+    if (lo == hi) return lo;
+    // hi - lo as uint64 is exact for any ordered pair; + 1 overflows to 0
+    // only for the full-range span, which bounded() treats as 2^64.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     bounded(span));
   }
 
   /// Uniform double in [0, 1).

@@ -1,0 +1,51 @@
+// Replays the checked-in seed corpus under tests/data/fuzz/ through the
+// full oracle battery. Each spec is a shrunk repro from a historical
+// fault-injection run: small, structurally interesting (multi-chip,
+// memory, degenerate depths), and green on healthy code. A regression
+// that flips any oracle here comes with a ready-made minimal repro.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/spec_format.hpp"
+#include "io/spec_writer.hpp"
+#include "testing/oracles.hpp"
+
+namespace chop::testing {
+namespace {
+
+class FuzzCorpus : public ::testing::TestWithParam<const char*> {};
+
+std::string corpus_path(const char* name) {
+  return std::string(CHOP_SOURCE_DIR) + "/tests/data/fuzz/" + name;
+}
+
+TEST_P(FuzzCorpus, ReplaysGreenThroughTheOracleBattery) {
+  const io::Project project = io::parse_project_file(corpus_path(GetParam()));
+  OracleLimits limits;
+  const ScenarioReport report = run_oracles(project, limits);
+  ASSERT_FALSE(report.skipped) << "corpus spec grew past the search cap";
+  EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                   ? std::string("?")
+                                   : report.failures.front().oracle + ": " +
+                                         report.failures.front().detail);
+  EXPECT_GT(report.designs, 0u);
+}
+
+TEST_P(FuzzCorpus, RoundTripsByteExactly) {
+  const std::string path = corpus_path(GetParam());
+  const io::Project project = io::parse_project_file(path);
+  const std::string once = io::write_project_string(project);
+  EXPECT_EQ(once, io::write_project_string(io::parse_project_string(once)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, FuzzCorpus,
+    ::testing::Values("shrunk_1300445148949823415.chop",
+                      "shrunk_16231458606770151736.chop",
+                      "shrunk_17042461277914890279.chop",
+                      "shrunk_17510280810347979414.chop",
+                      "shrunk_6945414144905019519.chop"));
+
+}  // namespace
+}  // namespace chop::testing

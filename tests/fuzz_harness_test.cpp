@@ -1,0 +1,179 @@
+// Tests for the differential fuzzing harness itself: deterministic
+// scenario generation, oracle battery green on healthy code, fault
+// injection caught and shrunk to a replayable repro, and the spec-parser
+// mutation fuzzer running violation-free.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/eval/bound_state.hpp"
+#include "io/spec_format.hpp"
+#include "io/spec_writer.hpp"
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+#include "testing/shrink.hpp"
+#include "testing/spec_fuzz.hpp"
+
+namespace chop::testing {
+namespace {
+
+/// Restores the branch-and-bound slack on scope exit so fault-injection
+/// tests cannot leak an inadmissible bound into the rest of the suite.
+struct ScopedBoundSlack {
+  explicit ScopedBoundSlack(double slack) {
+    core::set_bound_slack_for_testing(slack);
+  }
+  ~ScopedBoundSlack() { core::set_bound_slack_for_testing(core::kBoundSlack); }
+};
+
+/// Small limits keep each oracle run in the low milliseconds.
+OracleLimits quick_limits() {
+  OracleLimits limits;
+  limits.max_eligible_product = 4000;
+  limits.max_raw_product = 12000;
+  limits.metamorphic = false;
+  return limits;
+}
+
+TEST(Scenario, SameSeedSameKnobsSameSpec) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    const ScenarioKnobs a = sample_knobs(seed);
+    const ScenarioKnobs b = sample_knobs(seed);
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(io::write_project_string(build_scenario(a)),
+              io::write_project_string(build_scenario(b)));
+  }
+}
+
+TEST(Scenario, NeighboringSeedsDecorrelate) {
+  const std::uint64_t base = parse_seed("corpus");
+  EXPECT_NE(scenario_seed(base, 0), scenario_seed(base, 1));
+  EXPECT_NE(io::write_project_string(
+                build_scenario(sample_knobs(scenario_seed(base, 0)))),
+            io::write_project_string(
+                build_scenario(sample_knobs(scenario_seed(base, 1)))));
+}
+
+TEST(Scenario, ParseSeedDigitsAreLiteralTagsAreHashed) {
+  EXPECT_EQ(parse_seed("42"), 42u);
+  EXPECT_EQ(parse_seed("0"), 0u);
+  EXPECT_EQ(parse_seed("ci"), parse_seed("ci"));
+  EXPECT_NE(parse_seed("ci"), parse_seed("ctest"));
+}
+
+TEST(Scenario, GeneratedProjectsSurviveSessionConstruction) {
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const std::uint64_t seed = scenario_seed(7, i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const io::Project project = build_scenario(sample_knobs(seed));
+    core::ChopSession session = project.make_session();
+    session.predict_partitions();
+    EXPECT_FALSE(session.predictions().eligible.empty());
+  }
+}
+
+TEST(Scenario, KnobNormalizationPinsEveryFieldIntoRange) {
+  ScenarioKnobs k;
+  k.operations = 10000;
+  k.depth = -3;
+  k.partitions = 99;
+  k.chips = -1;
+  k.memory_blocks = 2;
+  k.mem_reads = 0;
+  k.mem_writes = 0;
+  k.normalize();
+  EXPECT_EQ(k.operations, 64);
+  EXPECT_GE(k.depth, 1);
+  EXPECT_LE(k.partitions, 4);
+  EXPECT_GE(k.chips, 1);
+  // Memory with no accessors is dropped entirely.
+  EXPECT_EQ(k.memory_blocks, 0);
+}
+
+TEST(Oracles, GreenOnHealthyCode) {
+  const OracleLimits limits = quick_limits();
+  std::size_t ran = 0;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const std::uint64_t seed = scenario_seed(parse_seed("gtest"), i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ScenarioReport report =
+        run_oracles(build_scenario(sample_knobs(seed)), limits);
+    if (report.skipped) continue;
+    ++ran;
+    EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                     ? std::string("?")
+                                     : report.failures.front().oracle + ": " +
+                                           report.failures.front().detail);
+  }
+  EXPECT_GT(ran, 0u);
+}
+
+TEST(Oracles, InjectedBoundBugIsCaughtAndShrunk) {
+  // An inadmissible slack factor (> 1) inflates the branch-and-bound
+  // lower bounds, cutting subtrees that contain feasible leaves. The
+  // battery must notice the divergence from the exhaustive walk within a
+  // few dozen scenarios, and the shrinker must reduce the failure to a
+  // smaller, still-failing knob vector whose spec replays the failure.
+  ScopedBoundSlack injected(3.0);
+  const OracleLimits limits = quick_limits();
+  ScenarioKnobs failing;
+  ScenarioReport failing_report;
+  bool caught = false;
+  for (std::uint64_t i = 0; i < 60 && !caught; ++i) {
+    const ScenarioKnobs knobs =
+        sample_knobs(scenario_seed(parse_seed("gtest-inject"), i));
+    const ScenarioReport report = run_oracles(build_scenario(knobs), limits);
+    if (report.skipped) continue;
+    for (const OracleFailure& f : report.failures) {
+      if (f.oracle == "bound_pruning") {
+        failing = knobs;
+        failing_report = report;
+        caught = true;
+      }
+    }
+  }
+  ASSERT_TRUE(caught) << "injected bound bug evaded the oracle battery";
+
+  const ShrinkResult shrunk = shrink_failure(failing, limits);
+  EXPECT_FALSE(shrunk.report.ok());
+  EXPECT_LE(shrunk.knobs.operations, failing.operations);
+
+  // The repro document must parse back and reproduce the failure.
+  const std::string doc = repro_document(shrunk);
+  const io::Project replayed = io::parse_project_string(doc);
+  const ScenarioReport replay = run_oracles(replayed, limits);
+  ASSERT_FALSE(replay.ok());
+  bool same_oracle = false;
+  for (const OracleFailure& f : replay.failures) {
+    if (f.oracle == "bound_pruning") same_oracle = true;
+  }
+  EXPECT_TRUE(same_oracle);
+}
+
+TEST(Oracles, HealthyCodePassesTheShrunkRepro) {
+  // Flip side of the injection test: with the real (admissible) slack,
+  // the same scenarios are green, so the repro blames the bug, not the
+  // generator.
+  const OracleLimits limits = quick_limits();
+  const ScenarioKnobs knobs =
+      sample_knobs(scenario_seed(parse_seed("gtest-inject"), 0));
+  EXPECT_TRUE(run_oracles(build_scenario(knobs), limits).ok());
+}
+
+TEST(SpecFuzz, MutatedDocumentsNeverCrashTheParser) {
+  const io::Project seed_project = build_scenario(sample_knobs(1234));
+  Rng rng(99);
+  const SpecFuzzStats stats =
+      fuzz_spec_parser(rng, io::write_project_string(seed_project), 500);
+  EXPECT_EQ(stats.cases, 500u);
+  EXPECT_TRUE(stats.ok()) << (stats.violations.empty()
+                                  ? std::string("?")
+                                  : stats.violations.front());
+  // The mutator must not be so destructive that nothing ever parses.
+  EXPECT_GT(stats.parse_errors, 0u);
+  EXPECT_GT(stats.parsed, 0u);
+}
+
+}  // namespace
+}  // namespace chop::testing

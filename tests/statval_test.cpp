@@ -6,8 +6,24 @@
 
 #include <cmath>
 
+#include "testing/properties.hpp"
+#include "util/rng.hpp"
+
 namespace chop {
 namespace {
+
+/// Deterministic random triplet with occasional degenerate shapes (exact
+/// values, mode pinned to a bound) so the property checks cover the edge
+/// branches of the triangular CDF.
+StatVal random_triplet(Rng& rng) {
+  const double lo = static_cast<double>(rng.uniform(-50, 200));
+  const double spread = static_cast<double>(rng.uniform(0, 80));
+  const double hi = lo + spread;
+  double likely = lo + static_cast<double>(rng.uniform01()) * spread;
+  if (rng.chance(0.15)) likely = lo;
+  if (rng.chance(0.15)) likely = hi;
+  return StatVal(lo, likely, hi);
+}
 
 TEST(StatVal, DefaultIsZero) {
   const StatVal v;
@@ -164,6 +180,64 @@ INSTANTIATE_TEST_SUITE_P(
                       TripletCase{100.0, 250.0, 300.0},
                       TripletCase{1e6, 1.5e6, 4e6},
                       TripletCase{0.0, 0.1, 10.0}));
+
+// --- Randomized algebra properties, via the reusable checks shared with
+// the chop_fuzz statval oracle (src/testing/properties.hpp). Each check
+// returns nullopt on success or a description of the first violation.
+
+TEST(StatValProperty, SumCommutativeAndAssociative) {
+  Rng rng(2026);
+  for (int i = 0; i < 500; ++i) {
+    const StatVal a = random_triplet(rng);
+    const StatVal b = random_triplet(rng);
+    const StatVal c = random_triplet(rng);
+    EXPECT_EQ(testing::check_sum_commutative(a, b), std::nullopt);
+    EXPECT_EQ(testing::check_sum_associative(a, b, c), std::nullopt);
+  }
+}
+
+TEST(StatValProperty, MaxDominatesAndCommutes) {
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const StatVal a = random_triplet(rng);
+    const StatVal b = random_triplet(rng);
+    EXPECT_EQ(testing::check_max_monotone(a, b), std::nullopt);
+  }
+}
+
+TEST(StatValProperty, CdfIsAProperDistribution) {
+  Rng rng(57);
+  for (int i = 0; i < 500; ++i) {
+    const StatVal v = random_triplet(rng);
+    EXPECT_EQ(testing::check_cdf_bounds(v), std::nullopt)
+        << "triplet (" << v.lo() << ", " << v.likely() << ", " << v.hi()
+        << ")";
+  }
+}
+
+TEST(StatValProperty, SatisfiesMonotoneInTheBound) {
+  Rng rng(91);
+  for (int i = 0; i < 300; ++i) {
+    const StatVal v = random_triplet(rng);
+    for (const double prob : {0.5, 0.8, 1.0}) {
+      EXPECT_EQ(testing::check_satisfies_monotone(v, prob), std::nullopt)
+          << "triplet (" << v.lo() << ", " << v.likely() << ", " << v.hi()
+          << ") prob " << prob;
+    }
+  }
+}
+
+TEST(StatValProperty, SumsCloseUnderTheAlgebra) {
+  // Sums of valid triplets stay valid (lo <= likely <= hi), so chained
+  // accumulation in the integrator can never produce an unordered triplet.
+  Rng rng(113);
+  StatVal acc;
+  for (int i = 0; i < 200; ++i) {
+    acc += random_triplet(rng);
+    EXPECT_LE(acc.lo(), acc.likely());
+    EXPECT_LE(acc.likely(), acc.hi());
+  }
+}
 
 }  // namespace
 }  // namespace chop
