@@ -76,6 +76,29 @@ std::vector<bad::DesignPrediction> prune_level1(
 
 namespace {
 
+/// Cooperative cancellation state shared by both heuristics: a borrowed
+/// flag plus an optional steady-clock deadline, both from SearchOptions.
+/// triggered() is cheap relative to one integrate() call, so walkers may
+/// consult it per leaf/trial.
+struct CancelState {
+  const std::atomic<bool>* flag = nullptr;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+
+  explicit CancelState(const SearchOptions& options)
+      : flag(options.cancel),
+        deadline(options.deadline),
+        has_deadline(options.deadline !=
+                     std::chrono::steady_clock::time_point{}) {}
+
+  bool armed() const { return flag != nullptr || has_deadline; }
+
+  bool triggered() const {
+    if (flag != nullptr && flag->load(std::memory_order_relaxed)) return true;
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
 /// The per-trial facts the reporting/merge path needs, detached from the
 /// full IntegrationResult so parallel chunks can buffer trials compactly.
 struct TrialView {
@@ -332,6 +355,9 @@ struct UnitOutcome {
   std::size_t pruned_subtrees = 0;
   std::size_t skipped_leaves = 0;  ///< Saturating.
   bool capped = false;  ///< Stopped at the per-unit record cap.
+  /// The walk observed a raised cancel flag / expired deadline mid-unit.
+  /// Collected records are complete evaluations and stay mergeable.
+  bool cancelled = false;
 };
 
 /// Exhaustive unit walk (bound pruning off): visits the unit's global
@@ -343,7 +369,7 @@ UnitOutcome run_unit_unbounded(
     const EvalContext& ctx,
     const std::vector<std::vector<bad::DesignPrediction>>& lists,
     const UnitPlan& plan, std::size_t u, std::size_t limit,
-    CandidateEvaluator& evaluator) {
+    const CancelState& cancel, CandidateEvaluator& evaluator) {
   UnitOutcome out;
   const std::size_t start = sat_mul(u, plan.leaves_per_unit);
   if (start >= limit) return out;
@@ -358,6 +384,10 @@ UnitOutcome run_unit_unbounded(
   }
   if (count < (std::size_t{1} << 20)) out.records.reserve(count);
   for (std::size_t n = 0; n < count; ++n) {
+    if (cancel.armed() && cancel.triggered()) {
+      out.cancelled = true;
+      return out;
+    }
     out.records.push_back(evaluate_leaf(ctx, selection, digits, evaluator));
     for (std::size_t p = 0; p < plan.inner_count; ++p) {
       if (++digits[p] < lists[p].size()) {
@@ -381,13 +411,15 @@ class BoundedWalker {
                 const std::vector<std::vector<bad::DesignPrediction>>& lists,
                 const UnitPlan& plan, const BoundTables& tables,
                 const ParetoFrontier& seed, std::size_t record_cap,
-                const std::atomic<bool>* stop, CandidateEvaluator& evaluator)
+                const std::atomic<bool>* stop, const CancelState& cancel,
+                CandidateEvaluator& evaluator)
       : ctx_(ctx),
         lists_(lists),
         plan_(plan),
         tables_(tables),
         record_cap_(record_cap),
         stop_(stop),
+        cancel_(cancel),
         evaluator_(evaluator),
         frontier_(seed),
         prefix_(ctx.partitioning().chips().size()),
@@ -445,6 +477,13 @@ class BoundedWalker {
       stopped_ = true;  // partial outcome; the merge will never read it
       return;
     }
+    if (cancel_.armed() && cancel_.triggered()) {
+      // Unlike a stop-flag abort, a cancelled unit's collected records are
+      // complete evaluations — the merge consumes them as a valid prefix.
+      out_.cancelled = true;
+      stopped_ = true;
+      return;
+    }
     TrialRecord record = evaluate_leaf(ctx_, selection_, digits_, evaluator_);
     if (record.feasible) {
       frontier_.insert(record.ii_main, record.delay_main);
@@ -462,6 +501,7 @@ class BoundedWalker {
   const BoundTables& tables_;
   const std::size_t record_cap_;
   const std::atomic<bool>* stop_;
+  const CancelState& cancel_;
   CandidateEvaluator& evaluator_;
   ParetoFrontier frontier_;
   PrefixState prefix_;
@@ -560,6 +600,12 @@ SearchResult search_enumeration(const EvalContext& ctx,
     if (list.empty()) return out;  // some partition has no implementation
   }
 
+  const CancelState cancel(options);
+  if (cancel.armed() && cancel.triggered()) {
+    out.cancelled = true;  // already cancelled / deadline in the past
+    return out;
+  }
+
   static obs::Counter& pruned_counter =
       obs::MetricsRegistry::global().counter("search.pruned_subtrees");
   static obs::Counter& skipped_counter =
@@ -607,17 +653,20 @@ SearchResult search_enumeration(const EvalContext& ctx,
   const auto run_unit = [&](std::size_t u) -> UnitOutcome {
     if (bounded) {
       return BoundedWalker(ctx, lists, plan, *tables, seed, record_cap, &stop,
-                           evaluator)
+                           cancel, evaluator)
           .run(u);
     }
-    return run_unit_unbounded(ctx, lists, plan, u, limit, evaluator);
+    return run_unit_unbounded(ctx, lists, plan, u, limit, cancel, evaluator);
   };
 
   // In-order merge state. `reached_cap`/`more_after_cap` are computed only
   // from units the merge actually consumed, which all completed before the
   // stop flag could have been raised — deterministic at any thread count.
+  // `cancel_hit` is the one timing-dependent stop: the merge folds in the
+  // cancelled unit's complete prefix of records, then stops consuming.
   bool reached_cap = false;
   bool more_after_cap = false;
+  bool cancel_hit = false;
   const std::size_t unit_count = plan.unit_count;
   const auto consume = [&](std::size_t u, UnitOutcome&& unit) {
     out.pruned_subtrees = sat_add(out.pruned_subtrees, unit.pruned_subtrees);
@@ -634,10 +683,19 @@ SearchResult search_enumeration(const EvalContext& ctx,
         return;
       }
     }
+    if (unit.cancelled) {
+      cancel_hit = true;
+      stop.store(true, std::memory_order_relaxed);
+    }
   };
 
   if (options.threads <= 1 || unit_count <= 1) {
-    for (std::size_t u = 0; u < unit_count && !reached_cap; ++u) {
+    for (std::size_t u = 0; u < unit_count && !reached_cap && !cancel_hit;
+         ++u) {
+      if (cancel.armed() && cancel.triggered()) {
+        cancel_hit = true;
+        break;
+      }
       consume(u, run_unit(u));
     }
   } else {
@@ -665,6 +723,7 @@ SearchResult search_enumeration(const EvalContext& ctx,
         for (std::size_t u = first; u < last; ++u) {
           if (stop.load(std::memory_order_relaxed)) break;
           outcomes.push_back(run_unit(u));
+          if (outcomes.back().cancelled) break;
         }
       }));
     }
@@ -672,11 +731,12 @@ SearchResult search_enumeration(const EvalContext& ctx,
     // In-order merge: task t is folded in only once complete, so the
     // observer, the recorder and the result fields see exactly the serial
     // sequence. Workers keep racing ahead on later units meanwhile.
-    for (std::size_t t = 0; t < task_count && !reached_cap; ++t) {
+    for (std::size_t t = 0; t < task_count && !reached_cap && !cancel_hit;
+         ++t) {
       done[t].get();
       const std::size_t first = std::min(unit_count, t * task_size);
-      for (std::size_t i = 0; i < task_outcomes[t].size() && !reached_cap;
-           ++i) {
+      for (std::size_t i = 0;
+           i < task_outcomes[t].size() && !reached_cap && !cancel_hit; ++i) {
         consume(first + i, std::move(task_outcomes[t][i]));
       }
       task_outcomes[t].clear();
@@ -701,6 +761,7 @@ SearchResult search_enumeration(const EvalContext& ctx,
   // un-walked tail might have contained no further survivors.
   out.truncated =
       bounded ? (reached_cap && more_after_cap) : (limit < space.total);
+  out.cancelled = cancel_hit;
   out.designs = non_inferior(std::move(feasible));
   return out;
 }
@@ -751,6 +812,7 @@ SearchResult search_iterative(const EvalContext& ctx,
   std::vector<GlobalDesign> feasible;
   std::vector<const bad::DesignPrediction*> selection(lists.size());
   TrialReporter reporter(options.observer);
+  const CancelState cancel(options);
   // The serialization probes bypass the trial count (the paper's counts
   // exclude them) but are real integrations — surfaced via this counter
   // so --progress/metrics no longer under-report work done. The memo
@@ -796,6 +858,10 @@ SearchResult search_iterative(const EvalContext& ctx,
     while (true) {
       if (options.max_trials > 0 && out.trials >= options.max_trials) {
         out.truncated = true;
+        break;
+      }
+      if (cancel.armed() && cancel.triggered()) {
+        out.cancelled = true;
         break;
       }
       ++out.trials;
@@ -854,7 +920,7 @@ SearchResult search_iterative(const EvalContext& ctx,
       if (best_partition == lists.size()) break;  // nothing to serialize
       w[best_partition] = best_position;
     }
-    if (out.truncated) break;
+    if (out.truncated || out.cancelled) break;
   }
 
   out.designs = non_inferior(std::move(feasible));
@@ -885,10 +951,16 @@ SearchResult find_feasible_implementations(const EvalContext& ctx,
   static obs::Counter& pruned_inferior =
       obs::MetricsRegistry::global().counter("search.pruned_inferior");
   pruned_inferior.add(out.feasible_raw - out.designs.size());
+  if (out.cancelled) {
+    static obs::Counter& cancelled_counter =
+        obs::MetricsRegistry::global().counter("search.cancelled");
+    cancelled_counter.add();
+  }
   span.arg("trials", out.trials);
   span.arg("feasible", out.feasible_raw);
   span.arg("designs", out.designs.size());
   span.arg("truncated", out.truncated);
+  span.arg("cancelled", out.cancelled);
   span.arg("threads", options.threads);
   if (enumeration) {
     span.arg("pruned_subtrees", out.pruned_subtrees);

@@ -26,6 +26,8 @@
 // observer callback sequence) is identical across thread counts.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "bad/prediction.hpp"
@@ -69,6 +71,19 @@ struct SearchOptions {
   /// the search uses a private cache that lives for this call only —
   /// ChopSession::search() substitutes its session-lifetime evaluator.
   CandidateEvaluator* evaluator = nullptr;
+  /// Cooperative cancellation: when non-null and set to true, the search
+  /// stops early and returns whatever it has found so far with
+  /// SearchResult::cancelled raised. The enumeration heuristic honors the
+  /// flag at prefix-unit granularity (a unit is at most 1/64th of the
+  /// space) and between buffered leaves of a bounded unit; the iterative
+  /// heuristic checks before every trial. Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional wall-clock deadline on the steady clock (the default —
+  /// time_point{} — means no deadline). Checked at the same granularity
+  /// as `cancel`; an expired deadline behaves exactly like a raised
+  /// cancel flag. A deadline already in the past yields an immediately
+  /// cancelled, empty result — never a crash.
+  std::chrono::steady_clock::time_point deadline{};
   /// Branch-and-bound subtree pruning for the enumeration heuristic.
   /// Admissible lower bounds cut subtrees that provably cannot contribute
   /// to `designs`, so the returned design set is byte-identical with the
@@ -114,6 +129,10 @@ struct SearchResult {
   std::size_t pruned_subtrees = 0;
   std::size_t bound_skipped_leaves = 0;
   bool truncated = false;             ///< Hit SearchOptions::max_trials.
+  /// Stopped early by SearchOptions::cancel or an expired deadline. The
+  /// result is a valid partial answer: every reported design was fully
+  /// evaluated, but un-walked combinations may hide better ones.
+  bool cancelled = false;
   DesignSpaceRecorder recorder;       ///< Populated when record_all.
 };
 

@@ -1,0 +1,62 @@
+#include "serve/evaluator_pool.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace chop::serve {
+
+EvaluatorPool::EvaluatorPool(std::size_t max_evaluators,
+                             std::size_t entries_per_evaluator)
+    : max_evaluators_(max_evaluators == 0 ? 1 : max_evaluators),
+      entries_per_evaluator_(entries_per_evaluator) {}
+
+std::shared_ptr<core::CandidateEvaluator> EvaluatorPool::acquire(
+    std::uint64_t fingerprint) {
+  static obs::Counter& reuse_counter =
+      obs::MetricsRegistry::global().counter("serve.evaluator_reuse");
+  static obs::Counter& create_counter =
+      obs::MetricsRegistry::global().counter("serve.evaluator_create");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = evaluators_.find(fingerprint); it != evaluators_.end()) {
+    ++stats_.reused;
+    reuse_counter.add();
+    return it->second;
+  }
+  while (evaluators_.size() >= max_evaluators_) {
+    evaluators_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++stats_.evicted;
+  }
+  auto evaluator =
+      std::make_shared<core::CandidateEvaluator>(entries_per_evaluator_);
+  evaluators_.emplace(fingerprint, evaluator);
+  fifo_.push_back(fingerprint);
+  ++stats_.created;
+  create_counter.add();
+  return evaluator;
+}
+
+EvaluatorPool::Stats EvaluatorPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+core::CandidateEvaluator::Stats EvaluatorPool::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  core::CandidateEvaluator::Stats total;
+  for (const auto& [fingerprint, evaluator] : evaluators_) {
+    (void)fingerprint;
+    const core::CandidateEvaluator::Stats s = evaluator->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+std::size_t EvaluatorPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluators_.size();
+}
+
+}  // namespace chop::serve

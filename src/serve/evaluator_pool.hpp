@@ -1,0 +1,63 @@
+// EvaluatorPool — the serving-layer analogue of KV-cache reuse: jobs
+// whose specifications reduce to the same EvalContext fingerprint share
+// one memoizing CandidateEvaluator, so a designer's repeated what-if
+// edits (or many clients probing the same design) hit a warm
+// cross-request integration cache instead of recomputing transfer plans
+// and schedules from scratch.
+//
+// Correctness never depends on sharing: CandidateEvaluator keys entries
+// on content hashes, integrate() is pure, and the differential tests
+// assert byte-identical results with sharing on or off. The pool only
+// decides residency — at most `max_evaluators` contexts stay warm, FIFO
+// evicted; an evicted evaluator survives as long as some running job
+// still holds its shared_ptr.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/eval/candidate_evaluator.hpp"
+
+namespace chop::serve {
+
+class EvaluatorPool {
+ public:
+  explicit EvaluatorPool(
+      std::size_t max_evaluators = 8,
+      std::size_t entries_per_evaluator =
+          core::CandidateEvaluator::kDefaultMaxEntries);
+
+  EvaluatorPool(const EvaluatorPool&) = delete;
+  EvaluatorPool& operator=(const EvaluatorPool&) = delete;
+
+  /// The shared evaluator for `fingerprint`, created on first sight.
+  /// Thread-safe; the returned pointer stays valid across eviction.
+  std::shared_ptr<core::CandidateEvaluator> acquire(std::uint64_t fingerprint);
+
+  struct Stats {
+    std::uint64_t created = 0;
+    std::uint64_t reused = 0;
+    std::uint64_t evicted = 0;
+  };
+  Stats stats() const;
+
+  /// Aggregate hit/miss/eviction stats of the resident evaluators — the
+  /// cross-request warm-cache evidence surfaced by the `stats` op.
+  core::CandidateEvaluator::Stats cache_stats() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<core::CandidateEvaluator>>
+      evaluators_;
+  std::deque<std::uint64_t> fifo_;  ///< Insertion order, for eviction.
+  std::size_t max_evaluators_;
+  std::size_t entries_per_evaluator_;
+  Stats stats_;
+};
+
+}  // namespace chop::serve

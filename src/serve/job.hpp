@@ -1,0 +1,101 @@
+// The unit of work chop_serve schedules: one partitioning job — a parsed
+// project plus search options — moving through a small lifecycle:
+//
+//   queued ──▶ running ──▶ done
+//     │           ├──────▶ cancelled           (cooperative cancel)
+//     │           ├──────▶ deadline_exceeded   (wall-clock budget spent)
+//     │           └──────▶ failed              (session/search error)
+//     ├──────────────────▶ cancelled           (removed before running)
+//     └──────────────────▶ deadline_exceeded   (expired while queued)
+//
+// A job that the queue rejects for overload is never materialized — the
+// caller gets an immediate structured rejection instead of a record.
+//
+// Synchronization contract: the immutable submission fields (id, project,
+// options, priority, deadline, submitted_at) are written once before the
+// job becomes visible to any worker. `cancel_requested` is the lock-free
+// cooperative cancel flag shared with the running search. Every other
+// mutable field (state, outcome, timestamps) is guarded by the owning
+// ChopServer's job mutex.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/search.hpp"
+#include "io/spec_format.hpp"
+
+namespace chop::serve {
+
+enum class JobState {
+  Queued,
+  Running,
+  Done,
+  Cancelled,
+  DeadlineExceeded,
+  Failed,
+};
+
+inline const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::DeadlineExceeded: return "deadline_exceeded";
+    case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+inline bool is_terminal(JobState state) {
+  return state != JobState::Queued && state != JobState::Running;
+}
+
+/// Per-job search knobs accepted over the wire (a safe subset of
+/// core::SearchOptions — observers, evaluators and cancel plumbing are the
+/// server's business, not the client's).
+struct JobOptions {
+  core::Heuristic heuristic = core::Heuristic::Iterative;
+  int threads = 1;
+  bool bound_pruning = true;
+  /// Level-1/2 pruning off ("keep all implementations"); implies an
+  /// exhaustive walk, so the server caps trials like `chop_cli --keep-all`.
+  bool keep_all = false;
+  std::size_t max_trials = 0;
+  /// Larger runs first; FIFO within a priority. 0 is the default lane.
+  int priority = 0;
+  /// Wall-clock budget in milliseconds from acceptance; 0 = none.
+  long long deadline_ms = 0;
+};
+
+struct Job {
+  using Clock = std::chrono::steady_clock;
+
+  // Immutable after submission.
+  std::string id;
+  io::Project project;
+  JobOptions options;
+  std::uint64_t sequence = 0;  ///< Server-wide acceptance order.
+  Clock::time_point submitted_at{};
+  Clock::time_point deadline{};  ///< time_point{} = none.
+
+  /// Cooperative cancel flag, threaded into SearchOptions::cancel.
+  std::atomic<bool> cancel_requested{false};
+
+  // Guarded by the owning server's job mutex.
+  JobState state = JobState::Queued;
+  Clock::time_point started_at{};
+  Clock::time_point finished_at{};
+  /// Rendered `search` fragment (render_search_result) for terminal
+  /// successful states; empty otherwise.
+  std::string result_json;
+  /// Failure message for JobState::Failed.
+  std::string error;
+  core::PredictionStats prediction_stats{};
+  std::size_t designs = 0;  ///< Feasible non-inferior designs found.
+};
+
+}  // namespace chop::serve

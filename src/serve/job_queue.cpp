@@ -1,0 +1,95 @@
+#include "serve/job_queue.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace chop::serve {
+
+namespace {
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("serve.queue_depth");
+  return g;
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+JobQueue::PushResult JobQueue::push(std::shared_ptr<Job> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::Closed;
+    if (size_ >= capacity_) return PushResult::Overloaded;
+    lanes_[job->options.priority].push_back(std::move(job));
+    ++size_;
+    depth_gauge().set(static_cast<double>(size_));
+  }
+  cv_.notify_one();
+  return PushResult::Accepted;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+  if (size_ == 0) return nullptr;  // closed and drained
+  auto lane = lanes_.begin();     // highest priority with work
+  while (lane->second.empty()) ++lane;
+  std::shared_ptr<Job> job = std::move(lane->second.front());
+  lane->second.pop_front();
+  if (lane->second.empty()) lanes_.erase(lane);
+  --size_;
+  depth_gauge().set(static_cast<double>(size_));
+  return job;
+}
+
+std::shared_ptr<Job> JobQueue::remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto lane = lanes_.begin(); lane != lanes_.end(); ++lane) {
+    for (auto it = lane->second.begin(); it != lane->second.end(); ++it) {
+      if ((*it)->id != id) continue;
+      std::shared_ptr<Job> job = std::move(*it);
+      lane->second.erase(it);
+      if (lane->second.empty()) lanes_.erase(lane);
+      --size_;
+      depth_gauge().set(static_cast<double>(size_));
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::drain_now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Job>> removed;
+  removed.reserve(size_);
+  for (auto& [priority, lane] : lanes_) {
+    (void)priority;
+    for (std::shared_ptr<Job>& job : lane) removed.push_back(std::move(job));
+  }
+  lanes_.clear();
+  size_ = 0;
+  depth_gauge().set(0.0);
+  return removed;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace chop::serve

@@ -1,0 +1,66 @@
+// Bounded priority job queue with explicit backpressure. Capacity is a
+// hard bound: a push beyond it fails immediately (the caller turns that
+// into a structured `overload` rejection) instead of buffering without
+// limit — an overloaded partitioning service must say so, not grow its
+// queue until the box dies.
+//
+// Ordering: strict priority lanes (higher first), FIFO within a lane, so
+// two submissions at equal priority run in acceptance order. pop() blocks
+// until a job, close(), or abort(); after close() the remaining jobs
+// drain in order and then pop() returns nullptr forever.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace chop::serve {
+
+class JobQueue {
+ public:
+  enum class PushResult { Accepted, Overloaded, Closed };
+
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `job` unless the queue is full (Overloaded) or closed.
+  PushResult push(std::shared_ptr<Job> job);
+
+  /// Blocks for the next job by (priority desc, acceptance order). Returns
+  /// nullptr once the queue is closed and drained.
+  std::shared_ptr<Job> pop();
+
+  /// Removes a still-queued job by id; nullptr when it is not queued
+  /// (already popped, finished, or never existed).
+  std::shared_ptr<Job> remove(const std::string& id);
+
+  /// Removes every queued job at once (the non-drain shutdown path).
+  std::vector<std::shared_ptr<Job>> drain_now();
+
+  /// No further pushes; queued jobs still drain through pop().
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Priority lanes, highest first; each lane is FIFO.
+  std::map<int, std::deque<std::shared_ptr<Job>>, std::greater<int>> lanes_;
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace chop::serve

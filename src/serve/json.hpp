@@ -1,0 +1,101 @@
+// Minimal JSON value model for the chop_serve wire protocol: parse one
+// NDJSON request line into a tree, render one response line back out.
+//
+// Deliberately small and strict — this parser faces untrusted client
+// bytes (and the protocol fuzzer), so it enforces hard limits instead of
+// trusting the input: bounded nesting depth, finite numbers only, valid
+// UTF-16 escapes, no trailing garbage. Every rejection is a JsonError
+// carrying the byte offset, which the service layer converts into a
+// structured `parse_error` response; nothing here ever terminates the
+// process.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace chop::serve {
+
+/// Parse failure with the 0-based byte offset where it was detected.
+class JsonError : public Error {
+ public:
+  JsonError(std::size_t offset, const std::string& message)
+      : Error("json offset " + std::to_string(offset) + ": " + message),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One JSON value. Objects preserve insertion order (deterministic
+/// serialization) and are looked up linearly — protocol objects hold a
+/// handful of keys.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::Null) {}
+  JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::Number), number_(n) {}
+  JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::String), string_(s) {}
+  JsonValue(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+  JsonValue(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Appends a member (objects) / element (arrays).
+  void set(std::string key, JsonValue value);
+  void push(JsonValue value);
+
+  /// Serializes to a single line (no newline). Numbers that hold exact
+  /// integers print without a decimal point; everything else uses
+  /// round-trippable shortest-form formatting.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// Parses exactly one JSON document; throws JsonError on malformed
+  /// input, non-finite numbers, nesting beyond `max_depth`, or trailing
+  /// non-whitespace.
+  static JsonValue parse(std::string_view text, std::size_t max_depth = 64);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Renders `s` as a quoted JSON string literal (escapes quotes,
+/// backslashes and control characters).
+std::string json_quote(std::string_view s);
+
+/// Deterministic number rendering shared by every protocol writer:
+/// exact integers without a decimal point, otherwise %.17g.
+std::string json_number(double v);
+
+}  // namespace chop::serve

@@ -1,0 +1,218 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace chop::serve {
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& message) {
+  throw ProtocolError("invalid_request", message);
+}
+
+/// A finite JSON number that must be an integer in [lo, hi].
+long long int_field(const JsonValue& v, const std::string& key, long long lo,
+                    long long hi) {
+  if (!v.is_number()) invalid("field '" + key + "' must be a number");
+  const double n = v.as_number();
+  if (std::nearbyint(n) != n) invalid("field '" + key + "' must be integral");
+  if (n < static_cast<double>(lo) || n > static_cast<double>(hi)) {
+    invalid("field '" + key + "' out of range");
+  }
+  return static_cast<long long>(n);
+}
+
+const std::string& string_field(const JsonValue& v, const std::string& key) {
+  if (!v.is_string()) invalid("field '" + key + "' must be a string");
+  return v.as_string();
+}
+
+bool bool_field(const JsonValue& v, const std::string& key) {
+  if (!v.is_bool()) invalid("field '" + key + "' must be a boolean");
+  return v.as_bool();
+}
+
+RequestOp parse_op(const std::string& op) {
+  if (op == "submit") return RequestOp::Submit;
+  if (op == "status") return RequestOp::Status;
+  if (op == "result") return RequestOp::Result;
+  if (op == "cancel") return RequestOp::Cancel;
+  if (op == "stats") return RequestOp::Stats;
+  if (op == "shutdown") return RequestOp::Shutdown;
+  throw ProtocolError("unknown_op", "unknown op '" + op + "'");
+}
+
+/// The keys each op accepts; anything else is rejected so client typos
+/// (and fuzzers) surface as errors instead of silently-ignored knobs.
+const std::set<std::string>& allowed_keys(RequestOp op) {
+  static const std::set<std::string> submit{
+      "op",          "id",         "spec",       "spec_path",
+      "heuristic",   "threads",    "priority",   "deadline_ms",
+      "max_trials",  "keep_all",   "bound_pruning"};
+  static const std::set<std::string> by_id{"op", "id"};
+  static const std::set<std::string> result{"op", "id", "wait"};
+  static const std::set<std::string> bare{"op"};
+  static const std::set<std::string> shutdown{"op", "drain"};
+  switch (op) {
+    case RequestOp::Submit: return submit;
+    case RequestOp::Result: return result;
+    case RequestOp::Status:
+    case RequestOp::Cancel: return by_id;
+    case RequestOp::Shutdown: return shutdown;
+    case RequestOp::Stats: return bare;
+  }
+  return bare;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line, const ProtocolLimits& limits) {
+  if (line.size() > limits.max_line_bytes) {
+    throw ProtocolError("payload_too_large",
+                        "request line exceeds " +
+                            std::to_string(limits.max_line_bytes) + " bytes");
+  }
+
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line, limits.max_json_depth);
+  } catch (const JsonError& e) {
+    throw ProtocolError("parse_error", e.what());
+  }
+  if (!doc.is_object()) invalid("request must be a JSON object");
+
+  const JsonValue* op_field = doc.find("op");
+  if (op_field == nullptr) invalid("missing 'op'");
+  Request request;
+  request.op = parse_op(string_field(*op_field, "op"));
+
+  const std::set<std::string>& keys = allowed_keys(request.op);
+  std::set<std::string> seen;
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (!keys.count(key)) {
+      invalid("unknown field '" + key + "' for op");
+    }
+    if (!seen.insert(key).second) invalid("duplicate field '" + key + "'");
+  }
+
+  if (const JsonValue* id = doc.find("id")) {
+    request.id = string_field(*id, "id");
+    if (request.id.empty()) invalid("field 'id' must be non-empty");
+    if (request.id.size() > 256) invalid("field 'id' too long");
+  }
+
+  switch (request.op) {
+    case RequestOp::Submit: {
+      if (const JsonValue* spec = doc.find("spec")) {
+        request.spec = string_field(*spec, "spec");
+        if (request.spec.size() > limits.max_spec_bytes) {
+          throw ProtocolError("payload_too_large", "spec text too large");
+        }
+      }
+      if (const JsonValue* path = doc.find("spec_path")) {
+        request.spec_path = string_field(*path, "spec_path");
+      }
+      if (request.spec.empty() == request.spec_path.empty()) {
+        invalid("submit needs exactly one of 'spec' or 'spec_path'");
+      }
+      if (const JsonValue* h = doc.find("heuristic")) {
+        const std::string& value = string_field(*h, "heuristic");
+        if (value == "E") {
+          request.options.heuristic = core::Heuristic::Enumeration;
+        } else if (value == "I") {
+          request.options.heuristic = core::Heuristic::Iterative;
+        } else {
+          invalid("field 'heuristic' must be \"E\" or \"I\"");
+        }
+      }
+      if (const JsonValue* t = doc.find("threads")) {
+        request.options.threads =
+            static_cast<int>(int_field(*t, "threads", 1, 256));
+      }
+      if (const JsonValue* p = doc.find("priority")) {
+        request.options.priority =
+            static_cast<int>(int_field(*p, "priority", -1000, 1000));
+      }
+      if (const JsonValue* d = doc.find("deadline_ms")) {
+        request.options.deadline_ms =
+            int_field(*d, "deadline_ms", 0, 86400000);
+      }
+      if (const JsonValue* m = doc.find("max_trials")) {
+        request.options.max_trials = static_cast<std::size_t>(
+            int_field(*m, "max_trials", 0, 1000000000));
+      }
+      if (const JsonValue* k = doc.find("keep_all")) {
+        request.options.keep_all = bool_field(*k, "keep_all");
+      }
+      if (const JsonValue* b = doc.find("bound_pruning")) {
+        request.options.bound_pruning = bool_field(*b, "bound_pruning");
+      }
+      break;
+    }
+    case RequestOp::Status:
+    case RequestOp::Cancel:
+      if (request.id.empty()) invalid("missing 'id'");
+      break;
+    case RequestOp::Result:
+      if (request.id.empty()) invalid("missing 'id'");
+      if (const JsonValue* w = doc.find("wait")) {
+        request.wait = bool_field(*w, "wait");
+      }
+      break;
+    case RequestOp::Shutdown:
+      if (const JsonValue* d = doc.find("drain")) {
+        request.drain = bool_field(*d, "drain");
+      }
+      break;
+    case RequestOp::Stats:
+      break;
+  }
+  return request;
+}
+
+std::string error_response(const std::string& code, const std::string& message,
+                           const std::string& id) {
+  JsonValue error;
+  error.set("code", JsonValue(code));
+  error.set("message", JsonValue(message));
+  JsonValue response;
+  response.set("ok", JsonValue(false));
+  if (!id.empty()) response.set("id", JsonValue(id));
+  response.set("error", std::move(error));
+  return response.dump();
+}
+
+JsonValue render_search_result(const core::SearchResult& result) {
+  JsonValue designs((JsonValue::Array()));
+  for (const core::GlobalDesign& d : result.designs) {
+    JsonValue choice(JsonValue::Array{});
+    for (const std::size_t c : d.choice) {
+      choice.push(JsonValue(static_cast<double>(c)));
+    }
+    JsonValue design;
+    design.set("choice", std::move(choice));
+    design.set("ii", JsonValue(static_cast<double>(d.integration.ii_main)));
+    design.set("delay",
+               JsonValue(static_cast<double>(d.integration.system_delay_main)));
+    design.set("clock_ns", JsonValue(d.integration.clock_ns()));
+    design.set("performance_ns",
+               JsonValue(d.integration.performance_ns.likely()));
+    design.set("delay_ns", JsonValue(d.integration.delay_ns.likely()));
+    designs.push(std::move(design));
+  }
+  JsonValue search;
+  search.set("designs", std::move(designs));
+  search.set("trials", JsonValue(static_cast<double>(result.trials)));
+  search.set("feasible_raw",
+             JsonValue(static_cast<double>(result.feasible_raw)));
+  search.set("probe_integrations",
+             JsonValue(static_cast<double>(result.probe_integrations)));
+  search.set("truncated", JsonValue(result.truncated));
+  search.set("cancelled", JsonValue(result.cancelled));
+  return search;
+}
+
+}  // namespace chop::serve

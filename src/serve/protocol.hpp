@@ -1,0 +1,87 @@
+// The chop_serve wire protocol: newline-delimited JSON request/response
+// pairs, transport-agnostic (the same bytes travel over a Unix-domain
+// socket, a pipe, or an in-process test harness).
+//
+// Requests (one object per line, strict keys — unknown keys are errors):
+//
+//   {"op":"submit","spec":"<.chop text>",...}   accept a partitioning job
+//       optional: "id" (client-chosen, must be unique), "spec_path"
+//       (server-side file instead of inline text), "heuristic" ("E"|"I"),
+//       "threads", "priority", "deadline_ms", "max_trials", "keep_all",
+//       "bound_pruning"
+//   {"op":"status","id":"<job>"}                lifecycle state poll
+//   {"op":"result","id":"<job>","wait":true}    fetch result (optionally
+//                                               blocking until terminal)
+//   {"op":"cancel","id":"<job>"}                cancel queued/running job
+//   {"op":"stats"}                              queue/cache/worker stats
+//   {"op":"shutdown","drain":true}              graceful drain + stop
+//
+// Responses always carry "ok"; failures add {"error":{"code","message"}}.
+// Error codes: parse_error, invalid_request, payload_too_large,
+// invalid_spec, spec_unreadable, overload, shutting_down, duplicate_id,
+// not_found, timeout, unknown_op.
+//
+// The `search` fragment of a result response is rendered by
+// render_search_result(), which tests also apply to direct
+// ChopSession::search() output — byte equality of the two strings is the
+// serving layer's correctness oracle.
+#pragma once
+
+#include <string>
+
+#include "core/search.hpp"
+#include "serve/job.hpp"
+#include "serve/json.hpp"
+
+namespace chop::serve {
+
+/// Thrown by parse_request for every malformed request; the service layer
+/// renders it as a structured error response.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : Error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// Hard input limits enforced before any parsing work happens.
+struct ProtocolLimits {
+  std::size_t max_line_bytes = 4u << 20;  ///< One request line.
+  std::size_t max_spec_bytes = 2u << 20;  ///< Inline or on-disk spec text.
+  std::size_t max_json_depth = 64;
+};
+
+enum class RequestOp { Submit, Status, Result, Cancel, Stats, Shutdown };
+
+/// One parsed, validated request.
+struct Request {
+  RequestOp op = RequestOp::Stats;
+  std::string id;         ///< Job id (submit: optional client-chosen).
+  std::string spec;       ///< Inline `.chop` text (submit).
+  std::string spec_path;  ///< Server-side spec file (submit).
+  JobOptions options;     ///< Submit knobs.
+  bool wait = false;      ///< result: block until terminal.
+  bool drain = true;      ///< shutdown: drain accepted jobs first.
+};
+
+/// Parses and validates one request line. Throws ProtocolError (with a
+/// machine-readable code) on anything malformed: oversized payloads,
+/// broken JSON, wrong types, unknown ops or keys, out-of-range values.
+Request parse_request(const std::string& line, const ProtocolLimits& limits);
+
+/// `{"ok":false,...,"error":{"code":...,"message":...}}`. The id is
+/// echoed when known.
+std::string error_response(const std::string& code, const std::string& message,
+                           const std::string& id = "");
+
+/// The deterministic `search` fragment shared by the daemon and by tests
+/// replaying the same project directly: designs (choice/ii/delay/clock/
+/// performance/delay ns), trials, feasible_raw, probe_integrations,
+/// truncated, cancelled. Timing and identity fields deliberately live
+/// outside this fragment so it is byte-comparable across processes.
+JsonValue render_search_result(const core::SearchResult& result);
+
+}  // namespace chop::serve

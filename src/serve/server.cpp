@@ -1,0 +1,333 @@
+#include "serve/server.hpp"
+
+#include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+
+namespace chop::serve {
+
+namespace {
+
+using Millis = std::chrono::milliseconds;
+
+double ms_between(Job::Clock::time_point from, Job::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Safety cap for exhaustive keep-all jobs, mirroring `chop_cli
+/// --keep-all` (the paper's own unpruned run died of swap space).
+constexpr std::size_t kKeepAllTrialCap = 500000;
+
+}  // namespace
+
+ChopServer::ChopServer(ServerOptions options)
+    : options_(options),
+      queue_(options.queue_capacity),
+      evaluator_pool_(options.evaluator_pool_capacity,
+                      options.cache_entries_per_context) {
+  if (options_.workers < 1) options_.workers = 1;
+  obs::MetricsRegistry::global()
+      .gauge("serve.workers")
+      .set(static_cast<double>(options_.workers));
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ChopServer::~ChopServer() { shutdown(true); }
+
+SubmitOutcome ChopServer::submit(io::Project project, JobOptions options,
+                                 std::string id) {
+  static obs::Counter& submitted_counter =
+      obs::MetricsRegistry::global().counter("serve.submitted");
+  static obs::Counter& rejected_counter =
+      obs::MetricsRegistry::global().counter("serve.rejected_overload");
+
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  if (!accepting_) return {SubmitStatus::ShuttingDown, std::move(id)};
+  if (id.empty()) {
+    do {
+      id = "job-" + std::to_string(++next_auto_id_);
+    } while (jobs_.count(id) != 0);
+  } else if (jobs_.count(id) != 0) {
+    return {SubmitStatus::DuplicateId, std::move(id)};
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->project = std::move(project);
+  job->options = options;
+  job->sequence = ++next_sequence_;
+  job->submitted_at = Job::Clock::now();
+  if (options.deadline_ms > 0) {
+    job->deadline = job->submitted_at + Millis(options.deadline_ms);
+  }
+
+  switch (queue_.push(job)) {
+    case JobQueue::PushResult::Accepted:
+      jobs_.emplace(id, std::move(job));
+      ++submitted_;
+      submitted_counter.add();
+      return {SubmitStatus::Accepted, std::move(id)};
+    case JobQueue::PushResult::Overloaded:
+      ++rejected_overload_;
+      rejected_counter.add();
+      return {SubmitStatus::Overloaded, std::move(id)};
+    case JobQueue::PushResult::Closed:
+      break;
+  }
+  return {SubmitStatus::ShuttingDown, std::move(id)};
+}
+
+void ChopServer::worker_loop() {
+  while (std::shared_ptr<Job> job = queue_.pop()) {
+    run_job(job);
+  }
+}
+
+void ChopServer::run_job(const std::shared_ptr<Job>& job) {
+  static obs::Histogram& queue_wait_ms =
+      obs::MetricsRegistry::global().histogram("serve.queue_wait_ms");
+  const Job::Clock::time_point start = Job::Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->started_at = start;
+    job->state = JobState::Running;
+    ++running_;
+    obs::MetricsRegistry::global()
+        .gauge("serve.running")
+        .set(static_cast<double>(running_));
+  }
+  queue_wait_ms.observe(ms_between(job->submitted_at, start));
+
+  obs::TraceSpan span("serve.job");
+  span.arg("id", job->id);
+  span.arg("priority", job->options.priority);
+
+  // Budget already spent / cancel raced in while queued: don't start work.
+  if (job->cancel_requested.load(std::memory_order_relaxed)) {
+    finish_job(job, JobState::Cancelled);
+    return;
+  }
+  if (job->deadline != Job::Clock::time_point{} && start >= job->deadline) {
+    finish_job(job, JobState::DeadlineExceeded);
+    return;
+  }
+
+  try {
+    core::ChopSession session = job->project.make_session();
+    const core::PredictionStats stats = session.predict_partitions();
+
+    core::SearchOptions search;
+    search.heuristic = job->options.heuristic;
+    search.threads = job->options.threads;
+    search.prune = !job->options.keep_all;
+    search.bound_pruning =
+        job->options.bound_pruning && !job->options.keep_all;
+    search.max_trials = job->options.max_trials;
+    if (job->options.keep_all && search.max_trials == 0) {
+      search.max_trials = kKeepAllTrialCap;
+    }
+    search.cancel = &job->cancel_requested;
+    search.deadline = job->deadline;
+
+    // The cross-request warm cache: every job whose specification reduces
+    // to the same EvalContext fingerprint shares one evaluator.
+    std::shared_ptr<core::CandidateEvaluator> shared_evaluator;
+    if (options_.share_evaluators) {
+      const std::uint64_t fingerprint =
+          session.make_eval_context().fingerprint();
+      shared_evaluator = evaluator_pool_.acquire(fingerprint);
+      search.evaluator = shared_evaluator.get();
+      span.arg("fingerprint", fingerprint);
+    }
+
+    const core::SearchResult result = session.search(search);
+    std::string rendered = render_search_result(result).dump();
+
+    JobState state = JobState::Done;
+    if (result.cancelled) {
+      state = job->cancel_requested.load(std::memory_order_relaxed)
+                  ? JobState::Cancelled
+                  : JobState::DeadlineExceeded;
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      job->result_json = std::move(rendered);
+      job->prediction_stats = stats;
+      job->designs = result.designs.size();
+    }
+    span.arg("trials", result.trials);
+    span.arg("designs", result.designs.size());
+    span.arg("state", to_string(state));
+    finish_job(job, state);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      job->error = e.what();
+    }
+    span.arg("state", "failed");
+    finish_job(job, JobState::Failed);
+  }
+}
+
+void ChopServer::finish_job(const std::shared_ptr<Job>& job, JobState state) {
+  static obs::Counter& completed_counter =
+      obs::MetricsRegistry::global().counter("serve.completed");
+  static obs::Counter& cancelled_counter =
+      obs::MetricsRegistry::global().counter("serve.cancelled");
+  static obs::Counter& deadline_counter =
+      obs::MetricsRegistry::global().counter("serve.deadline_exceeded");
+  static obs::Counter& failed_counter =
+      obs::MetricsRegistry::global().counter("serve.failed");
+  static obs::Histogram& run_ms =
+      obs::MetricsRegistry::global().histogram("serve.run_ms");
+  static obs::Histogram& e2e_ms =
+      obs::MetricsRegistry::global().histogram("serve.e2e_ms");
+
+  const Job::Clock::time_point now = Job::Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (is_terminal(job->state)) return;  // cancel/shutdown race: first wins
+    const bool was_running = job->state == JobState::Running;
+    job->state = state;
+    job->finished_at = now;
+    if (was_running) {
+      --running_;
+      obs::MetricsRegistry::global()
+          .gauge("serve.running")
+          .set(static_cast<double>(running_));
+      run_ms.observe(ms_between(job->started_at, now));
+    }
+    e2e_ms.observe(ms_between(job->submitted_at, now));
+    switch (state) {
+      case JobState::Done:
+        ++completed_;
+        completed_counter.add();
+        break;
+      case JobState::Cancelled:
+        ++cancelled_;
+        cancelled_counter.add();
+        break;
+      case JobState::DeadlineExceeded:
+        ++deadline_exceeded_;
+        deadline_counter.add();
+        break;
+      case JobState::Failed:
+        ++failed_;
+        failed_counter.add();
+        break;
+      case JobState::Queued:
+      case JobState::Running:
+        break;  // not terminal; unreachable
+    }
+  }
+  jobs_cv_.notify_all();
+}
+
+JobView ChopServer::view(const std::string& id, bool wait_terminal,
+                         std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return {};
+  const std::shared_ptr<Job>& job = it->second;
+  if (wait_terminal && !is_terminal(job->state)) {
+    jobs_cv_.wait_for(lock, timeout, [&] { return is_terminal(job->state); });
+  }
+  JobView view;
+  view.found = true;
+  view.id = job->id;
+  view.state = job->state;
+  view.result_json = job->result_json;
+  view.error = job->error;
+  view.designs = job->designs;
+  view.prediction_stats = job->prediction_stats;
+  if (job->started_at != Job::Clock::time_point{}) {
+    view.queue_wait_ms = ms_between(job->submitted_at, job->started_at);
+    if (job->finished_at != Job::Clock::time_point{}) {
+      view.run_ms = ms_between(job->started_at, job->finished_at);
+    }
+  }
+  return view;
+}
+
+CancelOutcome ChopServer::cancel(const std::string& id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return CancelOutcome::NotFound;
+    job = it->second;
+    if (is_terminal(job->state)) return CancelOutcome::AlreadyTerminal;
+    job->cancel_requested.store(true, std::memory_order_relaxed);
+    if (job->state == JobState::Running) {
+      return CancelOutcome::CancellingRunning;
+    }
+  }
+  // Still queued: pull it out before a worker gets it. Losing the race is
+  // fine — the raised flag stops the search at its next check.
+  if (std::shared_ptr<Job> removed = queue_.remove(id)) {
+    finish_job(removed, JobState::Cancelled);
+    return CancelOutcome::CancelledQueued;
+  }
+  return CancelOutcome::CancellingRunning;
+}
+
+ServerStats ChopServer::stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    stats.workers = workers_.size();
+    stats.running = running_;
+    stats.submitted = submitted_;
+    stats.rejected_overload = rejected_overload_;
+    stats.completed = completed_;
+    stats.cancelled = cancelled_;
+    stats.deadline_exceeded = deadline_exceeded_;
+    stats.failed = failed_;
+  }
+  stats.queue_depth = queue_.depth();
+  stats.queue_capacity = queue_.capacity();
+  stats.evaluator_pool = evaluator_pool_.stats();
+  stats.eval_cache = evaluator_pool_.cache_stats();
+  return stats;
+}
+
+void ChopServer::shutdown(bool drain) {
+  // Serialized: the first caller performs the drain and joins the
+  // workers; later callers (including the destructor) block until it is
+  // complete, then return — nobody observes a half-dead server.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (shut_down_) return;
+    accepting_ = false;
+  }
+  if (!drain) {
+    for (const std::shared_ptr<Job>& job : queue_.drain_now()) {
+      finish_job(job, JobState::Cancelled);
+    }
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      if (!is_terminal(job->state)) {
+        job->cancel_requested.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  shut_down_ = true;
+}
+
+bool ChopServer::accepting() const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return accepting_;
+}
+
+}  // namespace chop::serve

@@ -1,0 +1,163 @@
+// ChopServer — the long-lived partitioning service the paper's Figure-1
+// designer loop wants to talk to: many concurrent what-if evaluations
+// multiplexed over shared warm state.
+//
+//   submit ──▶ [bounded priority JobQueue] ──▶ worker pool ──▶ result store
+//                       │ (overload → reject)        │
+//                       └── cancel/deadline ─────────┘
+//
+// Components: a bounded priority queue with explicit overload rejection,
+// N worker threads each running predict_partitions()+search() per job, a
+// persistent in-process result store with status polling and blocking
+// waits, per-job cooperative cancellation and wall-clock deadlines
+// (threaded into SearchOptions), and an EvaluatorPool sharing one
+// memoizing CandidateEvaluator between all jobs whose EvalContext
+// fingerprints match. Transport-free — the NDJSON protocol, pipe loop and
+// Unix-socket acceptors live in service.{hpp,cpp}/uds.{hpp,cpp}; tests
+// drive this class directly from many threads.
+//
+// Every job gets its own `serve.job` trace span; the queue, latency and
+// outcome metrics are listed in docs/OBSERVABILITY.md under `serve.*`.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/evaluator_pool.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+
+namespace chop::serve {
+
+struct ServerOptions {
+  int workers = 2;
+  /// Hard bound on queued (not yet running) jobs; submissions beyond it
+  /// are rejected with SubmitStatus::Overloaded.
+  std::size_t queue_capacity = 64;
+  /// Share CandidateEvaluators across jobs with equal context
+  /// fingerprints. Off = every job evaluates with a private cold cache
+  /// (the reference behavior the differential tests compare against).
+  bool share_evaluators = true;
+  std::size_t evaluator_pool_capacity = 8;
+  std::size_t cache_entries_per_context =
+      core::CandidateEvaluator::kDefaultMaxEntries;
+};
+
+enum class SubmitStatus { Accepted, Overloaded, ShuttingDown, DuplicateId };
+
+struct SubmitOutcome {
+  SubmitStatus status = SubmitStatus::Accepted;
+  std::string id;  ///< Assigned (or echoed) job id when accepted.
+};
+
+enum class CancelOutcome {
+  NotFound,
+  CancelledQueued,    ///< Removed from the queue before it ever ran.
+  CancellingRunning,  ///< Cooperative flag raised; the search will stop.
+  AlreadyTerminal,
+};
+
+/// A point-in-time copy of one job's externally visible state.
+struct JobView {
+  bool found = false;
+  std::string id;
+  JobState state = JobState::Queued;
+  std::string result_json;  ///< render_search_result fragment (terminal).
+  std::string error;        ///< Failure message (JobState::Failed).
+  std::size_t designs = 0;
+  core::PredictionStats prediction_stats{};
+  double queue_wait_ms = 0.0;  ///< submit → start (terminal or running).
+  double run_ms = 0.0;         ///< start → finish (terminal only).
+};
+
+struct ServerStats {
+  std::size_t workers = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t running = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;
+  EvaluatorPool::Stats evaluator_pool{};
+  core::CandidateEvaluator::Stats eval_cache{};
+};
+
+class ChopServer {
+ public:
+  explicit ChopServer(ServerOptions options = {});
+
+  ChopServer(const ChopServer&) = delete;
+  ChopServer& operator=(const ChopServer&) = delete;
+
+  /// Drains and joins (shutdown(true)) if the owner never shut down.
+  ~ChopServer();
+
+  /// Accepts a job. `id` empty = server-assigned ("job-<n>"). The project
+  /// is validated by construction (callers parse specs first); rejection
+  /// never allocates a job record.
+  SubmitOutcome submit(io::Project project, JobOptions options,
+                       std::string id = {});
+
+  /// Lifecycle snapshot; `wait_terminal` blocks until the job reaches a
+  /// terminal state or `timeout` elapses (view.found stays true — check
+  /// is_terminal(view.state) for success).
+  JobView view(const std::string& id, bool wait_terminal = false,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds(60000)) const;
+
+  CancelOutcome cancel(const std::string& id);
+
+  ServerStats stats() const;
+
+  /// Stops accepting submissions; with `drain` every already-accepted job
+  /// still runs to a terminal state, without it queued jobs are marked
+  /// cancelled and running searches are cooperatively stopped. Joins the
+  /// workers; idempotent; safe from any thread (including a transport
+  /// thread handling a `shutdown` request).
+  void shutdown(bool drain = true);
+
+  bool accepting() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void worker_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+  /// Marks `job` terminal under jobs_mu_, stamps finished_at, bumps the
+  /// outcome counters/histograms, and wakes waiters.
+  void finish_job(const std::shared_ptr<Job>& job, JobState state);
+
+  ServerOptions options_;
+  JobQueue queue_;
+  EvaluatorPool evaluator_pool_;
+
+  mutable std::mutex jobs_mu_;
+  mutable std::condition_variable jobs_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_auto_id_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_overload_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t failed_ = 0;
+  std::size_t running_ = 0;
+  bool accepting_ = true;
+  bool shut_down_ = false;
+  /// Serializes shutdown(); later callers block until the first completes.
+  std::mutex shutdown_mu_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace chop::serve

@@ -1,0 +1,296 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace chop::serve {
+
+namespace {
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.requests");
+  return c;
+}
+
+obs::Counter& protocol_errors_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.protocol_errors");
+  return c;
+}
+
+/// Reads a server-side spec file, enforcing the payload limit before the
+/// bytes ever reach the parser.
+std::string read_spec_file(const std::string& path,
+                           const ProtocolLimits& limits) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw ProtocolError("spec_unreadable", "cannot open spec file: " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  if (!file.good() && !file.eof()) {
+    throw ProtocolError("spec_unreadable", "cannot read spec file: " + path);
+  }
+  std::string spec = std::move(text).str();
+  if (spec.size() > limits.max_spec_bytes) {
+    throw ProtocolError("payload_too_large",
+                        "spec file exceeds " +
+                            std::to_string(limits.max_spec_bytes) + " bytes");
+  }
+  return spec;
+}
+
+void put_timings(JsonValue& response, const JobView& view) {
+  if (view.state == JobState::Queued) return;
+  response.set("queue_wait_ms", JsonValue(view.queue_wait_ms));
+  if (is_terminal(view.state)) response.set("run_ms", JsonValue(view.run_ms));
+}
+
+}  // namespace
+
+Service::Service(ChopServer& server, ProtocolLimits limits)
+    : server_(server), limits_(limits) {}
+
+std::string Service::handle_line(const std::string& line) {
+  requests_counter().add();
+  obs::TraceSpan span("serve.request");
+  try {
+    const Request request = parse_request(line, limits_);
+    return dispatch(request);
+  } catch (const ProtocolError& e) {
+    protocol_errors_counter().add();
+    span.arg("error", e.code());
+    return error_response(e.code(), e.what());
+  } catch (const JsonError& e) {
+    protocol_errors_counter().add();
+    span.arg("error", "parse_error");
+    return error_response("parse_error", e.what());
+  } catch (const std::exception& e) {
+    // Truly unexpected — still a structured response, never a crash.
+    protocol_errors_counter().add();
+    span.arg("error", "internal");
+    return error_response("internal", e.what());
+  } catch (...) {
+    protocol_errors_counter().add();
+    span.arg("error", "internal");
+    return error_response("internal", "unknown error");
+  }
+}
+
+std::string Service::dispatch(const Request& request) {
+  switch (request.op) {
+    case RequestOp::Submit: return handle_submit(request);
+    case RequestOp::Status: return handle_status(request);
+    case RequestOp::Result: return handle_result(request);
+    case RequestOp::Cancel: return handle_cancel(request);
+    case RequestOp::Stats: return handle_stats();
+    case RequestOp::Shutdown: return handle_shutdown(request);
+  }
+  return error_response("unknown_op", "unhandled op");
+}
+
+std::string Service::handle_submit(const Request& request) {
+  std::string spec = request.spec;
+  if (!request.spec_path.empty()) {
+    spec = read_spec_file(request.spec_path, limits_);
+  }
+
+  io::Project project;
+  try {
+    project = io::parse_project_string(spec);
+  } catch (const io::ParseError& e) {
+    throw ProtocolError("invalid_spec", e.what());
+  } catch (const Error& e) {
+    throw ProtocolError("invalid_spec", e.what());
+  }
+
+  const SubmitOutcome outcome =
+      server_.submit(std::move(project), request.options, request.id);
+  switch (outcome.status) {
+    case SubmitStatus::Accepted:
+      break;
+    case SubmitStatus::Overloaded:
+      return error_response("overload", "queue full; retry later", request.id);
+    case SubmitStatus::ShuttingDown:
+      return error_response("shutting_down", "server is shutting down",
+                            request.id);
+    case SubmitStatus::DuplicateId:
+      return error_response("duplicate_id",
+                            "job id already exists: " + request.id, request.id);
+  }
+
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("submit")));
+  response.set("id", JsonValue(outcome.id));
+  response.set("state", JsonValue(std::string(to_string(JobState::Queued))));
+  return response.dump();
+}
+
+std::string Service::handle_status(const Request& request) {
+  const JobView view = server_.view(request.id);
+  if (!view.found) {
+    return error_response("not_found", "no such job: " + request.id,
+                          request.id);
+  }
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("status")));
+  response.set("id", JsonValue(view.id));
+  response.set("state", JsonValue(std::string(to_string(view.state))));
+  if (view.state == JobState::Done) {
+    response.set("designs", JsonValue(static_cast<double>(view.designs)));
+  }
+  if (view.state == JobState::Failed) {
+    response.set("message", JsonValue(view.error));
+  }
+  put_timings(response, view);
+  return response.dump();
+}
+
+std::string Service::handle_result(const Request& request) {
+  const JobView view = server_.view(request.id, request.wait);
+  if (!view.found) {
+    return error_response("not_found", "no such job: " + request.id,
+                          request.id);
+  }
+  if (!is_terminal(view.state)) {
+    const char* message = request.wait
+                              ? "job did not reach a terminal state in time"
+                              : "job is not terminal yet; poll or use wait";
+    return error_response("timeout", message, request.id);
+  }
+  if (view.state == JobState::Failed) {
+    JsonValue response;
+    response.set("ok", JsonValue(false));
+    response.set("op", JsonValue(std::string("result")));
+    response.set("id", JsonValue(view.id));
+    response.set("state", JsonValue(std::string(to_string(view.state))));
+    JsonValue error;
+    error.set("code", JsonValue(std::string("job_failed")));
+    error.set("message", JsonValue(view.error));
+    response.set("error", std::move(error));
+    return response.dump();
+  }
+
+  // The `search` fragment is spliced in verbatim — re-parsing and
+  // re-dumping could only risk the byte identity the tests assert.
+  std::string body = "{\"ok\":true,\"op\":\"result\",\"id\":";
+  body += json_quote(view.id);
+  body += ",\"state\":\"";
+  body += to_string(view.state);
+  body += "\"";
+  if (!view.result_json.empty()) {
+    body += ",\"search\":";
+    body += view.result_json;
+    body += ",\"predictions\":{\"total\":";
+    body += json_number(static_cast<double>(view.prediction_stats.total));
+    body += ",\"feasible\":";
+    body += json_number(static_cast<double>(view.prediction_stats.feasible));
+    body += "}";
+  }
+  body += ",\"queue_wait_ms\":";
+  body += json_number(view.queue_wait_ms);
+  body += ",\"run_ms\":";
+  body += json_number(view.run_ms);
+  body += "}";
+  return body;
+}
+
+std::string Service::handle_cancel(const Request& request) {
+  const CancelOutcome outcome = server_.cancel(request.id);
+  if (outcome == CancelOutcome::NotFound) {
+    return error_response("not_found", "no such job: " + request.id,
+                          request.id);
+  }
+  const char* label = "cancelling";
+  switch (outcome) {
+    case CancelOutcome::CancelledQueued: label = "cancelled_queued"; break;
+    case CancelOutcome::CancellingRunning: label = "cancelling"; break;
+    case CancelOutcome::AlreadyTerminal: label = "already_terminal"; break;
+    case CancelOutcome::NotFound: break;  // handled above
+  }
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("cancel")));
+  response.set("id", JsonValue(request.id));
+  response.set("outcome", JsonValue(std::string(label)));
+  return response.dump();
+}
+
+std::string Service::handle_stats() {
+  const ServerStats stats = server_.stats();
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("stats")));
+  response.set("workers", JsonValue(static_cast<double>(stats.workers)));
+
+  JsonValue queue;
+  queue.set("depth", JsonValue(static_cast<double>(stats.queue_depth)));
+  queue.set("capacity", JsonValue(static_cast<double>(stats.queue_capacity)));
+  response.set("queue", std::move(queue));
+
+  JsonValue jobs;
+  jobs.set("running", JsonValue(static_cast<double>(stats.running)));
+  jobs.set("submitted", JsonValue(static_cast<double>(stats.submitted)));
+  jobs.set("rejected_overload",
+           JsonValue(static_cast<double>(stats.rejected_overload)));
+  jobs.set("completed", JsonValue(static_cast<double>(stats.completed)));
+  jobs.set("cancelled", JsonValue(static_cast<double>(stats.cancelled)));
+  jobs.set("deadline_exceeded",
+           JsonValue(static_cast<double>(stats.deadline_exceeded)));
+  jobs.set("failed", JsonValue(static_cast<double>(stats.failed)));
+  response.set("jobs", std::move(jobs));
+
+  JsonValue pool;
+  pool.set("created",
+           JsonValue(static_cast<double>(stats.evaluator_pool.created)));
+  pool.set("reused",
+           JsonValue(static_cast<double>(stats.evaluator_pool.reused)));
+  pool.set("evicted",
+           JsonValue(static_cast<double>(stats.evaluator_pool.evicted)));
+  response.set("evaluator_pool", std::move(pool));
+
+  JsonValue cache;
+  cache.set("hits", JsonValue(static_cast<double>(stats.eval_cache.hits)));
+  cache.set("misses", JsonValue(static_cast<double>(stats.eval_cache.misses)));
+  cache.set("evictions",
+            JsonValue(static_cast<double>(stats.eval_cache.evictions)));
+  response.set("eval_cache", std::move(cache));
+  return response.dump();
+}
+
+std::string Service::handle_shutdown(const Request& request) {
+  shutdown_requested_ = true;
+  drain_ = request.drain;
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("shutdown")));
+  response.set("drain", JsonValue(request.drain));
+  return response.dump();
+}
+
+std::size_t run_pipe_service(ChopServer& server, std::istream& in,
+                             std::ostream& out, ProtocolLimits limits) {
+  Service service(server, limits);
+  std::size_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keep-alive no-ops
+    out << service.handle_line(line) << "\n";
+    out.flush();
+    ++handled;
+    if (service.shutdown_requested()) break;
+  }
+  server.shutdown(service.shutdown_requested() ? service.drain() : true);
+  return handled;
+}
+
+}  // namespace chop::serve

@@ -1,0 +1,62 @@
+// Service — the transport-free request dispatcher between the NDJSON
+// protocol and a ChopServer. Both transports (the Unix-socket acceptor in
+// uds.cpp and the pipe/stdin loop below) feed raw request lines into
+// handle_line() and write back whatever single-line response it returns.
+//
+// handle_line() never throws and never returns malformed output: every
+// failure path — oversized line, broken JSON, bad op, unreadable spec,
+// internal error — folds into a structured error_response(). That
+// property is what the protocol fuzzer (src/testing/serve_fuzz) hammers.
+//
+// A `shutdown` request is answered first and acted on by the caller:
+// handle_line records the request (shutdown_requested()/drain()), the
+// transport writes the response, then stops its loop and calls
+// ChopServer::shutdown(drain). This ordering guarantees the client sees
+// the acknowledgement before the daemon exits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace chop::serve {
+
+class Service {
+ public:
+  explicit Service(ChopServer& server, ProtocolLimits limits = {});
+
+  /// Handles one request line; always returns exactly one line of valid
+  /// JSON (no trailing newline). Never throws.
+  std::string handle_line(const std::string& line);
+
+  bool shutdown_requested() const { return shutdown_requested_; }
+  bool drain() const { return drain_; }
+
+  const ProtocolLimits& limits() const { return limits_; }
+
+ private:
+  std::string dispatch(const Request& request);
+  std::string handle_submit(const Request& request);
+  std::string handle_status(const Request& request);
+  std::string handle_result(const Request& request);
+  std::string handle_cancel(const Request& request);
+  std::string handle_stats();
+  std::string handle_shutdown(const Request& request);
+
+  ChopServer& server_;
+  ProtocolLimits limits_;
+  bool shutdown_requested_ = false;
+  bool drain_ = true;
+};
+
+/// The pipe/stdin transport: reads request lines from `in`, writes one
+/// response line per request to `out` (flushed per line so a driving
+/// process can interleave), and stops on EOF or a `shutdown` request —
+/// both trigger ChopServer::shutdown (EOF drains; `shutdown` honors its
+/// "drain" flag). Returns the number of requests handled.
+std::size_t run_pipe_service(ChopServer& server, std::istream& in,
+                             std::ostream& out, ProtocolLimits limits = {});
+
+}  // namespace chop::serve

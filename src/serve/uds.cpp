@@ -1,0 +1,264 @@
+#include "serve/uds.hpp"
+
+#if CHOP_SERVE_HAVE_UDS
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "serve/service.hpp"
+
+namespace chop::serve {
+
+namespace {
+
+bool fill_address(const std::string& path, sockaddr_un* addr,
+                  std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long (" + std::to_string(path.size()) +
+               " bytes): " + path;
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// write(2) until everything is out; EINTR-safe. A dead peer produces
+/// EPIPE (SIGPIPE is suppressed via MSG_NOSIGNAL on send).
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  return send_all(fd, framed.data(), framed.size());
+}
+
+/// Reads one '\n'-terminated line into `*line`, carrying partial bytes in
+/// `*buffer` across calls. max_line guards against unbounded growth: an
+/// overlong line returns -2 so the caller can reject it and close.
+/// Returns 1 on a line, 0 on orderly EOF, -1 on error, -2 on oversize.
+int recv_line(int fd, std::string* buffer, std::string* line,
+              std::size_t max_line) {
+  for (;;) {
+    const std::size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      line->assign(*buffer, 0, newline);
+      buffer->erase(0, newline + 1);
+      return 1;
+    }
+    if (buffer->size() > max_line) return -2;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return 0;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+UdsServer::UdsServer(ChopServer& server, std::string socket_path,
+                     ProtocolLimits limits)
+    : server_(server), socket_path_(std::move(socket_path)), limits_(limits) {}
+
+UdsServer::~UdsServer() { stop(); }
+
+bool UdsServer::start(std::string* error) {
+  sockaddr_un addr;
+  if (!fill_address(socket_path_, &addr, error)) return false;
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  ::unlink(socket_path_.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void UdsServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    live_fds_.insert(fd);
+    connection_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void UdsServer::handle_connection(int fd) {
+  Service service(server_, limits_);
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    const int status = recv_line(fd, &buffer, &line, limits_.max_line_bytes);
+    if (status == -2) {
+      send_line(fd, error_response("payload_too_large",
+                                   "request line exceeds " +
+                                       std::to_string(limits_.max_line_bytes) +
+                                       " bytes"));
+      break;
+    }
+    if (status <= 0) break;  // EOF, error, or fd shut down by stop()
+    if (line.empty()) continue;
+    if (!send_line(fd, service.handle_line(line))) break;
+    if (service.shutdown_requested()) {
+      note_shutdown_request(service.drain());
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_fds_.erase(fd);
+}
+
+void UdsServer::note_shutdown_request(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_requested_) {
+      shutdown_requested_ = true;
+      drain_ = drain;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool UdsServer::wait_for_shutdown_request() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return shutdown_requested_ || stopping_; });
+  return shutdown_requested_;
+}
+
+bool UdsServer::drain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drain_;
+}
+
+void UdsServer::stop() {
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && listen_fd_ < 0 && connection_threads_.empty()) {
+      cv_.notify_all();
+      // fall through to join accept_thread_ (idempotent second call)
+    }
+    stopping_ = true;
+    // Unblock every connection thread stuck in recv.
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connection_threads_);
+  }
+  cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    // shutdown() alone does not wake accept() on all platforms; closing
+    // the fd does. The accept loop never touches listen_fd_ after a
+    // failed accept, so the close is safe.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+UdsClient::UdsClient(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+UdsClient::~UdsClient() { close(); }
+
+bool UdsClient::connect(std::string* error) {
+  sockaddr_un addr;
+  if (!fill_address(socket_path_, &addr, error)) return false;
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool UdsClient::request(const std::string& line, std::string* response,
+                        std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  if (!send_line(fd_, line)) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  // Responses are bounded like requests; a cooperating server never sends
+  // more than one line per request.
+  const int status =
+      recv_line(fd_, &buffer_, response, ProtocolLimits{}.max_line_bytes);
+  if (status == 1) return true;
+  if (error != nullptr) {
+    *error = status == 0 ? "server closed connection" : std::strerror(errno);
+  }
+  return false;
+}
+
+void UdsClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace chop::serve
+
+#endif  // CHOP_SERVE_HAVE_UDS

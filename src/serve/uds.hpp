@@ -1,0 +1,112 @@
+// Unix-domain socket transport for chop_serve: a listener that accepts
+// concurrent client connections, runs one NDJSON Service conversation per
+// connection, and a small blocking client used by chop_submit and the
+// tests. POSIX-only (guarded by CHOP_SERVE_HAVE_UDS); the pipe transport
+// in service.hpp covers platforms without AF_UNIX.
+//
+// Threading model: one accept thread, one thread per live connection.
+// Each connection gets its own Service (so a `shutdown` request is
+// attributed to the connection that sent it); the first shutdown request
+// wins and wakes wait_for_shutdown_request() in the daemon main loop,
+// which then drains the ChopServer and stops the listener. stop() forces
+// every blocked read/accept to return by shutting the fds down, so no
+// thread outlives the object.
+#pragma once
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CHOP_SERVE_HAVE_UDS 1
+#else
+#define CHOP_SERVE_HAVE_UDS 0
+#endif
+
+#if CHOP_SERVE_HAVE_UDS
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace chop::serve {
+
+class UdsServer {
+ public:
+  UdsServer(ChopServer& server, std::string socket_path,
+            ProtocolLimits limits = {});
+  ~UdsServer();
+
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Returns false (with
+  /// `*error` set) if the socket cannot be created; an existing socket
+  /// file at the path is unlinked first (stale daemon leftovers).
+  bool start(std::string* error);
+
+  /// Blocks until some connection issues a `shutdown` request or stop()
+  /// is called. Returns true if shutdown was requested by a client.
+  bool wait_for_shutdown_request();
+
+  /// Whether the pending client shutdown asked for a drain.
+  bool drain() const;
+
+  /// Closes the listener and every live connection, joins all threads,
+  /// and unlinks the socket file. Idempotent. Does NOT shut down the
+  /// ChopServer — the daemon decides drain semantics.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void note_shutdown_request(bool drain);
+
+  ChopServer& server_;
+  std::string socket_path_;
+  ProtocolLimits limits_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> connection_threads_;
+  std::unordered_set<int> live_fds_;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+  bool drain_ = true;
+};
+
+/// Blocking NDJSON client: one request line out, one response line back.
+class UdsClient {
+ public:
+  explicit UdsClient(std::string socket_path);
+  ~UdsClient();
+
+  UdsClient(const UdsClient&) = delete;
+  UdsClient& operator=(const UdsClient&) = delete;
+
+  bool connect(std::string* error);
+
+  /// Sends `line` (newline appended) and reads one response line. Returns
+  /// false with `*error` set on any I/O failure or server disconnect.
+  bool request(const std::string& line, std::string* response,
+               std::string* error);
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes received past the last returned line.
+};
+
+}  // namespace chop::serve
+
+#endif  // CHOP_SERVE_HAVE_UDS

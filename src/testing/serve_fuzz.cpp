@@ -1,0 +1,166 @@
+#include "testing/serve_fuzz.hpp"
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "io/spec_writer.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "testing/scenario.hpp"
+#include "testing/spec_fuzz.hpp"
+
+namespace chop::testing {
+
+namespace {
+
+/// JSON-shaped corruption the generic byte mutator is unlikely to hit:
+/// structural attacks on keys, nesting and number syntax.
+std::string apply_json_mutation(Rng& rng, const std::string& line) {
+  switch (rng.bounded(6)) {
+    case 0: {  // unknown key
+      const std::size_t brace = line.find('{');
+      if (brace == std::string::npos) return line;
+      return line.substr(0, brace + 1) + "\"fuzz_unknown_key\":42," +
+             line.substr(brace + 1);
+    }
+    case 1: {  // duplicate "op"
+      const std::size_t brace = line.find('{');
+      if (brace == std::string::npos) return line;
+      return line.substr(0, brace + 1) + "\"op\":\"stats\"," +
+             line.substr(brace + 1);
+    }
+    case 2: {  // non-finite / pathological number in place of a value
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) return line;
+      static const char* kPoison[] = {"NaN", "Infinity", "-1e999", "1e309",
+                                      "0x10", "1.7976931348623157e+309"};
+      std::size_t end = colon + 1;
+      while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+      return line.substr(0, colon + 1) +
+             kPoison[rng.bounded(sizeof(kPoison) / sizeof(kPoison[0]))] +
+             line.substr(end);
+    }
+    case 3: {  // deep nesting beyond the depth limit
+      std::string nested = "{\"op\":";
+      for (int i = 0; i < 100; ++i) nested += "[";
+      nested += "0";
+      for (int i = 0; i < 100; ++i) nested += "]";
+      nested += "}";
+      return nested;
+    }
+    case 4: {  // oversized payload (crosses the fuzz-tightened line limit)
+      std::string big = "{\"op\":\"submit\",\"spec\":\"";
+      big.append(8192, 'x');
+      big += "\"}";
+      return big;
+    }
+    default:  // truncation mid-token
+      if (line.size() < 2) return line;
+      return line.substr(0, 1 + rng.bounded(line.size() - 1));
+  }
+}
+
+}  // namespace
+
+ServeFuzzStats fuzz_serve_protocol(Rng& rng, std::size_t cases) {
+  ServeFuzzStats stats;
+
+  // A tiny generated project keeps accepted submits cheap; the server
+  // runs them concurrently while the fuzzer keeps hammering the parser.
+  ScenarioKnobs knobs = sample_knobs(scenario_seed(rng.next(), 0));
+  knobs.memory_blocks = 0;
+  const std::string spec = io::write_project_string(build_scenario(knobs));
+
+  serve::ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.queue_capacity = 4;  // small: overload path triggers often
+  serve::ChopServer server(server_options);
+
+  serve::ProtocolLimits limits;
+  limits.max_line_bytes = 4096;  // tight: oversize path triggers cheaply
+  limits.max_spec_bytes = 4096;
+  serve::Service service(server, limits);
+
+  const std::vector<std::string> seeds = {
+      "{\"op\":\"submit\",\"id\":\"s\",\"spec\":" + serve::json_quote(spec) +
+          ",\"deadline_ms\":5}",
+      "{\"op\":\"submit\",\"spec\":" + serve::json_quote(spec) +
+          ",\"heuristic\":\"E\",\"threads\":2,\"priority\":3}",
+      "{\"op\":\"submit\",\"spec_path\":\"/nonexistent/fuzz.chop\"}",
+      "{\"op\":\"status\",\"id\":\"s\"}",
+      "{\"op\":\"result\",\"id\":\"s\"}",
+      "{\"op\":\"cancel\",\"id\":\"s\"}",
+      "{\"op\":\"stats\"}",
+      "{\"op\":\"shutdown\",\"drain\":true}",
+  };
+
+  for (std::size_t i = 0; i < cases; ++i) {
+    std::string line = seeds[rng.bounded(seeds.size())];
+    // Some lines go through untouched to keep real server state moving;
+    // the rest get 1-4 stacked generic and/or JSON-structural mutations.
+    if (rng.bounded(8) != 0) {
+      const int n = 1 + static_cast<int>(rng.bounded(3));
+      for (int m = 0; m < n; ++m) {
+        line = rng.bounded(2) == 0 ? apply_json_mutation(rng, line)
+                                   : mutate_spec(rng, line);
+      }
+    }
+
+    ++stats.cases;
+    std::string response;
+    try {
+      response = service.handle_line(line);
+    } catch (const std::exception& e) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": handle_line threw: " + e.what());
+      continue;
+    } catch (...) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": handle_line threw a non-exception");
+      continue;
+    }
+
+    if (response.empty() || response.find('\n') != std::string::npos) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": response is not one nonempty line");
+      continue;
+    }
+    try {
+      const serve::JsonValue parsed = serve::JsonValue::parse(response);
+      const serve::JsonValue* ok = parsed.find("ok");
+      if (ok == nullptr || !ok->is_bool()) {
+        stats.violations.push_back("case " + std::to_string(i) +
+                                   ": response lacks boolean \"ok\": " +
+                                   response);
+        continue;
+      }
+      if (ok->as_bool()) {
+        ++stats.ok_responses;
+      } else {
+        ++stats.error_responses;
+        const serve::JsonValue* error = parsed.find("error");
+        const serve::JsonValue* code =
+            error != nullptr ? error->find("code") : nullptr;
+        if (code == nullptr || !code->is_string() ||
+            code->as_string().empty()) {
+          stats.violations.push_back("case " + std::to_string(i) +
+                                     ": error response lacks a code: " +
+                                     response);
+        }
+      }
+    } catch (const serve::JsonError& e) {
+      stats.violations.push_back("case " + std::to_string(i) +
+                                 ": unparseable response (" + e.what() +
+                                 "): " + response);
+    }
+  }
+
+  // The daemon must also survive everything the fuzz stream queued up:
+  // abortive shutdown exercises drain_now + cooperative cancel.
+  server.shutdown(false);
+  return stats;
+}
+
+}  // namespace chop::testing

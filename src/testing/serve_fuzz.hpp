@@ -1,0 +1,38 @@
+// Mutational fuzzing of the chop_serve NDJSON protocol: take valid
+// request lines (submit/status/result/cancel/stats/shutdown against a
+// live in-process ChopServer), corrupt them with the same generic
+// document mutator the spec fuzzer uses (byte flips, truncation, poison
+// number literals, junk insertion) plus JSON-shaped attacks (unknown and
+// duplicate keys, deep nesting, oversized payloads), and require the
+// service to answer EVERY line with exactly one parseable structured
+// response — never throw, never crash the daemon, never emit garbage.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace chop::testing {
+
+/// Aggregate outcome of one protocol-fuzzing run.
+struct ServeFuzzStats {
+  std::size_t cases = 0;            ///< Request lines fed to the service.
+  std::size_t ok_responses = 0;     ///< Accepted ("ok":true).
+  std::size_t error_responses = 0;  ///< Rejected with a structured error.
+  /// Contract violations: exceptions escaping handle_line, unparseable or
+  /// malformed responses. Each entry is a deterministic description; the
+  /// run is a failure iff this is nonempty.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs `cases` mutated request lines through a Service wrapping a live
+/// single-worker ChopServer (tight protocol limits so oversize paths
+/// trigger cheaply). Deterministic request stream for a given Rng state;
+/// the server's own scheduling is concurrent but invisible to the oracle.
+ServeFuzzStats fuzz_serve_protocol(Rng& rng, std::size_t cases);
+
+}  // namespace chop::testing

@@ -10,7 +10,8 @@
 // Usage:
 //   chop_fuzz [--seed=<n|tag>] [--scenarios=<n>] [--out=<file>]
 //             [--shrink-dir=<dir>] [--max-product=<n>]
-//             [--spec-fuzz=<cases>] [--replay=<file.chop>]
+//             [--spec-fuzz=<cases>] [--serve-fuzz=<cases>]
+//             [--replay=<file.chop>]
 //             [--inject-bound-bug] [--no-bound-pruning] [--quick]
 //
 //   --seed           run seed; digits are literal, anything else is hashed
@@ -20,6 +21,10 @@
 //   --max-product    eligible-space cap per scenario (default 20000)
 //   --spec-fuzz      additionally run N mutated documents through the
 //                    spec parser round-trip fuzzer
+//   --serve-fuzz     additionally run N mutated NDJSON request lines
+//                    through a live chop_serve Service (daemon protocol
+//                    robustness: every line must get one structured
+//                    response, never an escaped exception)
 //   --replay         run the oracle battery over one `.chop` file instead
 //                    of generated scenarios
 //   --inject-bound-bug  fault-injection self-test: makes the branch-and-
@@ -45,6 +50,7 @@
 #include "testing/oracles.hpp"
 #include "testing/scenario.hpp"
 #include "testing/shrink.hpp"
+#include "testing/serve_fuzz.hpp"
 #include "testing/spec_fuzz.hpp"
 
 namespace {
@@ -59,6 +65,7 @@ struct Args {
   std::string shrink_dir = ".";
   std::size_t max_product = 20000;
   std::size_t spec_fuzz_cases = 0;
+  std::size_t serve_fuzz_cases = 0;
   std::string replay_path;
   bool inject_bound_bug = false;
   double inject_slack = 1.25;
@@ -70,6 +77,7 @@ int usage() {
   std::cerr << "usage: chop_fuzz [--seed=<n|tag>] [--scenarios=<n>]\n"
                "                 [--out=<file>] [--shrink-dir=<dir>]\n"
                "                 [--max-product=<n>] [--spec-fuzz=<cases>]\n"
+               "                 [--serve-fuzz=<cases>]\n"
                "                 [--replay=<file.chop>] [--inject-bound-bug]\n"
                "                 [--no-bound-pruning] [--quick]\n";
   return 2;
@@ -121,6 +129,8 @@ struct RunSummary {
   std::vector<Failure> failures;
   testing::SpecFuzzStats spec_fuzz;
   bool spec_fuzz_ran = false;
+  testing::ServeFuzzStats serve_fuzz;
+  bool serve_fuzz_ran = false;
 };
 
 std::string to_json(const Args& args, const RunSummary& s) {
@@ -154,7 +164,15 @@ std::string to_json(const Args& args, const RunSummary& s) {
        << ", \"session_errors\": " << s.spec_fuzz.session_errors
        << ", \"violations\": " << s.spec_fuzz.violations.size() << "},\n";
   }
-  os << "  \"ok\": " << (s.failed == 0 && s.spec_fuzz.ok() ? "true" : "false")
+  if (s.serve_fuzz_ran) {
+    os << "  \"serve_fuzz\": {\"cases\": " << s.serve_fuzz.cases
+       << ", \"ok_responses\": " << s.serve_fuzz.ok_responses
+       << ", \"error_responses\": " << s.serve_fuzz.error_responses
+       << ", \"violations\": " << s.serve_fuzz.violations.size() << "},\n";
+  }
+  os << "  \"ok\": "
+     << (s.failed == 0 && s.spec_fuzz.ok() && s.serve_fuzz.ok() ? "true"
+                                                                : "false")
      << "\n}\n";
   return os.str();
 }
@@ -183,6 +201,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--spec-fuzz=", 0) == 0) {
       if (!parse_size(value("--spec-fuzz="), args.spec_fuzz_cases)) {
+        return usage();
+      }
+    } else if (arg.rfind("--serve-fuzz=", 0) == 0) {
+      if (!parse_size(value("--serve-fuzz="), args.serve_fuzz_cases)) {
         return usage();
       }
     } else if (arg.rfind("--replay=", 0) == 0) {
@@ -300,6 +322,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.serve_fuzz_cases > 0) {
+    Rng rng(args.seed ^ 0xa24baed4963ee407ull);
+    summary.serve_fuzz =
+        testing::fuzz_serve_protocol(rng, args.serve_fuzz_cases);
+    summary.serve_fuzz_ran = true;
+    for (const std::string& v : summary.serve_fuzz.violations) {
+      std::cerr << "serve_fuzz violation: " << v << "\n";
+    }
+  }
+
   const std::string json = to_json(args, summary);
   std::cout << json;
   if (!args.out_path.empty()) {
@@ -307,7 +339,8 @@ int main(int argc, char** argv) {
     out << json;
   }
 
-  const bool green = summary.failed == 0 && summary.spec_fuzz.ok();
+  const bool green =
+      summary.failed == 0 && summary.spec_fuzz.ok() && summary.serve_fuzz.ok();
   if (args.inject_bound_bug) {
     // Self-test inversion: the injected bug must have been caught by the
     // bound_pruning oracle and shrunk to a repro.

@@ -1,0 +1,247 @@
+// chop_submit — thin NDJSON client for a chopd --socket daemon. One
+// invocation sends one request (plus an optional blocking result fetch)
+// and prints the raw response line(s) to stdout.
+//
+//   chop_submit --socket=<path> --spec=<file.chop> [submit knobs] [--wait]
+//   chop_submit --socket=<path> --status=<job-id>
+//   chop_submit --socket=<path> --result=<job-id> [--wait]
+//   chop_submit --socket=<path> --cancel=<job-id>
+//   chop_submit --socket=<path> --stats
+//   chop_submit --socket=<path> --shutdown [--no-drain]
+//   chop_submit --socket=<path> --raw='<request json>'
+//
+// Submit knobs: --id=<id> --heuristic=E|I --threads=N --priority=N
+// --deadline-ms=N --max-trials=N --keep-all --no-bound-pruning.
+// --wait on submit fetches {"op":"result","wait":true} after acceptance.
+//
+// Exit status: 0 when every response has "ok":true, 2 when the server
+// answered with a structured error, 1 on usage or transport failures.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "serve/json.hpp"
+#include "serve/uds.hpp"
+
+#if !CHOP_SERVE_HAVE_UDS
+int main() {
+  std::cerr << "chop_submit: Unix-domain sockets unsupported here\n";
+  return 1;
+}
+#else
+
+namespace {
+
+struct ClientOptions {
+  std::string socket_path;
+  std::string spec_path;
+  std::string status_id;
+  std::string result_id;
+  std::string cancel_id;
+  bool stats = false;
+  bool shutdown = false;
+  bool drain = true;
+  std::string raw;
+  // Submit knobs.
+  std::string id;
+  std::string heuristic;
+  int threads = 0;
+  int priority = 0;
+  long long deadline_ms = 0;
+  long long max_trials = -1;
+  bool keep_all = false;
+  bool no_bound_pruning = false;
+  bool wait = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: chop_submit --socket=<path> (--spec=<file> | --status=<id> |\n"
+         "           --result=<id> | --cancel=<id> | --stats | --shutdown |\n"
+         "           --raw='<json>')\n"
+         "       submit knobs: [--id=<id>] [--heuristic=E|I] [--threads=N]\n"
+         "           [--priority=N] [--deadline-ms=N] [--max-trials=N]\n"
+         "           [--keep-all] [--no-bound-pruning] [--wait]\n"
+         "       shutdown knob: [--no-drain]\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, ClientOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--socket=", 0) == 0) {
+        options.socket_path = arg.substr(9);
+      } else if (arg.rfind("--spec=", 0) == 0) {
+        options.spec_path = arg.substr(7);
+      } else if (arg.rfind("--status=", 0) == 0) {
+        options.status_id = arg.substr(9);
+      } else if (arg.rfind("--result=", 0) == 0) {
+        options.result_id = arg.substr(9);
+      } else if (arg.rfind("--cancel=", 0) == 0) {
+        options.cancel_id = arg.substr(9);
+      } else if (arg == "--stats") {
+        options.stats = true;
+      } else if (arg == "--shutdown") {
+        options.shutdown = true;
+      } else if (arg == "--no-drain") {
+        options.drain = false;
+      } else if (arg.rfind("--raw=", 0) == 0) {
+        options.raw = arg.substr(6);
+      } else if (arg.rfind("--id=", 0) == 0) {
+        options.id = arg.substr(5);
+      } else if (arg.rfind("--heuristic=", 0) == 0) {
+        options.heuristic = arg.substr(12);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        options.threads = std::stoi(arg.substr(10));
+      } else if (arg.rfind("--priority=", 0) == 0) {
+        options.priority = std::stoi(arg.substr(11));
+      } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+        options.deadline_ms = std::stoll(arg.substr(14));
+      } else if (arg.rfind("--max-trials=", 0) == 0) {
+        options.max_trials = std::stoll(arg.substr(13));
+      } else if (arg == "--keep-all") {
+        options.keep_all = true;
+      } else if (arg == "--no-bound-pruning") {
+        options.no_bound_pruning = true;
+      } else if (arg == "--wait") {
+        options.wait = true;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value in argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (options.socket_path.empty()) return false;
+  const int modes = (!options.spec_path.empty()) + (!options.status_id.empty()) +
+                    (!options.result_id.empty()) +
+                    (!options.cancel_id.empty()) + options.stats +
+                    options.shutdown + (!options.raw.empty());
+  if (modes != 1) {
+    std::cerr << "exactly one request mode is required\n";
+    return false;
+  }
+  return true;
+}
+
+std::string build_request(const ClientOptions& options, std::string* error) {
+  using chop::serve::JsonValue;
+  if (!options.raw.empty()) return options.raw;
+
+  JsonValue request;
+  if (!options.spec_path.empty()) {
+    std::ifstream file(options.spec_path, std::ios::binary);
+    if (!file) {
+      *error = "cannot open spec file: " + options.spec_path;
+      return "";
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    request.set("op", JsonValue(std::string("submit")));
+    request.set("spec", JsonValue(std::move(text).str()));
+    if (!options.id.empty()) request.set("id", JsonValue(options.id));
+    if (!options.heuristic.empty()) {
+      request.set("heuristic", JsonValue(options.heuristic));
+    }
+    if (options.threads > 0) {
+      request.set("threads", JsonValue(static_cast<double>(options.threads)));
+    }
+    if (options.priority != 0) {
+      request.set("priority", JsonValue(static_cast<double>(options.priority)));
+    }
+    if (options.deadline_ms > 0) {
+      request.set("deadline_ms",
+                  JsonValue(static_cast<double>(options.deadline_ms)));
+    }
+    if (options.max_trials >= 0) {
+      request.set("max_trials",
+                  JsonValue(static_cast<double>(options.max_trials)));
+    }
+    if (options.keep_all) request.set("keep_all", JsonValue(true));
+    if (options.no_bound_pruning) {
+      request.set("bound_pruning", JsonValue(false));
+    }
+  } else if (!options.status_id.empty()) {
+    request.set("op", JsonValue(std::string("status")));
+    request.set("id", JsonValue(options.status_id));
+  } else if (!options.result_id.empty()) {
+    request.set("op", JsonValue(std::string("result")));
+    request.set("id", JsonValue(options.result_id));
+    if (options.wait) request.set("wait", JsonValue(true));
+  } else if (!options.cancel_id.empty()) {
+    request.set("op", JsonValue(std::string("cancel")));
+    request.set("id", JsonValue(options.cancel_id));
+  } else if (options.stats) {
+    request.set("op", JsonValue(std::string("stats")));
+  } else {
+    request.set("op", JsonValue(std::string("shutdown")));
+    request.set("drain", JsonValue(options.drain));
+  }
+  return request.dump();
+}
+
+/// Prints the response and folds its "ok" into the exit status.
+int report(const std::string& response) {
+  std::cout << response << "\n";
+  try {
+    const chop::serve::JsonValue parsed =
+        chop::serve::JsonValue::parse(response);
+    const chop::serve::JsonValue* ok = parsed.find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->as_bool()) return 0;
+  } catch (const chop::serve::JsonError&) {
+    // Unparseable server output — treat as an error response.
+  }
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  std::string error;
+  const std::string request = build_request(options, &error);
+  if (request.empty() && !error.empty()) {
+    std::cerr << "chop_submit: " << error << "\n";
+    return 1;
+  }
+
+  chop::serve::UdsClient client(options.socket_path);
+  if (!client.connect(&error)) {
+    std::cerr << "chop_submit: connect " << options.socket_path << ": "
+              << error << "\n";
+    return 1;
+  }
+
+  std::string response;
+  if (!client.request(request, &response, &error)) {
+    std::cerr << "chop_submit: " << error << "\n";
+    return 1;
+  }
+  int status = report(response);
+
+  // --wait on submit: block on the result of the job we just queued.
+  if (status == 0 && !options.spec_path.empty() && options.wait) {
+    chop::serve::JsonValue parsed = chop::serve::JsonValue::parse(response);
+    const chop::serve::JsonValue* id = parsed.find("id");
+    if (id != nullptr && id->is_string()) {
+      chop::serve::JsonValue fetch;
+      fetch.set("op", chop::serve::JsonValue(std::string("result")));
+      fetch.set("id", chop::serve::JsonValue(id->as_string()));
+      fetch.set("wait", chop::serve::JsonValue(true));
+      if (!client.request(fetch.dump(), &response, &error)) {
+        std::cerr << "chop_submit: " << error << "\n";
+        return 1;
+      }
+      status = report(response);
+    }
+  }
+  return status;
+}
+
+#endif  // CHOP_SERVE_HAVE_UDS

@@ -1,0 +1,164 @@
+// chopd — the CHOP partitioning daemon. Hosts a ChopServer (worker pool,
+// bounded priority queue, shared cross-request evaluation cache) behind
+// one of two NDJSON transports:
+//
+//   chopd --pipe                 requests on stdin, responses on stdout;
+//                                EOF = graceful drain and exit
+//   chopd --socket=<path>        Unix-domain socket; many concurrent
+//                                clients; a {"op":"shutdown"} request
+//                                drains and exits
+//
+// Options:
+//   --workers=N          worker threads (default 2)
+//   --queue-cap=N        queued-job bound; beyond it submissions are
+//                        rejected with "overload" (default 64)
+//   --no-shared-cache    disable cross-request evaluator sharing
+//   --trace=<file>       Chrome trace-event JSON of the daemon's spans
+//   --metrics=<file>     end-of-run metrics snapshot (serve.* et al.)
+//
+// Exit status: 0 after a clean drain (EOF or shutdown request), 1 on
+// usage or socket errors.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/uds.hpp"
+
+namespace {
+
+struct DaemonOptions {
+  bool pipe = false;
+  std::string socket_path;
+  chop::serve::ServerOptions server;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+int usage() {
+  std::cerr
+      << "usage: chopd (--pipe | --socket=<path>) [--workers=N]\n"
+         "             [--queue-cap=N] [--no-shared-cache] [--trace=<file>]\n"
+         "             [--metrics=<file>]\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, DaemonOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--pipe") {
+        options.pipe = true;
+      } else if (arg.rfind("--socket=", 0) == 0) {
+        options.socket_path = arg.substr(9);
+      } else if (arg.rfind("--workers=", 0) == 0) {
+        options.server.workers = std::stoi(arg.substr(10));
+      } else if (arg.rfind("--queue-cap=", 0) == 0) {
+        options.server.queue_capacity =
+            static_cast<std::size_t>(std::stoul(arg.substr(12)));
+      } else if (arg == "--no-shared-cache") {
+        options.server.share_evaluators = false;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        options.trace_path = arg.substr(8);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        options.metrics_path = arg.substr(10);
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value in argument: " << arg << "\n";
+      return false;
+    }
+  }
+  if (options.pipe == !options.socket_path.empty()) {
+    std::cerr << "exactly one of --pipe or --socket=<path> is required\n";
+    return false;
+  }
+  if (options.server.workers < 1 || options.server.workers > 256) {
+    std::cerr << "--workers out of range [1,256]\n";
+    return false;
+  }
+  return true;
+}
+
+/// Finalizes the observability outputs on every exit path (mirrors
+/// chop_cli): uninstall + flush the trace sink, dump the metrics snapshot.
+struct ObsFinalizer {
+  const DaemonOptions* options = nullptr;
+  std::unique_ptr<chop::obs::ChromeTraceSink> trace_sink;
+
+  ~ObsFinalizer() {
+    if (trace_sink) {
+      chop::obs::install_trace_sink(nullptr);
+      trace_sink->flush();
+      std::cerr << "chopd: wrote " << options->trace_path << "\n";
+    }
+    if (!options->metrics_path.empty()) {
+      std::ofstream os(options->metrics_path);
+      if (os.good()) {
+        os << chop::obs::MetricsRegistry::global().snapshot().to_json()
+           << "\n";
+        std::cerr << "chopd: wrote " << options->metrics_path << "\n";
+      } else {
+        std::cerr << "chopd: error: cannot open metrics output: "
+                  << options->metrics_path << "\n";
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  std::ofstream trace_stream;  // must outlive the sink writing to it
+  ObsFinalizer obs_finalizer;
+  obs_finalizer.options = &options;
+  if (!options.trace_path.empty()) {
+    trace_stream.open(options.trace_path);
+    if (!trace_stream.good()) {
+      std::cerr << "chopd: error: cannot open trace output: "
+                << options.trace_path << "\n";
+      return 1;
+    }
+    obs_finalizer.trace_sink =
+        std::make_unique<chop::obs::ChromeTraceSink>(trace_stream);
+    chop::obs::install_trace_sink(obs_finalizer.trace_sink.get());
+  }
+
+  chop::serve::ChopServer server(options.server);
+
+  if (options.pipe) {
+    const std::size_t handled =
+        chop::serve::run_pipe_service(server, std::cin, std::cout);
+    std::cerr << "chopd: drained after " << handled << " request(s)\n";
+    return 0;
+  }
+
+#if CHOP_SERVE_HAVE_UDS
+  chop::serve::UdsServer uds(server, options.socket_path);
+  std::string error;
+  if (!uds.start(&error)) {
+    std::cerr << "chopd: cannot listen on " << options.socket_path << ": "
+              << error << "\n";
+    return 1;
+  }
+  std::cerr << "chopd: listening on " << options.socket_path << "\n";
+  uds.wait_for_shutdown_request();
+  const bool drain = uds.drain();
+  server.shutdown(drain);
+  uds.stop();
+  std::cerr << "chopd: " << (drain ? "drained" : "aborted") << " and exiting\n";
+  return 0;
+#else
+  std::cerr << "chopd: --socket is unsupported on this platform; use --pipe\n";
+  return 1;
+#endif
+}

@@ -1,0 +1,49 @@
+# Smoke test for chopd --pipe: submit both shipped sample projects over
+# the NDJSON pipe transport plus a third job that is deliberately
+# cancelled while queued, block on the results, poll stats, then let EOF
+# trigger the graceful drain. Run via:
+#   cmake -DCHOPD=<chopd> -DSPEC_DIR=<specs> -P serve_pipe_smoke.cmake
+if(NOT DEFINED CHOPD OR NOT DEFINED SPEC_DIR)
+  message(FATAL_ERROR "CHOPD and SPEC_DIR must be defined")
+endif()
+
+# One worker so the third submit is still queued behind fir4/diffeq when
+# the cancel line (processed microseconds later) lands.
+set(input "serve_pipe_smoke_input.ndjson")
+file(WRITE ${input} "")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"fir4\",\"spec_path\":\"${SPEC_DIR}/fir4.chop\",\"heuristic\":\"E\"}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"diffeq\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\"}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"victim\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\"}\n")
+file(APPEND ${input} "{\"op\":\"cancel\",\"id\":\"victim\"}\n")
+file(APPEND ${input} "{\"op\":\"result\",\"id\":\"fir4\",\"wait\":true}\n")
+file(APPEND ${input} "{\"op\":\"result\",\"id\":\"diffeq\",\"wait\":true}\n")
+file(APPEND ${input} "{\"op\":\"result\",\"id\":\"victim\",\"wait\":true}\n")
+file(APPEND ${input} "{\"op\":\"stats\"}\n")
+
+execute_process(
+  COMMAND ${CHOPD} --pipe --workers=1
+  INPUT_FILE ${input}
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chopd --pipe exited with ${rc}:\n${out}")
+endif()
+
+foreach(needle
+    "\"op\":\"result\",\"id\":\"fir4\",\"state\":\"done\""
+    "\"op\":\"result\",\"id\":\"diffeq\",\"state\":\"done\""
+    "\"op\":\"cancel\",\"id\":\"victim\",\"outcome\":\"cancelled_queued\""
+    "\"op\":\"result\",\"id\":\"victim\",\"state\":\"cancelled\""
+    "\"op\":\"stats\"")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in chopd output:\n${out}")
+  endif()
+endforeach()
+
+string(FIND "${out}" "\"ok\":false" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "unexpected error response in chopd output:\n${out}")
+endif()
+message(STATUS "serve_pipe_smoke: OK")
