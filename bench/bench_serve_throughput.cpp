@@ -7,15 +7,21 @@
 // throughput instead of recomputing identical schedules.
 //
 // Writes bench_serve_throughput.metrics.json (ScopedMetricsDump) with the
-// serve.* counter/histogram evidence next to the printed numbers.
+// serve.* counter/histogram evidence next to the printed numbers, and
+// merges one scoreboard entry per configuration into BENCH_serve.json:
+// jobs/sec, queue-wait and end-to-end p50/p99/p99.9 (from the same
+// deterministic quantile sketch the daemon's histograms use), and the
+// summed search-phase attribution of the last batch.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "dfg/benchmarks.hpp"
+#include "obs/quantile.hpp"
 #include "serve/server.hpp"
 
 namespace chop::bench {
@@ -65,8 +71,14 @@ void BM_ServeThroughput(benchmark::State& state) {
 
   std::vector<double> queue_wait_ms;
   std::vector<double> e2e_ms;
+  obs::QuantileSketch queue_wait_sketch;
+  obs::QuantileSketch e2e_sketch;
+  obs::PhaseProfileData last_profile;
   std::uint64_t cache_hits = 0;
+  double batch_ms = 0.0;
+  std::uint64_t batch_jobs = 0;
   for (auto _ : state) {
+    Timer batch_timer;
     serve::ServerOptions options;
     options.workers = workers;
     options.queue_capacity = kJobs;
@@ -85,9 +97,14 @@ void BM_ServeThroughput(benchmark::State& state) {
       }
       queue_wait_ms.push_back(view.queue_wait_ms);
       e2e_ms.push_back(view.queue_wait_ms + view.run_ms);
+      queue_wait_sketch.add(view.queue_wait_ms);
+      e2e_sketch.add(view.queue_wait_ms + view.run_ms);
     }
     cache_hits = server.stats().eval_cache.hits;
+    last_profile = server.total_profile();
     server.shutdown(true);
+    batch_ms += batch_timer.elapsed_ms();
+    batch_jobs += kJobs;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           kJobs);
@@ -100,8 +117,32 @@ void BM_ServeThroughput(benchmark::State& state) {
       benchmark::Counter(percentile(queue_wait_ms, 0.95));
   state.counters["e2e_p50_ms"] = benchmark::Counter(percentile(e2e_ms, 0.50));
   state.counters["e2e_p95_ms"] = benchmark::Counter(percentile(e2e_ms, 0.95));
+  state.counters["e2e_p99_ms"] = benchmark::Counter(e2e_sketch.quantile(0.99));
   state.counters["cache_hits_last_batch"] =
       benchmark::Counter(static_cast<double>(cache_hits));
+
+  // Scoreboard entry: one BENCH_serve.json key per configuration, so
+  // successive runs build a throughput/latency trajectory per config.
+  const double jobs_per_sec =
+      batch_ms > 0.0 ? static_cast<double>(batch_jobs) / (batch_ms / 1000.0)
+                     : 0.0;
+  std::ostringstream json;
+  json << "{\n    \"workers\": " << workers
+       << ", \"shared_cache\": " << (share ? "true" : "false")
+       << ", \"jobs\": " << batch_jobs
+       << ",\n    \"jobs_per_sec\": " << jobs_per_sec
+       << ",\n    \"queue_wait_ms\": {\"p50\": "
+       << queue_wait_sketch.quantile(0.50)
+       << ", \"p99\": " << queue_wait_sketch.quantile(0.99)
+       << ", \"p999\": " << queue_wait_sketch.quantile(0.999) << "}"
+       << ",\n    \"e2e_ms\": {\"p50\": " << e2e_sketch.quantile(0.50)
+       << ", \"p99\": " << e2e_sketch.quantile(0.99)
+       << ", \"p999\": " << e2e_sketch.quantile(0.999) << "}"
+       << ",\n    \"cache_hits_last_batch\": " << cache_hits
+       << ",\n    \"profile\": " << last_profile.to_json() << "\n  }";
+  update_bench_search_json("serve_w" + std::to_string(workers) +
+                               (share ? "_shared" : "_cold"),
+                           json.str(), "BENCH_serve.json");
 }
 BENCHMARK(BM_ServeThroughput)
     ->ArgsProduct({{1, 4, 8}, {0, 1}})

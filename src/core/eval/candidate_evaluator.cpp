@@ -2,8 +2,33 @@
 
 #include "core/eval/fingerprint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_profile.hpp"
 
 namespace chop::core {
+
+namespace {
+
+/// lock_guard that attributes time blocked on the mutex to kCacheWait
+/// when profiling is on (uncontended acquisition rounds to ~0ns).
+class TimedLockGuard {
+ public:
+  TimedLockGuard(std::mutex& mu, obs::PhaseProfile* profile) : mu_(mu) {
+    if (profile != nullptr) {
+      obs::ScopedPhase wait(profile, obs::SearchPhase::kCacheWait);
+      mu_.lock();
+    } else {
+      mu_.lock();
+    }
+  }
+  TimedLockGuard(const TimedLockGuard&) = delete;
+  TimedLockGuard& operator=(const TimedLockGuard&) = delete;
+  ~TimedLockGuard() { mu_.unlock(); }
+
+ private:
+  std::mutex& mu_;
+};
+
+}  // namespace
 
 std::size_t CandidateEvaluator::KeyHash::operator()(const Key& k) const {
   Fnv1a h;
@@ -25,7 +50,7 @@ CandidateEvaluator::CandidateEvaluator(std::size_t max_entries)
 std::shared_ptr<const IntegrationResult> CandidateEvaluator::evaluate(
     const EvalContext& ctx,
     const std::vector<const bad::DesignPrediction*>& selection,
-    Cycles ii_main) {
+    Cycles ii_main, obs::PhaseProfile* profile) {
   Key key;
   key.context_fp = ctx.fingerprint();
   key.ii = ii_main;
@@ -37,7 +62,7 @@ std::shared_ptr<const IntegrationResult> CandidateEvaluator::evaluate(
 
   Shard& shard = shards_[KeyHash{}(key) % kShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    TimedLockGuard lock(shard.mu, profile);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       ++shard.hits;
@@ -54,7 +79,7 @@ std::shared_ptr<const IntegrationResult> CandidateEvaluator::evaluate(
       std::make_shared<const IntegrationResult>(integrate(ctx, selection,
                                                           ii_main));
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  TimedLockGuard lock(shard.mu, profile);
   const auto [it, inserted] = shard.map.emplace(key, result);
   if (!inserted) return it->second;  // a concurrent miss beat us to it
   shard.fifo.push_back(std::move(key));

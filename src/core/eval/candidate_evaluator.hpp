@@ -37,6 +37,7 @@
 
 namespace chop::obs {
 class Counter;
+class PhaseProfile;
 }
 
 namespace chop::core {
@@ -58,10 +59,12 @@ class CandidateEvaluator {
   /// result when this exact candidate was evaluated before. The returned
   /// pointer is never null and stays valid after eviction (shared
   /// ownership). Safe to call from multiple threads concurrently.
+  /// When `profile` is non-null, time spent blocked on a shard lock is
+  /// attributed to SearchPhase::kCacheWait (contention diagnostics).
   std::shared_ptr<const IntegrationResult> evaluate(
       const EvalContext& ctx,
       const std::vector<const bad::DesignPrediction*>& selection,
-      Cycles ii_main);
+      Cycles ii_main, obs::PhaseProfile* profile = nullptr);
 
   struct Stats {
     std::uint64_t hits = 0;

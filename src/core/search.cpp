@@ -325,14 +325,18 @@ void decode_unit(const std::vector<std::vector<bad::DesignPrediction>>& lists,
   }
 }
 
-/// Evaluates the current selection into a buffered record.
+/// Evaluates the current selection into a buffered record. Attributed to
+/// the leaf_eval phase when profiling (cache-wait time inside the
+/// evaluator is additionally broken out as cache_wait).
 TrialRecord evaluate_leaf(
     const EvalContext& ctx,
     const std::vector<const bad::DesignPrediction*>& selection,
-    const std::vector<std::size_t>& digits, CandidateEvaluator& evaluator) {
+    const std::vector<std::size_t>& digits, CandidateEvaluator& evaluator,
+    obs::PhaseProfile* profile) {
+  obs::ScopedPhase phase(profile, obs::SearchPhase::kLeafEval);
   const Cycles ii = combination_ii(selection);
   std::shared_ptr<const IntegrationResult> result =
-      evaluator.evaluate(ctx, selection, ii);
+      evaluator.evaluate(ctx, selection, ii, profile);
 
   TrialRecord record;
   record.point = make_point(selection, *result);
@@ -369,7 +373,8 @@ UnitOutcome run_unit_unbounded(
     const EvalContext& ctx,
     const std::vector<std::vector<bad::DesignPrediction>>& lists,
     const UnitPlan& plan, std::size_t u, std::size_t limit,
-    const CancelState& cancel, CandidateEvaluator& evaluator) {
+    const CancelState& cancel, CandidateEvaluator& evaluator,
+    obs::PhaseProfile* profile) {
   UnitOutcome out;
   const std::size_t start = sat_mul(u, plan.leaves_per_unit);
   if (start >= limit) return out;
@@ -388,7 +393,8 @@ UnitOutcome run_unit_unbounded(
       out.cancelled = true;
       return out;
     }
-    out.records.push_back(evaluate_leaf(ctx, selection, digits, evaluator));
+    out.records.push_back(
+        evaluate_leaf(ctx, selection, digits, evaluator, profile));
     for (std::size_t p = 0; p < plan.inner_count; ++p) {
       if (++digits[p] < lists[p].size()) {
         selection[p] = &lists[p][digits[p]];
@@ -412,7 +418,7 @@ class BoundedWalker {
                 const UnitPlan& plan, const BoundTables& tables,
                 const ParetoFrontier& seed, std::size_t record_cap,
                 const std::atomic<bool>* stop, const CancelState& cancel,
-                CandidateEvaluator& evaluator)
+                CandidateEvaluator& evaluator, obs::PhaseProfile* profile)
       : ctx_(ctx),
         lists_(lists),
         plan_(plan),
@@ -421,6 +427,7 @@ class BoundedWalker {
         stop_(stop),
         cancel_(cancel),
         evaluator_(evaluator),
+        profile_(profile),
         frontier_(seed),
         prefix_(ctx.partitioning().chips().size()),
         digits_(lists.size(), 0),
@@ -484,7 +491,8 @@ class BoundedWalker {
       stopped_ = true;
       return;
     }
-    TrialRecord record = evaluate_leaf(ctx_, selection_, digits_, evaluator_);
+    TrialRecord record =
+        evaluate_leaf(ctx_, selection_, digits_, evaluator_, profile_);
     if (record.feasible) {
       frontier_.insert(record.ii_main, record.delay_main);
     }
@@ -503,6 +511,7 @@ class BoundedWalker {
   const std::atomic<bool>* stop_;
   const CancelState& cancel_;
   CandidateEvaluator& evaluator_;
+  obs::PhaseProfile* profile_;
   ParetoFrontier frontier_;
   PrefixState prefix_;
   std::vector<std::size_t> digits_;
@@ -537,7 +546,8 @@ ParetoFrontier seed_frontier(
     const EvalContext& ctx,
     const std::vector<std::vector<bad::DesignPrediction>>& lists,
     CandidateEvaluator& evaluator, SearchResult& out,
-    obs::Counter& probe_counter) {
+    obs::Counter& probe_counter, obs::PhaseProfile* profile) {
+  obs::ScopedPhase phase(profile, obs::SearchPhase::kSeedProbes);
   ParetoFrontier seed;
   const std::size_t nparts = lists.size();
   if (nparts == 0) return seed;
@@ -562,7 +572,7 @@ ParetoFrontier seed_frontier(
     ++out.probe_integrations;
     probe_counter.add();
     const std::shared_ptr<const IntegrationResult> result =
-        evaluator.evaluate(ctx, s, combination_ii(s));
+        evaluator.evaluate(ctx, s, combination_ii(s), profile);
     if (result->feasible) {
       seed.insert(result->ii_main, result->system_delay_main);
     }
@@ -622,12 +632,16 @@ SearchResult search_enumeration(const EvalContext& ctx,
   const bool bounded = options.bound_pruning && bound_pruning_env_enabled();
   const UnitPlan plan = plan_units(space);
 
+  obs::PhaseProfile* profile = options.profile;
   std::unique_ptr<BoundTables> tables;
   ParetoFrontier seed;
   if (bounded) {
     obs::TraceSpan tables_span("search.bound_tables");
-    tables = std::make_unique<BoundTables>(ctx, lists);
-    seed = seed_frontier(ctx, lists, evaluator, out, probe_counter);
+    {
+      obs::ScopedPhase phase(profile, obs::SearchPhase::kBoundTables);
+      tables = std::make_unique<BoundTables>(ctx, lists);
+    }
+    seed = seed_frontier(ctx, lists, evaluator, out, probe_counter, profile);
     tables_span.arg("partitions", lists.size());
     tables_span.arg("units", plan.unit_count);
     tables_span.arg("seed_points", seed.size());
@@ -653,10 +667,11 @@ SearchResult search_enumeration(const EvalContext& ctx,
   const auto run_unit = [&](std::size_t u) -> UnitOutcome {
     if (bounded) {
       return BoundedWalker(ctx, lists, plan, *tables, seed, record_cap, &stop,
-                           cancel, evaluator)
+                           cancel, evaluator, profile)
           .run(u);
     }
-    return run_unit_unbounded(ctx, lists, plan, u, limit, cancel, evaluator);
+    return run_unit_unbounded(ctx, lists, plan, u, limit, cancel, evaluator,
+                              profile);
   };
 
   // In-order merge state. `reached_cap`/`more_after_cap` are computed only
@@ -669,6 +684,7 @@ SearchResult search_enumeration(const EvalContext& ctx,
   bool cancel_hit = false;
   const std::size_t unit_count = plan.unit_count;
   const auto consume = [&](std::size_t u, UnitOutcome&& unit) {
+    obs::ScopedPhase phase(profile, obs::SearchPhase::kMerge);
     out.pruned_subtrees = sat_add(out.pruned_subtrees, unit.pruned_subtrees);
     out.bound_skipped_leaves =
         sat_add(out.bound_skipped_leaves, unit.skipped_leaves);
@@ -708,6 +724,9 @@ SearchResult search_enumeration(const EvalContext& ctx,
     ThreadPool pool(
         std::min<int>(options.threads, static_cast<int>(task_count)));
 
+    // Pool threads have no ambient trace context; hand them this span's
+    // so chunk spans join the job's trace tree instead of floating free.
+    const obs::TraceContext chunk_ctx = span.context();
     std::vector<std::vector<UnitOutcome>> task_outcomes(task_count);
     std::vector<std::future<void>> done;
     done.reserve(task_count);
@@ -715,6 +734,7 @@ SearchResult search_enumeration(const EvalContext& ctx,
       const std::size_t first = std::min(unit_count, t * task_size);
       const std::size_t last = std::min(unit_count, first + task_size);
       done.push_back(pool.submit([&, t, first, last] {
+        obs::TraceContextScope ctx_scope(chunk_ctx);
         obs::TraceSpan task_span("search.parallel.chunk");
         task_span.arg("chunk", t);
         task_span.arg("units", last - first);
@@ -820,12 +840,13 @@ SearchResult search_iterative(const EvalContext& ctx,
   static obs::Counter& probe_counter =
       obs::MetricsRegistry::global().counter("search.probe_integrations");
 
+  obs::PhaseProfile* profile = options.profile;
   auto integrate_at = [&](const std::vector<std::size_t>& w) {
     for (std::size_t p = 0; p < lists.size(); ++p) {
       selection[p] = lists[p][w[p]];
     }
     const Cycles ii = combination_ii(selection);
-    return evaluator.evaluate(ctx, selection, ii);
+    return evaluator.evaluate(ctx, selection, ii, profile);
   };
 
   for (Cycles l : candidate_iis) {
@@ -865,7 +886,11 @@ SearchResult search_iterative(const EvalContext& ctx,
         break;
       }
       ++out.trials;
-      const std::shared_ptr<const IntegrationResult> result = integrate_at(w);
+      std::shared_ptr<const IntegrationResult> result;
+      {
+        obs::ScopedPhase phase(profile, obs::SearchPhase::kLeafEval);
+        result = integrate_at(w);
+      }
       if (options.record_all) {
         out.recorder.record(make_point(selection, *result));
       }
@@ -906,8 +931,13 @@ SearchResult search_iterative(const EvalContext& ctx,
         probe[p] = next;
         ++out.probe_integrations;
         probe_counter.add();
-        const std::shared_ptr<const IntegrationResult> probed =
-            integrate_at(probe);
+        std::shared_ptr<const IntegrationResult> probed;
+        {
+          // The Figure-5 urgency probes are the iterative heuristic's
+          // analogue of the enumerator's seed probes.
+          obs::ScopedPhase phase2(profile, obs::SearchPhase::kSeedProbes);
+          probed = integrate_at(probe);
+        }
         const Cycles delay = probed->system_delay_main > 0
                                  ? probed->system_delay_main
                                  : std::numeric_limits<Cycles>::max() / 2;
@@ -933,8 +963,13 @@ SearchResult find_feasible_implementations(const EvalContext& ctx,
                                            const PartitionPredictions& pred,
                                            const SearchOptions& options) {
   const bool enumeration = options.heuristic == Heuristic::Enumeration;
+  // An explicit trace context (serve hands the job's) makes this search's
+  // spans — including pool-thread chunks — one connected tree; inactive
+  // contexts inherit whatever the calling thread already runs under.
+  obs::TraceContextScope trace_scope(options.trace);
   obs::TraceSpan span(enumeration ? "search.enumeration" : "search.iterative");
   CHOP_REQUIRE(options.threads >= 1, "search needs at least one thread");
+  if (options.profile != nullptr) options.profile->add_search();
 
   // A caller-provided evaluator carries its memo across searches (the
   // session/auto-partition/clock-sweep reuse cases); otherwise a private

@@ -34,6 +34,8 @@
 #include "core/integration.hpp"
 #include "core/recorder.hpp"
 #include "obs/observer.hpp"
+#include "obs/phase_profile.hpp"
+#include "obs/trace.hpp"
 
 namespace chop::core {
 
@@ -93,6 +95,16 @@ struct SearchOptions {
   /// `true` here only when set to a disabling value). The iterative
   /// heuristic ignores this.
   bool bound_pruning = true;
+  /// Distributed-tracing context to run under: every span the search
+  /// emits (including spans on pool worker threads) joins this trace as
+  /// one connected tree. Inactive (the default) inherits whatever
+  /// context the calling thread already has — serve installs the job's
+  /// context around the whole search instead of setting this.
+  obs::TraceContext trace{};
+  /// Per-phase wall-clock attribution (bound tables, seed probes, leaf
+  /// evals, merge, cache wait). Not owned; null (the default) disables
+  /// the phase timers entirely — not even a clock read on the hot path.
+  obs::PhaseProfile* profile = nullptr;
 };
 
 /// Per-partition prediction lists: BAD's raw output and the level-1-pruned

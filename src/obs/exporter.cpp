@@ -1,0 +1,99 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace chop::obs {
+
+namespace {
+
+std::uint64_t wall_clock_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SnapshotExporter::SnapshotExporter(ExporterOptions options)
+    : options_(std::move(options)) {}
+
+SnapshotExporter::~SnapshotExporter() { stop(); }
+
+bool SnapshotExporter::start(std::string* error) {
+  if (started_) return true;
+  if (!options_.jsonl_path.empty()) {
+    jsonl_.open(options_.jsonl_path, std::ios::app);
+    if (!jsonl_.good()) {
+      if (error) *error = "cannot open " + options_.jsonl_path;
+      return false;
+    }
+  }
+  if (!options_.prom_path.empty()) {
+    // Probe writability up front so chopd fails fast on a bad path.
+    std::ofstream probe(options_.prom_path, std::ios::app);
+    if (!probe.good()) {
+      if (error) *error = "cannot open " + options_.prom_path;
+      return false;
+    }
+  }
+  started_ = true;
+  if (options_.jsonl_path.empty() && options_.prom_path.empty()) {
+    return true;  // nothing to export; skip the thread
+  }
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void SnapshotExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (started_) tick();  // final snapshot so the files reflect exit state
+}
+
+void SnapshotExporter::flush_now() {
+  if (started_) tick();
+}
+
+void SnapshotExporter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void SnapshotExporter::tick() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  if (jsonl_.is_open()) {
+    jsonl_ << "{\"ts_ms\":" << wall_clock_ms()
+           << ",\"metrics\":" << snap.to_json() << "}\n";
+    jsonl_.flush();
+  }
+  if (!options_.prom_path.empty()) {
+    // Write-then-rename so scrapers never observe a torn file.
+    const std::string tmp = options_.prom_path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os.good()) return;
+      os << to_prometheus(snap, options_.prom_prefix);
+    }
+    std::rename(tmp.c_str(), options_.prom_path.c_str());
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace chop::obs

@@ -1,0 +1,68 @@
+// Periodic metrics exporter: a background thread that, every interval,
+// snapshots the global MetricsRegistry and
+//   * appends `{"ts_ms":<wall-clock ms>,"metrics":{...}}` to a JSONL
+//     time-series file (greppable history, one line per tick), and/or
+//   * atomically rewrites a Prometheus text exposition file (point-in-
+//     time scrape target for node-exporter-style file collection).
+//
+// flush_now() runs one tick synchronously from any thread — chopd's
+// SIGUSR1 watcher and shutdown paths call it so the files are current
+// even when the daemon dies between intervals.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace chop::obs {
+
+struct ExporterOptions {
+  std::string jsonl_path;  ///< Empty disables the JSONL series.
+  std::string prom_path;   ///< Empty disables the Prometheus file.
+  std::chrono::milliseconds interval{1000};
+  std::string prom_prefix = "chop";
+};
+
+class SnapshotExporter {
+ public:
+  explicit SnapshotExporter(ExporterOptions options);
+  ~SnapshotExporter();
+
+  /// Opens the output files and spawns the ticker thread. False (with
+  /// `error` set) when a file cannot be opened; the exporter is then
+  /// inert. Safe to call with both paths empty (no-op exporter).
+  bool start(std::string* error);
+
+  /// Final tick, then joins the thread. Idempotent.
+  void stop();
+
+  /// One synchronous snapshot+write, callable from any thread.
+  void flush_now();
+
+  /// Ticks completed so far (tests and the SIGUSR1 log line).
+  std::uint64_t ticks() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void tick();
+
+  ExporterOptions options_;
+  std::ofstream jsonl_;
+  bool started_ = false;
+
+  std::mutex tick_mu_;  ///< Serializes tick() between thread and flush_now.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::thread thread_;
+};
+
+}  // namespace chop::obs

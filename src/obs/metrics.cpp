@@ -22,29 +22,13 @@ std::string fmt(double v) {
 
 // --- Histogram -------------------------------------------------------------
 
-std::size_t Histogram::bucket_of(double v) {
-  if (!(v > 0.0)) return 0;  // non-positive (and NaN) samples
-  // Bucket 1 covers [2^-16, 2^-15), bucket 63 is the overflow catch-all.
-  const int e = std::ilogb(v);
-  const int idx = e + 17;
-  return static_cast<std::size_t>(std::clamp(idx, 1, 63));
-}
-
-double Histogram::bucket_lower(std::size_t b) {
-  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 17);
-}
-
-double Histogram::bucket_upper(std::size_t b) {
-  return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 16);
-}
-
 void Histogram::observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
   ++count_;
   sum_ += v;
   min_ = std::min(min_, v);
   max_ = std::max(max_, v);
-  ++buckets_[bucket_of(v)];
+  sketch_.add(v);
 }
 
 std::uint64_t Histogram::count() const {
@@ -78,26 +62,31 @@ double Histogram::quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   if (q <= 0.0) return min_;  // exact at the extremes
   if (q >= 1.0) return max_;
-  const double target = q * static_cast<double>(count_);
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    const std::uint64_t next = seen + buckets_[b];
-    if (static_cast<double>(next) >= target) {
-      // Linear interpolation inside the bucket, clamped to the exact
-      // observed range so q=0 / q=1 return min / max.
-      const double frac =
-          buckets_[b] == 0
-              ? 0.0
-              : (target - static_cast<double>(seen)) /
-                    static_cast<double>(buckets_[b]);
-      const double lo = bucket_lower(b);
-      const double hi = bucket_upper(b);
-      return std::clamp(lo + frac * (hi - lo), min_, max_);
-    }
-    seen = next;
+  // NaN samples are counted in count_/sum_ but skipped by the sketch;
+  // clamp to the exact observed range regardless.
+  return std::clamp(sketch_.quantile(q), min_, max_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Copy under the source lock first so self-merge or concurrent
+  // observes cannot deadlock or tear.
+  std::uint64_t ocount;
+  double osum, omin, omax;
+  QuantileSketch osketch;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    ocount = other.count_;
+    osum = other.sum_;
+    omin = other.min_;
+    omax = other.max_;
+    osketch = other.sketch_;
   }
-  return max_;
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += ocount;
+  sum_ += osum;
+  min_ = std::min(min_, omin);
+  max_ = std::max(max_, omax);
+  sketch_.merge(osketch);
 }
 
 void Histogram::reset() {
@@ -106,7 +95,7 @@ void Histogram::reset() {
   sum_ = 0.0;
   min_ = std::numeric_limits<double>::infinity();
   max_ = -std::numeric_limits<double>::infinity();
-  buckets_.fill(0);
+  sketch_.reset();
 }
 
 // --- MetricsSnapshot -------------------------------------------------------
@@ -135,7 +124,8 @@ std::string MetricsSnapshot::to_json() const {
            std::to_string(h.count) + ",\"sum\":" + fmt(h.sum) +
            ",\"min\":" + fmt(h.min) + ",\"max\":" + fmt(h.max) +
            ",\"mean\":" + fmt(h.mean) + ",\"p50\":" + fmt(h.p50) +
-           ",\"p90\":" + fmt(h.p90) + ",\"p99\":" + fmt(h.p99) + "}";
+           ",\"p90\":" + fmt(h.p90) + ",\"p95\":" + fmt(h.p95) +
+           ",\"p99\":" + fmt(h.p99) + ",\"p999\":" + fmt(h.p999) + "}";
   }
   out += "}}";
   return out;
@@ -147,19 +137,22 @@ namespace {
 template <typename RowFn>
 void for_each_row(const MetricsSnapshot& snap, RowFn&& row) {
   for (const auto& [name, value] : snap.counters) {
-    row(name, "counter", std::to_string(value), "", "", "", "", "", "", "");
+    row(name, "counter", std::to_string(value), "", "", "", "", "", "", "", "",
+        "");
   }
   for (const auto& [name, value] : snap.gauges) {
-    row(name, "gauge", fmt(value), "", "", "", "", "", "", "");
+    row(name, "gauge", fmt(value), "", "", "", "", "", "", "", "", "");
   }
   for (const auto& [name, h] : snap.histograms) {
     row(name, "histogram", std::to_string(h.count), fmt(h.sum), fmt(h.min),
-        fmt(h.max), fmt(h.mean), fmt(h.p50), fmt(h.p90), fmt(h.p99));
+        fmt(h.max), fmt(h.mean), fmt(h.p50), fmt(h.p90), fmt(h.p95),
+        fmt(h.p99), fmt(h.p999));
   }
 }
 
 const std::vector<std::string> kMetricColumns = {
-    "name", "kind", "value", "sum", "min", "max", "mean", "p50", "p90", "p99"};
+    "name", "kind", "value", "sum",  "min", "max",
+    "mean", "p50",  "p90",   "p95", "p99", "p999"};
 
 }  // namespace
 
@@ -232,7 +225,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       s.mean = h->mean();
       s.p50 = h->quantile(0.50);
       s.p90 = h->quantile(0.90);
+      s.p95 = h->quantile(0.95);
       s.p99 = h->quantile(0.99);
+      s.p999 = h->quantile(0.999);
     }
     snap.histograms[name] = s;
   }

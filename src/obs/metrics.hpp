@@ -13,7 +13,6 @@
 // only one relaxed atomic add per event afterwards.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -23,6 +22,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/quantile.hpp"
 #include "util/csv.hpp"
 
 namespace chop::obs {
@@ -49,14 +49,12 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Distribution of observed samples: exact count/sum/min/max plus
-/// power-of-two buckets for quantile estimates (log-bucketed like
-/// HdrHistogram, bucket b covers [2^(b-17), 2^(b-16)) with bucket 0
-/// catching non-positive samples).
+/// Distribution of observed samples: exact count/sum/min/max plus a
+/// mergeable deterministic quantile sketch (obs/quantile.hpp) for
+/// rank-accurate p50/p95/p99/p99.9 estimates — the log2 buckets this
+/// replaced could not resolve tail latencies within a bucket.
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
-
   void observe(double v);
 
   std::uint64_t count() const;
@@ -65,23 +63,23 @@ class Histogram {
   double max() const;  ///< -inf when empty.
   double mean() const; ///< 0 when empty.
 
-  /// Bucket-interpolated quantile estimate, q in [0,1]; exact at the
-  /// extremes (clamped to the observed min/max). 0 when empty.
+  /// Sketch-backed quantile estimate, q in [0,1]; exact at the extremes
+  /// (clamped to the observed min/max). 0 when empty.
   double quantile(double q) const;
+
+  /// Folds another histogram's samples into this one (sketch merge plus
+  /// exact count/sum/min/max combination).
+  void merge(const Histogram& other);
 
   void reset();
 
  private:
-  static std::size_t bucket_of(double v);
-  static double bucket_lower(std::size_t b);
-  static double bucket_upper(std::size_t b);
-
   mutable std::mutex mu_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
-  std::array<std::uint64_t, kBuckets> buckets_{};
+  QuantileSketch sketch_;
 };
 
 /// Point-in-time copy of every registered metric, renderable as a table,
@@ -95,7 +93,9 @@ struct MetricsSnapshot {
     double mean = 0.0;
     double p50 = 0.0;
     double p90 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
   };
 
   std::map<std::string, std::uint64_t> counters;
@@ -106,7 +106,7 @@ struct MetricsSnapshot {
   std::string to_json() const;
 
   /// One row per metric: name, kind, value/count, sum, min, max, mean,
-  /// p50, p90, p99 (empty cells where not applicable).
+  /// p50, p90, p95, p99, p999 (empty cells where not applicable).
   CsvWriter to_csv() const;
 
   /// Aligned ASCII table of the same rows.

@@ -1,0 +1,205 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace chop::obs {
+
+namespace {
+
+std::string sanitize(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!out.empty()) out += '_';
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = sanitize(prefix, name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = sanitize(prefix, name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + num(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = sanitize(prefix, name);
+    out += "# TYPE " + n + " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50},   {"0.9", h.p90},   {"0.95", h.p95},
+        {"0.99", h.p99},  {"0.999", h.p999}};
+    for (const auto& [q, v] : quantiles) {
+      out += n + "{quantile=\"" + q + "\"} " + num(v) + "\n";
+    }
+    out += n + "_sum " + num(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+bool parse_prometheus(std::string_view text, std::vector<PromFamily>* out,
+                      std::string* error) {
+  out->clear();
+  PromFamily* orphans = nullptr;  // samples seen before any TYPE line
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Only `# TYPE <name> <type>` is structural; other comments skip.
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      std::string_view rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      if (sp == std::string_view::npos || sp == 0 || sp + 1 >= rest.size()) {
+        if (error) {
+          *error = "line " + std::to_string(lineno) + ": malformed TYPE line";
+        }
+        return false;
+      }
+      PromFamily family;
+      family.name = std::string(rest.substr(0, sp));
+      family.type = std::string(rest.substr(sp + 1));
+      out->push_back(std::move(family));
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    PromSample sample;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    sample.name = std::string(line.substr(0, i));
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        if (error) {
+          *error = "line " + std::to_string(lineno) + ": unterminated labels";
+        }
+        return false;
+      }
+      sample.labels = std::string(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (sample.name.empty() || i >= line.size()) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": malformed sample";
+      }
+      return false;
+    }
+    const std::string value_text(line.substr(i));
+    char* end = nullptr;
+    sample.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": bad sample value '" +
+                 value_text + "'";
+      }
+      return false;
+    }
+
+    // Attach to the most recent family whose name prefixes this sample;
+    // otherwise to the orphan bucket.
+    PromFamily* target = nullptr;
+    if (!out->empty()) {
+      PromFamily& last = out->back();
+      const std::string& f = last.name;
+      if (sample.name == f || sample.name == f + "_sum" ||
+          sample.name == f + "_count") {
+        target = &last;
+      }
+    }
+    if (target == nullptr) {
+      if (orphans == nullptr) {
+        out->emplace_back();  // empty name + type marks the orphan family
+        orphans = &out->back();
+      }
+      // emplace may have reallocated; re-find the orphan family.
+      for (PromFamily& family : *out) {
+        if (family.name.empty() && family.type.empty()) {
+          target = &family;
+          break;
+        }
+      }
+      orphans = target;
+    }
+    target->samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+std::string prometheus_lint(std::string_view text) {
+  std::vector<PromFamily> families;
+  std::string error;
+  if (!parse_prometheus(text, &families, &error)) return "parse: " + error;
+
+  std::set<std::string> names;
+  for (const PromFamily& family : families) {
+    if (family.name.empty() && family.type.empty()) {
+      if (!family.samples.empty()) {
+        return "sample '" + family.samples.front().name +
+               "' has no preceding # TYPE line";
+      }
+      continue;
+    }
+    if (!valid_name(family.name)) {
+      return "invalid family name '" + family.name + "'";
+    }
+    if (!names.insert(family.name).second) {
+      return "duplicate family '" + family.name + "'";
+    }
+    if (family.type != "counter" && family.type != "gauge" &&
+        family.type != "summary" && family.type != "histogram" &&
+        family.type != "untyped") {
+      return "family '" + family.name + "' has unknown type '" + family.type +
+             "'";
+    }
+    for (const PromSample& sample : family.samples) {
+      if (!valid_name(sample.name)) {
+        return "invalid sample name '" + sample.name + "'";
+      }
+    }
+  }
+
+  return "";
+}
+
+}  // namespace chop::obs

@@ -1,0 +1,53 @@
+// Prometheus text exposition (version 0.0.4) rendering of a
+// MetricsSnapshot, plus a parser and a minimal lint used by tests, CI,
+// and `chop_top --lint-prom`.
+//
+// Mapping: chop counters become Prometheus counters (`_total` suffix),
+// gauges become gauges, histograms become summaries with
+// quantile="0.5/0.9/0.95/0.99/0.999" sample lines plus `_sum`/`_count`.
+// Dots in chop metric names become underscores and everything is
+// prefixed (`serve.e2e_ms` -> `chop_serve_e2e_ms`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace chop::obs {
+
+/// Renders the whole snapshot as exposition text (TYPE line per family,
+/// families in name order, trailing newline).
+std::string to_prometheus(const MetricsSnapshot& snap,
+                          std::string_view prefix = "chop");
+
+/// One sample line: `name{labels} value` (labels without braces, may be
+/// empty). `name` includes any `_sum`/`_count`/`_total` suffix.
+struct PromSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+/// One metric family: the `# TYPE` name, its type, and every sample that
+/// belongs to it (by exact name or a `_sum`/`_count` suffix).
+struct PromFamily {
+  std::string name;
+  std::string type;
+  std::vector<PromSample> samples;
+};
+
+/// Parses exposition text. Samples appearing before any `# TYPE` line are
+/// collected under a family with an empty `type` (the lint rejects that).
+/// Returns false and sets `error` on lines that do not scan at all.
+bool parse_prometheus(std::string_view text, std::vector<PromFamily>* out,
+                      std::string* error);
+
+/// Minimal lint: text must parse, every sample must belong to a family
+/// with a `# TYPE` line, family names must not repeat, and names must be
+/// valid Prometheus identifiers. Returns "" on pass, else a description
+/// of the first violation.
+std::string prometheus_lint(std::string_view text);
+
+}  // namespace chop::obs

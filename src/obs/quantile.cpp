@@ -1,0 +1,103 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chop::obs {
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(k < 8 ? 8 : k) {
+  levels_.emplace_back();
+  levels_[0].reserve(k_);
+  keep_odd_.push_back(false);
+}
+
+void QuantileSketch::add(double v) {
+  if (std::isnan(v)) return;  // a NaN sample would poison every sort
+  ++count_;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  levels_[0].push_back(v);
+  if (levels_[0].size() >= k_) compact(0);
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  if (level + 1 >= levels_.size()) {
+    levels_.emplace_back();
+    levels_.back().reserve(k_);
+    keep_odd_.push_back(false);
+  }
+  std::vector<double>& buf = levels_[level];
+  std::sort(buf.begin(), buf.end());
+  std::vector<double>& up = levels_[level + 1];
+  const std::size_t start = keep_odd_[level] ? 1 : 0;
+  for (std::size_t i = start; i < buf.size(); i += 2) up.push_back(buf[i]);
+  keep_odd_[level] = !keep_odd_[level];
+  buf.clear();
+  if (up.size() >= k_) compact(level + 1);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (std::size_t level = 0; level < other.levels_.size(); ++level) {
+    if (other.levels_[level].empty()) continue;
+    while (level >= levels_.size()) {
+      levels_.emplace_back();
+      keep_odd_.push_back(false);
+    }
+    std::vector<double>& dst = levels_[level];
+    dst.insert(dst.end(), other.levels_[level].begin(),
+               other.levels_[level].end());
+    if (dst.size() >= k_) compact(level);
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;  // exact at the extremes
+  if (q >= 1.0) return max_;
+
+  // Gather every retained sample with its level weight, sort by value,
+  // and walk the cumulative weight to the target rank.
+  std::vector<std::pair<double, std::uint64_t>> samples;
+  samples.reserve(retained());
+  std::uint64_t total = 0;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const std::uint64_t w = std::uint64_t{1} << level;
+    for (double v : levels_[level]) {
+      samples.emplace_back(v, w);
+      total += w;
+    }
+  }
+  if (samples.empty()) return min_;
+  std::sort(samples.begin(), samples.end());
+
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (const auto& [v, w] : samples) {
+    seen += w;
+    if (static_cast<double>(seen) >= target) {
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::size_t QuantileSketch::retained() const {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+void QuantileSketch::reset() {
+  count_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  levels_.assign(1, {});
+  levels_[0].reserve(k_);
+  keep_odd_.assign(1, false);
+}
+
+}  // namespace chop::obs

@@ -65,17 +65,77 @@ std::string json_escape(std::string_view s);
 /// Emits an instant event (phase 'i'); no-op without a sink.
 void trace_instant(const char* name, const std::string& args_json = {});
 
+// --- Trace context (per-job distributed tracing) ---------------------------
+//
+// A TraceContext names the request a span belongs to (trace_id, minted
+// once per job at submit) and the span it should parent to (span_id).
+// The current context is thread-local; TraceContextScope carries it into
+// worker threads, and every TraceSpan opened under an active context
+// allocates its own span id, tags its event with
+// `"trace":"<hex>","span":N,"parent":N`, and becomes the parent of spans
+// nested inside it — so one chopd job renders as a single connected tree
+// even though it crosses the client thread, the queue, a worker, and the
+// search thread pool.
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no active trace.
+  std::uint64_t span_id = 0;   ///< Parent span for children; 0 = root.
+  bool active() const { return trace_id != 0; }
+};
+
+/// The calling thread's current context (inactive when none installed).
+TraceContext current_trace_context();
+
+/// Process-unique nonzero trace id (sequential; cheap and deterministic).
+std::uint64_t next_trace_id();
+
+/// Renders a trace id the way responses and trace args spell it:
+/// 16 lowercase hex digits.
+std::string trace_id_hex(std::uint64_t id);
+
+/// RAII: installs `ctx` as the calling thread's current trace context
+/// (no-op for an inactive context) and restores the previous one on
+/// destruction. Use to carry a job's context into pool/worker threads.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+  ~TraceContextScope();
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
+/// Emits a complete ('X') span with caller-supplied timestamps, for
+/// durations measured across threads (e.g. queue wait: start stamped at
+/// submit, emitted by the worker). Tags the current context like a
+/// TraceSpan. No-op without a sink.
+void trace_complete(const char* name, std::uint64_t start_us,
+                    std::uint64_t end_us, const std::string& args_json = {});
+
 /// RAII span: records a complete ('X') event covering its lifetime. When
-/// no sink is installed at construction, every member is a no-op.
+/// no sink is installed at construction, every member is a no-op. Under
+/// an active TraceContext the span joins the trace tree (see above) and
+/// parents any span nested inside its scope on the same thread.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name)
       : name_(name), enabled_(trace_enabled()) {
-    if (enabled_) start_us_ = trace_now_us();
+    if (enabled_) {
+      start_us_ = trace_now_us();
+      enter_context();
+    }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
   ~TraceSpan() { finish(); }
+
+  /// This span's context (its trace id + own span id), for handing to
+  /// TraceContextScope on other threads so their spans parent here.
+  /// Inactive when tracing is off or no trace is in progress.
+  TraceContext context() const;
 
   /// Attaches a `"key":value` argument to the completed event. Only
   /// string-builds when a sink was installed at span start.
@@ -95,22 +155,31 @@ class TraceSpan {
 
  private:
   void arg_integer(std::string_view key, long long value);
+  void enter_context();
 
   const char* name_;
   bool enabled_;
   std::uint64_t start_us_ = 0;
   std::string args_;
+  TraceContext parent_;
+  std::uint64_t span_id_ = 0;
+  bool in_context_ = false;
 };
 
 /// Sink writing the Chrome trace-event JSON object format:
-/// `{"traceEvents":[{...},{...}]}`. flush() (or destruction) closes the
-/// array; the stream must outlive the sink.
+/// `{"traceEvents":[{...},{...}]}`. flush() pushes everything written so
+/// far to the stream WITHOUT closing the array — the trace-event readers
+/// (chrome://tracing, Perfetto) tolerate a missing terminator, which is
+/// what lets chopd dump a useful trace on SIGUSR1 and keep appending.
+/// close() (or destruction) writes the terminator; events after close()
+/// are dropped. The stream must outlive the sink.
 class ChromeTraceSink : public TraceSink {
  public:
   explicit ChromeTraceSink(std::ostream& os);
   ~ChromeTraceSink() override;
   void event(const TraceEvent& e) override;
   void flush() override;
+  void close();
 
  private:
   std::mutex mu_;

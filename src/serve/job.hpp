@@ -26,6 +26,7 @@
 
 #include "core/search.hpp"
 #include "io/spec_format.hpp"
+#include "obs/phase_profile.hpp"
 
 namespace chop::serve {
 
@@ -81,9 +82,21 @@ struct Job {
   std::uint64_t sequence = 0;  ///< Server-wide acceptance order.
   Clock::time_point submitted_at{};
   Clock::time_point deadline{};  ///< time_point{} = none.
+  /// Distributed-tracing id minted at submit; every span this job
+  /// produces (queue wait, search phases, render) carries it, and every
+  /// protocol response about the job echoes it as 16 hex digits.
+  std::uint64_t trace_id = 0;
+  /// Submit time on the trace clock, so the worker can emit the
+  /// queue-wait span with its true start timestamp.
+  std::uint64_t submitted_ts_us = 0;
 
   /// Cooperative cancel flag, threaded into SearchOptions::cancel.
   std::atomic<bool> cancel_requested{false};
+
+  /// Per-phase search time attribution (atomics; readable while the job
+  /// runs), threaded into SearchOptions::profile. The `profile` verb
+  /// serves it per job and summed across jobs.
+  obs::PhaseProfile profile;
 
   // Guarded by the owning server's job mutex.
   JobState state = JobState::Queued;

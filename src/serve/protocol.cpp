@@ -40,6 +40,9 @@ RequestOp parse_op(const std::string& op) {
   if (op == "result") return RequestOp::Result;
   if (op == "cancel") return RequestOp::Cancel;
   if (op == "stats") return RequestOp::Stats;
+  if (op == "metrics") return RequestOp::Metrics;
+  if (op == "healthz") return RequestOp::Healthz;
+  if (op == "profile") return RequestOp::Profile;
   if (op == "shutdown") return RequestOp::Shutdown;
   throw ProtocolError("unknown_op", "unknown op '" + op + "'");
 }
@@ -54,14 +57,19 @@ const std::set<std::string>& allowed_keys(RequestOp op) {
   static const std::set<std::string> by_id{"op", "id"};
   static const std::set<std::string> result{"op", "id", "wait"};
   static const std::set<std::string> bare{"op"};
+  static const std::set<std::string> metrics{"op", "format"};
+  static const std::set<std::string> profile{"op", "id"};
   static const std::set<std::string> shutdown{"op", "drain"};
   switch (op) {
     case RequestOp::Submit: return submit;
     case RequestOp::Result: return result;
     case RequestOp::Status:
     case RequestOp::Cancel: return by_id;
+    case RequestOp::Metrics: return metrics;
+    case RequestOp::Profile: return profile;
     case RequestOp::Shutdown: return shutdown;
-    case RequestOp::Stats: return bare;
+    case RequestOp::Stats:
+    case RequestOp::Healthz: return bare;
   }
   return bare;
 }
@@ -162,12 +170,24 @@ Request parse_request(const std::string& line, const ProtocolLimits& limits) {
         request.wait = bool_field(*w, "wait");
       }
       break;
+    case RequestOp::Metrics:
+      if (const JsonValue* f = doc.find("format")) {
+        const std::string& value = string_field(*f, "format");
+        if (value == "prometheus") {
+          request.prometheus = true;
+        } else if (value != "json") {
+          invalid("field 'format' must be \"json\" or \"prometheus\"");
+        }
+      }
+      break;
     case RequestOp::Shutdown:
       if (const JsonValue* d = doc.find("drain")) {
         request.drain = bool_field(*d, "drain");
       }
       break;
     case RequestOp::Stats:
+    case RequestOp::Healthz:
+    case RequestOp::Profile:
       break;
   }
   return request;

@@ -14,7 +14,18 @@
 //                                               blocking until terminal)
 //   {"op":"cancel","id":"<job>"}                cancel queued/running job
 //   {"op":"stats"}                              queue/cache/worker stats
+//   {"op":"metrics"}                            full metrics registry
+//       optional: "format" ("json"|"prometheus"; prometheus returns the
+//       text exposition inside the "text" field)
+//   {"op":"healthz"}                            liveness: uptime, queue
+//                                               depth, busy workers,
+//                                               overload/accepting state
+//   {"op":"profile"}                            per-phase search time
+//       optional: "id" (one job's attribution instead of the server sum)
 //   {"op":"shutdown","drain":true}              graceful drain + stop
+//
+// Every response about a specific job (submit/status/result/cancel)
+// echoes its distributed-tracing id as 16 hex digits in "trace".
 //
 // Responses always carry "ok"; failures add {"error":{"code","message"}}.
 // Error codes: parse_error, invalid_request, payload_too_large,
@@ -54,17 +65,29 @@ struct ProtocolLimits {
   std::size_t max_json_depth = 64;
 };
 
-enum class RequestOp { Submit, Status, Result, Cancel, Stats, Shutdown };
+enum class RequestOp {
+  Submit,
+  Status,
+  Result,
+  Cancel,
+  Stats,
+  Metrics,
+  Healthz,
+  Profile,
+  Shutdown,
+};
 
 /// One parsed, validated request.
 struct Request {
   RequestOp op = RequestOp::Stats;
-  std::string id;         ///< Job id (submit: optional client-chosen).
+  std::string id;         ///< Job id (submit: optional client-chosen;
+                          ///< profile: optional scope).
   std::string spec;       ///< Inline `.chop` text (submit).
   std::string spec_path;  ///< Server-side spec file (submit).
   JobOptions options;     ///< Submit knobs.
   bool wait = false;      ///< result: block until terminal.
   bool drain = true;      ///< shutdown: drain accepted jobs first.
+  bool prometheus = false;  ///< metrics: text exposition instead of JSON.
 };
 
 /// Parses and validates one request line. Throws ProtocolError (with a

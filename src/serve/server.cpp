@@ -61,16 +61,19 @@ SubmitOutcome ChopServer::submit(io::Project project, JobOptions options,
   job->options = options;
   job->sequence = ++next_sequence_;
   job->submitted_at = Job::Clock::now();
+  job->trace_id = obs::next_trace_id();
+  job->submitted_ts_us = obs::trace_now_us();
   if (options.deadline_ms > 0) {
     job->deadline = job->submitted_at + Millis(options.deadline_ms);
   }
 
+  const std::uint64_t trace_id = job->trace_id;
   switch (queue_.push(job)) {
     case JobQueue::PushResult::Accepted:
       jobs_.emplace(id, std::move(job));
       ++submitted_;
       submitted_counter.add();
-      return {SubmitStatus::Accepted, std::move(id)};
+      return {SubmitStatus::Accepted, std::move(id), trace_id};
     case JobQueue::PushResult::Overloaded:
       ++rejected_overload_;
       rejected_counter.add();
@@ -102,9 +105,19 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
   }
   queue_wait_ms.observe(ms_between(job->submitted_at, start));
 
+  // Root of the job's trace tree: install the context minted at submit,
+  // then open serve.job under it. The queue-wait span is back-dated to
+  // the submit timestamp so the tree starts when the client did.
+  obs::TraceContextScope trace_scope(
+      obs::TraceContext{job->trace_id, /*span_id=*/0});
   obs::TraceSpan span("serve.job");
   span.arg("id", job->id);
   span.arg("priority", job->options.priority);
+  {
+    obs::TraceContextScope wait_parent(span.context());
+    obs::trace_complete("serve.queue_wait", job->submitted_ts_us,
+                        obs::trace_now_us());
+  }
 
   // Budget already spent / cancel raced in while queued: don't start work.
   if (job->cancel_requested.load(std::memory_order_relaxed)) {
@@ -132,11 +145,13 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
     }
     search.cancel = &job->cancel_requested;
     search.deadline = job->deadline;
+    search.profile = &job->profile;
 
     // The cross-request warm cache: every job whose specification reduces
     // to the same EvalContext fingerprint shares one evaluator.
     std::shared_ptr<core::CandidateEvaluator> shared_evaluator;
     if (options_.share_evaluators) {
+      obs::TraceSpan acquire_span("serve.evaluator_pool.acquire");
       const std::uint64_t fingerprint =
           session.make_eval_context().fingerprint();
       shared_evaluator = evaluator_pool_.acquire(fingerprint);
@@ -145,7 +160,12 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
     }
 
     const core::SearchResult result = session.search(search);
-    std::string rendered = render_search_result(result).dump();
+    std::string rendered;
+    {
+      obs::ScopedPhase render_phase(&job->profile, obs::SearchPhase::kRender);
+      obs::TraceSpan render_span("serve.render");
+      rendered = render_search_result(result).dump();
+    }
 
     JobState state = JobState::Done;
     if (result.cancelled) {
@@ -244,6 +264,8 @@ JobView ChopServer::view(const std::string& id, bool wait_terminal,
   view.error = job->error;
   view.designs = job->designs;
   view.prediction_stats = job->prediction_stats;
+  view.trace_id = job->trace_id;
+  view.profile = job->profile.data();
   if (job->started_at != Job::Clock::time_point{}) {
     view.queue_wait_ms = ms_between(job->submitted_at, job->started_at);
     if (job->finished_at != Job::Clock::time_point{}) {
@@ -273,6 +295,23 @@ CancelOutcome ChopServer::cancel(const std::string& id) {
     return CancelOutcome::CancelledQueued;
   }
   return CancelOutcome::CancellingRunning;
+}
+
+std::uint64_t ChopServer::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+}
+
+obs::PhaseProfileData ChopServer::total_profile() const {
+  obs::PhaseProfileData out;
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    out += job->profile.data();
+  }
+  return out;
 }
 
 ServerStats ChopServer::stats() const {

@@ -54,6 +54,7 @@ enum class SubmitStatus { Accepted, Overloaded, ShuttingDown, DuplicateId };
 struct SubmitOutcome {
   SubmitStatus status = SubmitStatus::Accepted;
   std::string id;  ///< Assigned (or echoed) job id when accepted.
+  std::uint64_t trace_id = 0;  ///< Minted at acceptance; 0 when rejected.
 };
 
 enum class CancelOutcome {
@@ -74,6 +75,9 @@ struct JobView {
   core::PredictionStats prediction_stats{};
   double queue_wait_ms = 0.0;  ///< submit → start (terminal or running).
   double run_ms = 0.0;         ///< start → finish (terminal only).
+  std::uint64_t trace_id = 0;  ///< The job's distributed-tracing id.
+  /// Phase attribution so far (live for running jobs, final afterwards).
+  obs::PhaseProfileData profile{};
 };
 
 struct ServerStats {
@@ -118,6 +122,13 @@ class ChopServer {
 
   ServerStats stats() const;
 
+  /// Milliseconds since this server was constructed (healthz uptime).
+  std::uint64_t uptime_ms() const;
+
+  /// Server-wide phase attribution: the sum of every job's profile,
+  /// including jobs still running (their atomics are readable live).
+  obs::PhaseProfileData total_profile() const;
+
   /// Stops accepting submissions; with `drain` every already-accepted job
   /// still runs to a terminal state, without it queued jobs are marked
   /// cancelled and running searches are cooperatively stopped. Joins the
@@ -139,6 +150,8 @@ class ChopServer {
   ServerOptions options_;
   JobQueue queue_;
   EvaluatorPool evaluator_pool_;
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   mutable std::mutex jobs_mu_;
   mutable std::condition_variable jobs_cv_;

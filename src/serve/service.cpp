@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 
 namespace chop::serve {
@@ -91,6 +92,9 @@ std::string Service::dispatch(const Request& request) {
     case RequestOp::Result: return handle_result(request);
     case RequestOp::Cancel: return handle_cancel(request);
     case RequestOp::Stats: return handle_stats();
+    case RequestOp::Metrics: return handle_metrics(request);
+    case RequestOp::Healthz: return handle_healthz();
+    case RequestOp::Profile: return handle_profile(request);
     case RequestOp::Shutdown: return handle_shutdown(request);
   }
   return error_response("unknown_op", "unhandled op");
@@ -131,6 +135,7 @@ std::string Service::handle_submit(const Request& request) {
   response.set("op", JsonValue(std::string("submit")));
   response.set("id", JsonValue(outcome.id));
   response.set("state", JsonValue(std::string(to_string(JobState::Queued))));
+  response.set("trace", JsonValue(obs::trace_id_hex(outcome.trace_id)));
   return response.dump();
 }
 
@@ -152,6 +157,7 @@ std::string Service::handle_status(const Request& request) {
     response.set("message", JsonValue(view.error));
   }
   put_timings(response, view);
+  response.set("trace", JsonValue(obs::trace_id_hex(view.trace_id)));
   return response.dump();
 }
 
@@ -200,6 +206,8 @@ std::string Service::handle_result(const Request& request) {
   body += json_number(view.queue_wait_ms);
   body += ",\"run_ms\":";
   body += json_number(view.run_ms);
+  body += ",\"trace\":";
+  body += json_quote(obs::trace_id_hex(view.trace_id));
   body += "}";
   return body;
 }
@@ -222,6 +230,8 @@ std::string Service::handle_cancel(const Request& request) {
   response.set("op", JsonValue(std::string("cancel")));
   response.set("id", JsonValue(request.id));
   response.set("outcome", JsonValue(std::string(label)));
+  response.set("trace",
+               JsonValue(obs::trace_id_hex(server_.view(request.id).trace_id)));
   return response.dump();
 }
 
@@ -265,6 +275,73 @@ std::string Service::handle_stats() {
             JsonValue(static_cast<double>(stats.eval_cache.evictions)));
   response.set("eval_cache", std::move(cache));
   return response.dump();
+}
+
+std::string Service::handle_metrics(const Request& request) {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  if (request.prometheus) {
+    JsonValue response;
+    response.set("ok", JsonValue(true));
+    response.set("op", JsonValue(std::string("metrics")));
+    response.set("format", JsonValue(std::string("prometheus")));
+    response.set("text", JsonValue(obs::to_prometheus(snapshot)));
+    return response.dump();
+  }
+  // The snapshot renders its own JSON; splice it in verbatim.
+  std::string body = "{\"ok\":true,\"op\":\"metrics\",\"metrics\":";
+  body += snapshot.to_json();
+  body += "}";
+  return body;
+}
+
+std::string Service::handle_healthz() {
+  const ServerStats stats = server_.stats();
+  const bool overloaded = stats.queue_depth >= stats.queue_capacity;
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("healthz")));
+  response.set("status", JsonValue(std::string(
+                             !server_.accepting()  ? "shutting_down"
+                             : overloaded          ? "overloaded"
+                                                   : "ok")));
+  response.set("uptime_ms",
+               JsonValue(static_cast<double>(server_.uptime_ms())));
+  response.set("workers", JsonValue(static_cast<double>(stats.workers)));
+  response.set("workers_busy", JsonValue(static_cast<double>(stats.running)));
+  response.set("queue_depth",
+               JsonValue(static_cast<double>(stats.queue_depth)));
+  response.set("queue_capacity",
+               JsonValue(static_cast<double>(stats.queue_capacity)));
+  response.set("accepting", JsonValue(server_.accepting()));
+  response.set("overloaded", JsonValue(overloaded));
+  return response.dump();
+}
+
+std::string Service::handle_profile(const Request& request) {
+  obs::PhaseProfileData data;
+  std::string trace;
+  if (!request.id.empty()) {
+    const JobView view = server_.view(request.id);
+    if (!view.found) {
+      return error_response("not_found", "no such job: " + request.id,
+                            request.id);
+    }
+    data = view.profile;
+    trace = obs::trace_id_hex(view.trace_id);
+  } else {
+    data = server_.total_profile();
+  }
+  std::string body = "{\"ok\":true,\"op\":\"profile\",\"scope\":";
+  body += request.id.empty() ? "\"server\"" : json_quote(request.id);
+  if (!trace.empty()) {
+    body += ",\"trace\":";
+    body += json_quote(trace);
+  }
+  body += ",\"profile\":";
+  body += data.to_json();
+  body += "}";
+  return body;
 }
 
 std::string Service::handle_shutdown(const Request& request) {

@@ -43,6 +43,9 @@ class Service {
   std::string handle_result(const Request& request);
   std::string handle_cancel(const Request& request);
   std::string handle_stats();
+  std::string handle_metrics(const Request& request);
+  std::string handle_healthz();
+  std::string handle_profile(const Request& request);
   std::string handle_shutdown(const Request& request);
 
   ChopServer& server_;

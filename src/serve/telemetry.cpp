@@ -1,0 +1,152 @@
+#include "serve/telemetry.hpp"
+
+#include <csignal>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+
+namespace chop::serve {
+
+namespace {
+
+// Signal handlers may only touch lock-free atomics: the handler records
+// the signal number, the watcher thread does the file work.
+std::atomic<int> g_pending_signal{0};
+std::atomic<bool> g_flush_requested{false};
+
+extern "C" void telemetry_signal_handler(int sig) {
+#ifdef SIGUSR1
+  if (sig == SIGUSR1) {
+    g_flush_requested.store(true, std::memory_order_release);
+    return;
+  }
+#endif
+  g_pending_signal.store(sig, std::memory_order_release);
+}
+
+}  // namespace
+
+DaemonTelemetry::DaemonTelemetry(TelemetryOptions options)
+    : options_(std::move(options)),
+      exporter_(obs::ExporterOptions{options_.metrics_jsonl_path,
+                                     options_.prom_path, options_.interval,
+                                     "chop"}) {}
+
+DaemonTelemetry::~DaemonTelemetry() { finalize(); }
+
+bool DaemonTelemetry::start(std::string* error) {
+  if (started_) return true;
+  if (!options_.trace_path.empty()) {
+    trace_stream_.open(options_.trace_path);
+    if (!trace_stream_.good()) {
+      if (error != nullptr) {
+        *error = "cannot open trace output: " + options_.trace_path;
+      }
+      return false;
+    }
+    trace_sink_ = std::make_unique<obs::ChromeTraceSink>(trace_stream_);
+    obs::install_trace_sink(trace_sink_.get());
+  }
+  if (!options_.metrics_path.empty()) {
+    std::ofstream probe(options_.metrics_path);
+    if (!probe.good()) {
+      if (error != nullptr) {
+        *error = "cannot open metrics output: " + options_.metrics_path;
+      }
+      return false;
+    }
+  }
+  if (!exporter_.start(error)) return false;
+
+  if (options_.handle_signals) {
+    g_pending_signal.store(0, std::memory_order_release);
+    g_flush_requested.store(false, std::memory_order_release);
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, telemetry_signal_handler);
+#endif
+    std::signal(SIGTERM, telemetry_signal_handler);
+    std::signal(SIGINT, telemetry_signal_handler);
+    signals_installed_ = true;
+  }
+  // The watcher also serves request_flush(), so it always runs.
+  watcher_stop_.store(false, std::memory_order_release);
+  watcher_ = std::thread([this] { watcher_loop(); });
+  started_ = true;
+  return true;
+}
+
+void DaemonTelemetry::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  if (trace_sink_) trace_sink_->flush();
+  write_metrics_snapshot();
+  exporter_.flush_now();
+}
+
+void DaemonTelemetry::finalize() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finalized_) return;
+    finalized_ = true;
+    if (trace_sink_) {
+      obs::install_trace_sink(nullptr);
+      trace_sink_->close();
+    }
+    write_metrics_snapshot();
+  }
+  exporter_.stop();
+  watcher_stop_.store(true, std::memory_order_release);
+  if (watcher_.joinable()) {
+    if (watcher_.get_id() == std::this_thread::get_id()) {
+      // Signal path: the watcher is finalizing and will re-raise to die;
+      // it cannot join itself.
+      watcher_.detach();
+    } else {
+      watcher_.join();
+    }
+  }
+  if (signals_installed_) {
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, SIG_DFL);
+#endif
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    signals_installed_ = false;
+  }
+}
+
+void DaemonTelemetry::request_flush() {
+  g_flush_requested.store(true, std::memory_order_release);
+}
+
+void DaemonTelemetry::watcher_loop() {
+  while (!watcher_stop_.load(std::memory_order_acquire)) {
+    if (g_flush_requested.exchange(false, std::memory_order_acq_rel)) {
+      flush();
+      watcher_flushes_.fetch_add(1, std::memory_order_release);
+      std::cerr << "chopd: telemetry flushed (exporter ticks: "
+                << exporter_.ticks() << ")\n";
+    }
+    const int sig = g_pending_signal.exchange(0, std::memory_order_acq_rel);
+    if (sig != 0) {
+      // Abortive shutdown: make the files whole, then die conventionally.
+      std::cerr << "chopd: signal " << sig
+                << " received; finalizing telemetry\n";
+      finalize();
+      std::signal(sig, SIG_DFL);
+      std::raise(sig);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void DaemonTelemetry::write_metrics_snapshot() {
+  if (options_.metrics_path.empty()) return;
+  std::ofstream os(options_.metrics_path);
+  if (os.good()) {
+    os << obs::MetricsRegistry::global().snapshot().to_json() << "\n";
+  }
+}
+
+}  // namespace chop::serve

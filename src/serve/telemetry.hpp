@@ -1,0 +1,103 @@
+// DaemonTelemetry — the bundle of observability outputs a long-running
+// chopd owns, with the lifecycle guarantees a daemon needs:
+//
+//   * Chrome trace-event sink (--trace): installed process-wide; flush()
+//     pushes every buffered span to disk WITHOUT closing the JSON array
+//     (trace viewers tolerate the missing terminator), so a dump can be
+//     taken mid-run and tracing continues; finalize() writes the
+//     terminator exactly once.
+//   * End-of-run metrics snapshot (--metrics): also written by flush(),
+//     so an abortive exit still leaves a current snapshot behind.
+//   * Periodic SnapshotExporter (--metrics-jsonl / --prom): registry
+//     snapshots appended as JSONL and rendered as Prometheus text
+//     exposition on an interval.
+//   * Signal watcher (opt-in): SIGUSR1 = flush everything and keep
+//     running; SIGTERM/SIGINT = finalize everything, then re-raise with
+//     the default disposition so the process still dies with the
+//     conventional status. Handlers only set an atomic; all file work
+//     happens on the watcher thread.
+//
+// finalize() is idempotent and runs from the destructor, so every exit
+// path — clean drain, exception unwind, signal — leaves valid files.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/exporter.hpp"
+#include "obs/trace.hpp"
+
+namespace chop::serve {
+
+struct TelemetryOptions {
+  std::string trace_path;        ///< Chrome trace JSON; empty = off.
+  std::string metrics_path;      ///< Snapshot JSON on flush/exit; empty = off.
+  std::string metrics_jsonl_path;  ///< Periodic snapshot JSONL; empty = off.
+  std::string prom_path;  ///< Periodic Prometheus text file; empty = off.
+  /// Exporter tick interval.
+  std::chrono::milliseconds interval{1000};
+  /// Install SIGUSR1/SIGTERM/SIGINT handlers + watcher thread. Only one
+  /// live DaemonTelemetry may enable this.
+  bool handle_signals = false;
+};
+
+class DaemonTelemetry {
+ public:
+  explicit DaemonTelemetry(TelemetryOptions options);
+
+  DaemonTelemetry(const DaemonTelemetry&) = delete;
+  DaemonTelemetry& operator=(const DaemonTelemetry&) = delete;
+
+  /// Finalizes (idempotent) — no exit path loses telemetry.
+  ~DaemonTelemetry();
+
+  /// Opens outputs, installs the trace sink, starts the exporter and (if
+  /// requested) the signal watcher. False + *error on unopenable files.
+  bool start(std::string* error);
+
+  /// Dumps everything now without stopping: trace bytes to disk (array
+  /// left open), metrics snapshot rewritten, exporter ticked. Safe to
+  /// call repeatedly; this is the SIGUSR1 action.
+  void flush();
+
+  /// Closes the trace array, writes the final metrics snapshot, stops
+  /// the exporter and the watcher. Idempotent.
+  void finalize();
+
+  /// Queues the same action the signal handler would: the watcher thread
+  /// performs a flush(). Lets tests cover the watcher path without
+  /// raising a real signal.
+  void request_flush();
+
+  /// Number of flushes the watcher has completed (tests poll this).
+  std::uint64_t watcher_flushes() const {
+    return watcher_flushes_.load(std::memory_order_acquire);
+  }
+
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  void watcher_loop();
+  void write_metrics_snapshot();
+
+  TelemetryOptions options_;
+  std::ofstream trace_stream_;
+  std::unique_ptr<obs::ChromeTraceSink> trace_sink_;
+  obs::SnapshotExporter exporter_;
+
+  std::mutex mu_;  ///< Serializes flush()/finalize() bodies.
+  bool started_ = false;
+  bool finalized_ = false;
+
+  std::atomic<bool> watcher_stop_{false};
+  std::atomic<std::uint64_t> watcher_flushes_{0};
+  std::thread watcher_;
+  bool signals_installed_ = false;
+};
+
+}  // namespace chop::serve

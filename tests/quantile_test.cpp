@@ -1,0 +1,216 @@
+// QuantileSketch accuracy and determinism tests: rank error against exact
+// percentiles on uniform/exponential/bimodal data, exactness below the
+// buffer size, merge correctness, and the byte-identical repeatability
+// the sketch's no-RNG compaction guarantees (the property that makes it
+// safe under TSan and deterministic across daemon runs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "obs/quantile.hpp"
+
+namespace chop::obs {
+namespace {
+
+/// Exact percentile under the sketch's convention: the smallest value
+/// whose cumulative count reaches ceil(q * n).
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  if (q <= 0.0) return values.front();
+  if (q >= 1.0) return values.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(std::max<std::size_t>(rank, 1), values.size()) - 1];
+}
+
+/// Fraction of samples <= v: the rank the estimate actually lands on.
+double rank_of(const std::vector<double>& values, double v) {
+  std::size_t below = 0;
+  for (double x : values) {
+    if (x <= v) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(values.size());
+}
+
+void expect_rank_accurate(const std::vector<double>& values,
+                          const QuantileSketch& sketch, double q,
+                          double tolerance) {
+  const double estimate = sketch.quantile(q);
+  const double rank = rank_of(values, estimate);
+  EXPECT_NEAR(rank, q, tolerance)
+      << "q=" << q << " estimate=" << estimate << " landed on rank " << rank;
+}
+
+TEST(QuantileSketch, EmptyReturnsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.quantile(0.99), 0.0);
+}
+
+TEST(QuantileSketch, ExactBelowBufferSize) {
+  QuantileSketch sketch;  // k = 512: no compaction below 512 samples
+  std::vector<double> values;
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  for (int i = 0; i < 500; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(sketch.quantile(q), exact_quantile(values, q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, ExtremesAlwaysExact) {
+  QuantileSketch sketch;
+  std::mt19937 rng(3);
+  std::normal_distribution<double> dist(50.0, 10.0);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = dist(rng);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sketch.add(v);
+  }
+  EXPECT_EQ(sketch.quantile(0.0), lo);
+  EXPECT_EQ(sketch.quantile(1.0), hi);
+  EXPECT_EQ(sketch.min(), lo);
+  EXPECT_EQ(sketch.max(), hi);
+}
+
+TEST(QuantileSketch, UniformRankAccuracy) {
+  QuantileSketch sketch;
+  std::vector<double> values;
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    expect_rank_accurate(values, sketch, q, 0.02);
+  }
+}
+
+TEST(QuantileSketch, HeavyTailRankAccuracy) {
+  // Exponential-ish latency shape: most mass near zero, long tail — the
+  // distribution the log2-bucket histogram this sketch replaced could not
+  // resolve (a p99 and p99.9 in the same bucket).
+  QuantileSketch sketch;
+  std::vector<double> values;
+  std::mt19937 rng(7);
+  std::exponential_distribution<double> dist(1.0);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = dist(rng) * 10.0;
+    values.push_back(v);
+    sketch.add(v);
+  }
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    expect_rank_accurate(values, sketch, q, 0.02);
+  }
+  // The tail quantiles must actually be distinct values.
+  EXPECT_GT(sketch.quantile(0.999), sketch.quantile(0.99));
+  EXPECT_GT(sketch.quantile(0.99), sketch.quantile(0.5));
+}
+
+TEST(QuantileSketch, BimodalRankAccuracy) {
+  QuantileSketch sketch;
+  std::vector<double> values;
+  std::mt19937 rng(23);
+  std::normal_distribution<double> fast(1.0, 0.1);
+  std::normal_distribution<double> slow(100.0, 5.0);
+  for (int i = 0; i < 60000; ++i) {
+    const double v = (i % 10 == 0) ? slow(rng) : fast(rng);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  for (double q : {0.5, 0.89, 0.95, 0.99}) {
+    expect_rank_accurate(values, sketch, q, 0.02);
+  }
+}
+
+TEST(QuantileSketch, DeterministicAcrossRuns) {
+  // No RNG in compaction: identical input streams must produce identical
+  // estimates, bit for bit.
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> dist(0.0, 1000.0);
+  std::vector<double> stream;
+  for (int i = 0; i < 20000; ++i) stream.push_back(dist(rng));
+
+  QuantileSketch a;
+  QuantileSketch b;
+  for (double v : stream) a.add(v);
+  for (double v : stream) b.add(v);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeMatchesCombinedStream) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> all;
+  QuantileSketch left;
+  QuantileSketch right;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = dist(rng);
+    all.push_back(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.size());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    expect_rank_accurate(all, left, q, 0.03);
+  }
+  EXPECT_EQ(left.quantile(0.0), exact_quantile(all, 0.0));
+  EXPECT_EQ(left.quantile(1.0), exact_quantile(all, 1.0));
+}
+
+TEST(QuantileSketch, MergeEmptyIsNoOp) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 1000; ++i) sketch.add(static_cast<double>(i));
+  const double before = sketch.quantile(0.5);
+  QuantileSketch empty;
+  sketch.merge(empty);
+  EXPECT_EQ(sketch.quantile(0.5), before);
+  EXPECT_EQ(sketch.count(), 1000u);
+
+  empty.merge(sketch);
+  EXPECT_EQ(empty.count(), 1000u);
+  EXPECT_EQ(empty.quantile(0.5), before);
+}
+
+TEST(QuantileSketch, IgnoresNaNAndResets) {
+  QuantileSketch sketch;
+  sketch.add(std::nan(""));
+  EXPECT_EQ(sketch.count(), 0u);
+  sketch.add(5.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.quantile(0.5), 5.0);
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, MonotoneInQ) {
+  QuantileSketch sketch;
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int i = 0; i < 25000; ++i) sketch.add(dist(rng));
+  double prev = sketch.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = sketch.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace chop::obs

@@ -173,7 +173,7 @@ struct ObsFinalizer {
   ~ObsFinalizer() {
     if (trace_sink) {
       obs::install_trace_sink(nullptr);
-      trace_sink->flush();
+      trace_sink->close();
       std::cout << "wrote " << options->trace_path << "\n";
     }
     if (!options->metrics_path.empty()) {

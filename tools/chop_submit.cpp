@@ -7,12 +7,17 @@
 //   chop_submit --socket=<path> --result=<job-id> [--wait]
 //   chop_submit --socket=<path> --cancel=<job-id>
 //   chop_submit --socket=<path> --stats
+//   chop_submit --socket=<path> --metrics [--prom]
+//   chop_submit --socket=<path> --healthz
+//   chop_submit --socket=<path> --profile[=<job-id>]
 //   chop_submit --socket=<path> --shutdown [--no-drain]
 //   chop_submit --socket=<path> --raw='<request json>'
 //
 // Submit knobs: --id=<id> --heuristic=E|I --threads=N --priority=N
 // --deadline-ms=N --max-trials=N --keep-all --no-bound-pruning.
 // --wait on submit fetches {"op":"result","wait":true} after acceptance.
+// --metrics --prom prints the Prometheus text exposition itself (not the
+// JSON envelope), ready to pipe into a scrape file.
 //
 // Exit status: 0 when every response has "ok":true, 2 when the server
 // answered with a structured error, 1 on usage or transport failures.
@@ -40,6 +45,11 @@ struct ClientOptions {
   std::string result_id;
   std::string cancel_id;
   bool stats = false;
+  bool metrics = false;
+  bool prom = false;
+  bool healthz = false;
+  bool profile = false;
+  std::string profile_id;
   bool shutdown = false;
   bool drain = true;
   std::string raw;
@@ -58,11 +68,13 @@ struct ClientOptions {
 int usage() {
   std::cerr
       << "usage: chop_submit --socket=<path> (--spec=<file> | --status=<id> |\n"
-         "           --result=<id> | --cancel=<id> | --stats | --shutdown |\n"
+         "           --result=<id> | --cancel=<id> | --stats | --metrics |\n"
+         "           --healthz | --profile[=<id>] | --shutdown |\n"
          "           --raw='<json>')\n"
          "       submit knobs: [--id=<id>] [--heuristic=E|I] [--threads=N]\n"
          "           [--priority=N] [--deadline-ms=N] [--max-trials=N]\n"
          "           [--keep-all] [--no-bound-pruning] [--wait]\n"
+         "       metrics knob: [--prom] (print raw Prometheus text)\n"
          "       shutdown knob: [--no-drain]\n";
   return 1;
 }
@@ -83,6 +95,17 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
         options.cancel_id = arg.substr(9);
       } else if (arg == "--stats") {
         options.stats = true;
+      } else if (arg == "--metrics") {
+        options.metrics = true;
+      } else if (arg == "--prom") {
+        options.prom = true;
+      } else if (arg == "--healthz") {
+        options.healthz = true;
+      } else if (arg == "--profile") {
+        options.profile = true;
+      } else if (arg.rfind("--profile=", 0) == 0) {
+        options.profile = true;
+        options.profile_id = arg.substr(10);
       } else if (arg == "--shutdown") {
         options.shutdown = true;
       } else if (arg == "--no-drain") {
@@ -120,6 +143,7 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
   const int modes = (!options.spec_path.empty()) + (!options.status_id.empty()) +
                     (!options.result_id.empty()) +
                     (!options.cancel_id.empty()) + options.stats +
+                    options.metrics + options.healthz + options.profile +
                     options.shutdown + (!options.raw.empty());
   if (modes != 1) {
     std::cerr << "exactly one request mode is required\n";
@@ -177,6 +201,18 @@ std::string build_request(const ClientOptions& options, std::string* error) {
     request.set("id", JsonValue(options.cancel_id));
   } else if (options.stats) {
     request.set("op", JsonValue(std::string("stats")));
+  } else if (options.metrics) {
+    request.set("op", JsonValue(std::string("metrics")));
+    if (options.prom) {
+      request.set("format", JsonValue(std::string("prometheus")));
+    }
+  } else if (options.healthz) {
+    request.set("op", JsonValue(std::string("healthz")));
+  } else if (options.profile) {
+    request.set("op", JsonValue(std::string("profile")));
+    if (!options.profile_id.empty()) {
+      request.set("id", JsonValue(options.profile_id));
+    }
   } else {
     request.set("op", JsonValue(std::string("shutdown")));
     request.set("drain", JsonValue(options.drain));
@@ -184,8 +220,25 @@ std::string build_request(const ClientOptions& options, std::string* error) {
   return request.dump();
 }
 
-/// Prints the response and folds its "ok" into the exit status.
-int report(const std::string& response) {
+/// Prints the response and folds its "ok" into the exit status. For
+/// `--metrics --prom` the payload is the Prometheus text itself, not the
+/// JSON envelope — ready to redirect into a scrape file.
+int report(const std::string& response, bool prom_text = false) {
+  if (prom_text) {
+    try {
+      const chop::serve::JsonValue parsed =
+          chop::serve::JsonValue::parse(response);
+      const chop::serve::JsonValue* ok = parsed.find("ok");
+      const chop::serve::JsonValue* text = parsed.find("text");
+      if (ok != nullptr && ok->is_bool() && ok->as_bool() && text != nullptr &&
+          text->is_string()) {
+        std::cout << text->as_string();
+        return 0;
+      }
+    } catch (const chop::serve::JsonError&) {
+      // Fall through to the raw-envelope path below.
+    }
+  }
   std::cout << response << "\n";
   try {
     const chop::serve::JsonValue parsed =
@@ -223,7 +276,7 @@ int main(int argc, char** argv) {
     std::cerr << "chop_submit: " << error << "\n";
     return 1;
   }
-  int status = report(response);
+  int status = report(response, options.metrics && options.prom);
 
   // --wait on submit: block on the result of the job we just queued.
   if (status == 0 && !options.spec_path.empty() && options.wait) {

@@ -1,0 +1,242 @@
+// chop_top — a `top`-style live view of a running chopd. Polls the
+// daemon's healthz/metrics/profile protocol verbs over its Unix socket
+// and renders one screen per interval: liveness, queue and worker
+// occupancy, job outcome counters, tail latencies (p50/p95/p99/p99.9
+// from the daemon's quantile sketches), cache effectiveness, and the
+// server-wide search-phase time attribution.
+//
+//   chop_top --socket=<path> [--interval-ms=N] [--once] [--lint-prom]
+//
+//   --once       render a single screen and exit (scripts, smoke tests)
+//   --lint-prom  also scrape the Prometheus exposition and run the
+//                minimal lint over it; exit 2 if it fails
+//
+// Exit status: 0 on success, 1 on usage/transport errors, 2 when
+// --lint-prom finds a problem.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/prometheus.hpp"
+#include "serve/json.hpp"
+#include "serve/uds.hpp"
+
+#if !CHOP_SERVE_HAVE_UDS
+int main() {
+  std::cerr << "chop_top: Unix-domain sockets unsupported here\n";
+  return 1;
+}
+#else
+
+namespace {
+
+using chop::serve::JsonValue;
+
+struct TopOptions {
+  std::string socket_path;
+  long interval_ms = 1000;
+  bool once = false;
+  bool lint_prom = false;
+};
+
+int usage() {
+  std::cerr << "usage: chop_top --socket=<path> [--interval-ms=N] [--once]\n"
+               "                [--lint-prom]\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, TopOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--socket=", 0) == 0) {
+        options.socket_path = arg.substr(9);
+      } else if (arg.rfind("--interval-ms=", 0) == 0) {
+        options.interval_ms = std::stol(arg.substr(14));
+        if (options.interval_ms < 50) options.interval_ms = 50;
+      } else if (arg == "--once") {
+        options.once = true;
+      } else if (arg == "--lint-prom") {
+        options.lint_prom = true;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value in argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return !options.socket_path.empty();
+}
+
+/// One round-trip; returns a parsed ok-response or a null value.
+JsonValue ask(chop::serve::UdsClient& client, const std::string& request,
+              std::string* error) {
+  std::string response;
+  if (!client.request(request, &response, error)) return JsonValue();
+  try {
+    JsonValue parsed = JsonValue::parse(response);
+    const JsonValue* ok = parsed.find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->as_bool()) return parsed;
+    *error = "server error: " + response;
+  } catch (const chop::serve::JsonError& e) {
+    *error = e.what();
+  }
+  return JsonValue();
+}
+
+double num_or(const JsonValue* v, double fallback = 0.0) {
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string fixed(double v, int places = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+  return buf;
+}
+
+std::string pad(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+void render_latency_row(std::ostream& os, const char* label,
+                        const JsonValue* h) {
+  os << "  " << label;
+  for (std::size_t i = std::strlen(label); i < 14; ++i) os << ' ';
+  if (h == nullptr || !h->is_object()) {
+    os << "(no samples)\n";
+    return;
+  }
+  os << pad(std::to_string(
+                static_cast<std::uint64_t>(num_or(h->find("count")))),
+            8);
+  for (const char* q : {"p50", "p95", "p99", "p999", "max"}) {
+    os << pad(fixed(num_or(h->find(q))), 10);
+  }
+  os << '\n';
+}
+
+/// One full screen from three verb round-trips.
+bool render_screen(chop::serve::UdsClient& client,
+                   const std::string& socket_path, std::string* error) {
+  const JsonValue health = ask(client, "{\"op\":\"healthz\"}", error);
+  if (health.is_null()) return false;
+  const JsonValue metrics = ask(client, "{\"op\":\"metrics\"}", error);
+  if (metrics.is_null()) return false;
+  const JsonValue profile = ask(client, "{\"op\":\"profile\"}", error);
+  if (profile.is_null()) return false;
+
+  std::ostream& os = std::cout;
+  const JsonValue* status = health.find("status");
+  os << "chopd @ " << socket_path << "  status: "
+     << (status != nullptr && status->is_string() ? status->as_string()
+                                                  : "unknown")
+     << "  uptime: " << fixed(num_or(health.find("uptime_ms")) / 1000.0, 1)
+     << "s\n";
+  os << "workers " << num_or(health.find("workers")) << " (busy "
+     << num_or(health.find("workers_busy")) << ")   queue "
+     << num_or(health.find("queue_depth")) << "/"
+     << num_or(health.find("queue_capacity")) << "\n";
+
+  const JsonValue* m = metrics.find("metrics");
+  const JsonValue* counters = m != nullptr ? m->find("counters") : nullptr;
+  auto counter = [&](const char* name) -> std::uint64_t {
+    if (counters == nullptr) return 0;
+    return static_cast<std::uint64_t>(num_or(counters->find(name)));
+  };
+  os << "jobs: submitted " << counter("serve.submitted") << "  completed "
+     << counter("serve.completed") << "  cancelled "
+     << counter("serve.cancelled") << "  deadline "
+     << counter("serve.deadline_exceeded") << "  failed "
+     << counter("serve.failed") << "  rejected "
+     << counter("serve.rejected_overload") << "\n";
+  os << "eval cache: hits " << counter("eval.cache_hits") << "  misses "
+     << counter("eval.cache_misses") << "  evictions "
+     << counter("eval.cache_evictions") << "\n";
+
+  const JsonValue* histograms =
+      m != nullptr ? m->find("histograms") : nullptr;
+  os << "latency ms         count       p50       p95       p99     p99.9"
+        "       max\n";
+  if (histograms != nullptr && histograms->is_object()) {
+    render_latency_row(os, "queue_wait",
+                       histograms->find("serve.queue_wait_ms"));
+    render_latency_row(os, "run", histograms->find("serve.run_ms"));
+    render_latency_row(os, "e2e", histograms->find("serve.e2e_ms"));
+  }
+
+  const JsonValue* prof = profile.find("profile");
+  const JsonValue* phases = prof != nullptr ? prof->find("phases") : nullptr;
+  if (phases != nullptr && phases->is_object()) {
+    os << "search phases (" << num_or(prof->find("searches"))
+       << " searches):\n";
+    for (const auto& [name, phase] : phases->as_object()) {
+      os << "  " << name;
+      for (std::size_t i = name.size(); i < 14; ++i) os << ' ';
+      os << pad(fixed(num_or(phase.find("ms")), 3), 12) << " ms  "
+         << static_cast<std::uint64_t>(num_or(phase.find("calls")))
+         << " calls\n";
+    }
+  }
+  os.flush();
+  return true;
+}
+
+int lint_prometheus(chop::serve::UdsClient& client, std::string* error) {
+  const JsonValue response =
+      ask(client, "{\"op\":\"metrics\",\"format\":\"prometheus\"}", error);
+  if (response.is_null()) return 1;
+  const JsonValue* text = response.find("text");
+  if (text == nullptr || !text->is_string()) {
+    *error = "metrics response has no prometheus text";
+    return 1;
+  }
+  const std::string problems = chop::obs::prometheus_lint(text->as_string());
+  if (!problems.empty()) {
+    std::cerr << "chop_top: prometheus lint FAILED:\n" << problems << "\n";
+    return 2;
+  }
+  std::cout << "prometheus lint: ok ("
+            << text->as_string().size() << " bytes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TopOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  chop::serve::UdsClient client(options.socket_path);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::cerr << "chop_top: connect " << options.socket_path << ": " << error
+              << "\n";
+    return 1;
+  }
+
+  for (;;) {
+    if (!options.once) std::cout << "\x1b[2J\x1b[H";  // clear + home
+    if (!render_screen(client, options.socket_path, &error)) {
+      std::cerr << "chop_top: " << error << "\n";
+      return 1;
+    }
+    if (options.lint_prom) {
+      const int rc = lint_prometheus(client, &error);
+      if (rc != 0) {
+        if (rc == 1) std::cerr << "chop_top: " << error << "\n";
+        return rc;
+      }
+    }
+    if (options.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+}
+
+#endif  // CHOP_SERVE_HAVE_UDS

@@ -9,24 +9,32 @@
 //                                drains and exits
 //
 // Options:
-//   --workers=N          worker threads (default 2)
-//   --queue-cap=N        queued-job bound; beyond it submissions are
-//                        rejected with "overload" (default 64)
-//   --no-shared-cache    disable cross-request evaluator sharing
-//   --trace=<file>       Chrome trace-event JSON of the daemon's spans
-//   --metrics=<file>     end-of-run metrics snapshot (serve.* et al.)
+//   --workers=N            worker threads (default 2)
+//   --queue-cap=N          queued-job bound; beyond it submissions are
+//                          rejected with "overload" (default 64)
+//   --no-shared-cache      disable cross-request evaluator sharing
+//   --trace=<file>         Chrome trace-event JSON of the daemon's spans;
+//                          one connected tree per job (trace id minted at
+//                          submit, echoed in every response)
+//   --metrics=<file>       metrics snapshot, rewritten on flush and exit
+//   --metrics-jsonl=<file> periodic registry snapshots, one JSON object
+//                          per line (see --metrics-interval-ms)
+//   --prom=<file>          periodic Prometheus text exposition file
+//   --metrics-interval-ms=N  exporter tick interval (default 1000)
+//
+// Telemetry is durable against ungraceful exits: SIGUSR1 flushes every
+// output in place and keeps serving; SIGTERM/SIGINT finalize the files
+// before the process dies. Live introspection without files: the
+// metrics/healthz/profile protocol verbs.
 //
 // Exit status: 0 after a clean drain (EOF or shutdown request), 1 on
 // usage or socket errors.
-#include <fstream>
 #include <iostream>
-#include <memory>
 #include <string>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/telemetry.hpp"
 #include "serve/uds.hpp"
 
 namespace {
@@ -35,15 +43,15 @@ struct DaemonOptions {
   bool pipe = false;
   std::string socket_path;
   chop::serve::ServerOptions server;
-  std::string trace_path;
-  std::string metrics_path;
+  chop::serve::TelemetryOptions telemetry;
 };
 
 int usage() {
   std::cerr
       << "usage: chopd (--pipe | --socket=<path>) [--workers=N]\n"
          "             [--queue-cap=N] [--no-shared-cache] [--trace=<file>]\n"
-         "             [--metrics=<file>]\n";
+         "             [--metrics=<file>] [--metrics-jsonl=<file>]\n"
+         "             [--prom=<file>] [--metrics-interval-ms=N]\n";
   return 1;
 }
 
@@ -63,9 +71,20 @@ bool parse_args(int argc, char** argv, DaemonOptions& options) {
       } else if (arg == "--no-shared-cache") {
         options.server.share_evaluators = false;
       } else if (arg.rfind("--trace=", 0) == 0) {
-        options.trace_path = arg.substr(8);
+        options.telemetry.trace_path = arg.substr(8);
       } else if (arg.rfind("--metrics=", 0) == 0) {
-        options.metrics_path = arg.substr(10);
+        options.telemetry.metrics_path = arg.substr(10);
+      } else if (arg.rfind("--metrics-jsonl=", 0) == 0) {
+        options.telemetry.metrics_jsonl_path = arg.substr(16);
+      } else if (arg.rfind("--prom=", 0) == 0) {
+        options.telemetry.prom_path = arg.substr(7);
+      } else if (arg.rfind("--metrics-interval-ms=", 0) == 0) {
+        const long ms = std::stol(arg.substr(22));
+        if (ms < 10 || ms > 3600000) {
+          std::cerr << "--metrics-interval-ms out of range [10,3600000]\n";
+          return false;
+        }
+        options.telemetry.interval = std::chrono::milliseconds(ms);
       } else {
         std::cerr << "unknown argument: " << arg << "\n";
         return false;
@@ -86,51 +105,18 @@ bool parse_args(int argc, char** argv, DaemonOptions& options) {
   return true;
 }
 
-/// Finalizes the observability outputs on every exit path (mirrors
-/// chop_cli): uninstall + flush the trace sink, dump the metrics snapshot.
-struct ObsFinalizer {
-  const DaemonOptions* options = nullptr;
-  std::unique_ptr<chop::obs::ChromeTraceSink> trace_sink;
-
-  ~ObsFinalizer() {
-    if (trace_sink) {
-      chop::obs::install_trace_sink(nullptr);
-      trace_sink->flush();
-      std::cerr << "chopd: wrote " << options->trace_path << "\n";
-    }
-    if (!options->metrics_path.empty()) {
-      std::ofstream os(options->metrics_path);
-      if (os.good()) {
-        os << chop::obs::MetricsRegistry::global().snapshot().to_json()
-           << "\n";
-        std::cerr << "chopd: wrote " << options->metrics_path << "\n";
-      } else {
-        std::cerr << "chopd: error: cannot open metrics output: "
-                  << options->metrics_path << "\n";
-      }
-    }
-  }
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   DaemonOptions options;
   if (!parse_args(argc, argv, options)) return usage();
 
-  std::ofstream trace_stream;  // must outlive the sink writing to it
-  ObsFinalizer obs_finalizer;
-  obs_finalizer.options = &options;
-  if (!options.trace_path.empty()) {
-    trace_stream.open(options.trace_path);
-    if (!trace_stream.good()) {
-      std::cerr << "chopd: error: cannot open trace output: "
-                << options.trace_path << "\n";
-      return 1;
-    }
-    obs_finalizer.trace_sink =
-        std::make_unique<chop::obs::ChromeTraceSink>(trace_stream);
-    chop::obs::install_trace_sink(obs_finalizer.trace_sink.get());
+  options.telemetry.handle_signals = true;
+  chop::serve::DaemonTelemetry telemetry(options.telemetry);
+  std::string error;
+  if (!telemetry.start(&error)) {
+    std::cerr << "chopd: error: " << error << "\n";
+    return 1;
   }
 
   chop::serve::ChopServer server(options.server);
@@ -139,12 +125,18 @@ int main(int argc, char** argv) {
     const std::size_t handled =
         chop::serve::run_pipe_service(server, std::cin, std::cout);
     std::cerr << "chopd: drained after " << handled << " request(s)\n";
+    telemetry.finalize();
+    if (!options.telemetry.trace_path.empty()) {
+      std::cerr << "chopd: wrote " << options.telemetry.trace_path << "\n";
+    }
+    if (!options.telemetry.metrics_path.empty()) {
+      std::cerr << "chopd: wrote " << options.telemetry.metrics_path << "\n";
+    }
     return 0;
   }
 
 #if CHOP_SERVE_HAVE_UDS
   chop::serve::UdsServer uds(server, options.socket_path);
-  std::string error;
   if (!uds.start(&error)) {
     std::cerr << "chopd: cannot listen on " << options.socket_path << ": "
               << error << "\n";
@@ -155,6 +147,7 @@ int main(int argc, char** argv) {
   const bool drain = uds.drain();
   server.shutdown(drain);
   uds.stop();
+  telemetry.finalize();
   std::cerr << "chopd: " << (drain ? "drained" : "aborted") << " and exiting\n";
   return 0;
 #else

@@ -19,6 +19,11 @@ file(APPEND ${input} "{\"op\":\"result\",\"id\":\"fir4\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"diffeq\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"victim\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"stats\"}\n")
+file(APPEND ${input} "{\"op\":\"healthz\"}\n")
+file(APPEND ${input} "{\"op\":\"metrics\"}\n")
+file(APPEND ${input} "{\"op\":\"metrics\",\"format\":\"prometheus\"}\n")
+file(APPEND ${input} "{\"op\":\"profile\"}\n")
+file(APPEND ${input} "{\"op\":\"profile\",\"id\":\"fir4\"}\n")
 
 execute_process(
   COMMAND ${CHOPD} --pipe --workers=1
@@ -35,7 +40,18 @@ foreach(needle
     "\"op\":\"result\",\"id\":\"diffeq\",\"state\":\"done\""
     "\"op\":\"cancel\",\"id\":\"victim\",\"outcome\":\"cancelled_queued\""
     "\"op\":\"result\",\"id\":\"victim\",\"state\":\"cancelled\""
-    "\"op\":\"stats\"")
+    "\"op\":\"stats\""
+    "\"op\":\"healthz\""
+    "\"uptime_ms\""
+    "\"op\":\"metrics\""
+    "\"histograms\""
+    "\"p999\""
+    "# TYPE chop_serve_run_ms summary"
+    "quantile=\\\"0.999\\\""
+    "\"op\":\"profile\",\"scope\":\"server\""
+    "\"op\":\"profile\",\"scope\":\"fir4\""
+    "\"bound_tables\""
+    "\"trace\":\"")
   string(FIND "${out}" "${needle}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "missing '${needle}' in chopd output:\n${out}")
