@@ -45,7 +45,9 @@ CandidateEvaluator::CandidateEvaluator(std::size_t max_entries)
       misses_counter_(
           obs::MetricsRegistry::global().counter("eval.cache_misses")),
       evictions_counter_(
-          obs::MetricsRegistry::global().counter("eval.cache_evictions")) {}
+          obs::MetricsRegistry::global().counter("eval.cache_evictions")),
+      core_hits_counter_(
+          obs::MetricsRegistry::global().counter("eval.delta_core_hits")) {}
 
 std::shared_ptr<const IntegrationResult> CandidateEvaluator::evaluate(
     const EvalContext& ctx,
@@ -73,11 +75,47 @@ std::shared_ptr<const IntegrationResult> CandidateEvaluator::evaluate(
     misses_counter_.add();
   }
 
-  // Compute outside the lock: integrations dominate the cost, and holding
-  // the shard would serialize the parallel enumeration's workers.
-  auto result =
-      std::make_shared<const IntegrationResult>(integrate(ctx, selection,
-                                                          ii_main));
+  // Core-level probe: the same selection + II under the
+  // constraint-independent core fingerprint. A hit means only the
+  // constraint budget / criteria moved since this candidate was last
+  // integrated, so the expensive half is reusable verbatim.
+  Key core_key = key;
+  core_key.context_fp = ctx.core_fingerprint();
+  CoreShard& core_shard = core_shards_[KeyHash{}(core_key) % kShards];
+  std::shared_ptr<const IntegrationCore> cached_core;
+  {
+    TimedLockGuard lock(core_shard.mu, profile);
+    const auto it = core_shard.map.find(core_key);
+    if (it != core_shard.map.end()) {
+      ++core_shard.hits;
+      core_hits_counter_.add();
+      cached_core = it->second;
+    }
+  }
+
+  // Compute outside the locks: integrations dominate the cost, and holding
+  // a shard would serialize the parallel enumeration's workers.
+  std::shared_ptr<const IntegrationResult> result;
+  if (cached_core != nullptr) {
+    obs::ScopedPhase verdict_phase(profile, obs::SearchPhase::kVerdict);
+    result = std::make_shared<const IntegrationResult>(
+        apply_verdict(ctx, *cached_core));
+  } else {
+    auto fresh_core = std::make_shared<const IntegrationCore>(
+        integrate_core(ctx, selection, ii_main));
+    result = std::make_shared<const IntegrationResult>(
+        apply_verdict(ctx, *fresh_core));
+    TimedLockGuard lock(core_shard.mu, profile);
+    const auto [it, inserted] =
+        core_shard.map.emplace(core_key, std::move(fresh_core));
+    if (inserted) {
+      core_shard.fifo.push_back(std::move(core_key));
+      while (core_shard.map.size() > shard_cap_) {
+        core_shard.map.erase(core_shard.fifo.front());
+        core_shard.fifo.pop_front();
+      }
+    }
+  }
 
   TimedLockGuard lock(shard.mu, profile);
   const auto [it, inserted] = shard.map.emplace(key, result);
@@ -100,6 +138,10 @@ CandidateEvaluator::Stats CandidateEvaluator::stats() const {
     out.misses += shard.misses;
     out.evictions += shard.evictions;
   }
+  for (const CoreShard& shard : core_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.core_hits += shard.hits;
+  }
   return out;
 }
 
@@ -114,6 +156,11 @@ std::size_t CandidateEvaluator::size() const {
 
 void CandidateEvaluator::clear() {
   for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.fifo.clear();
+  }
+  for (CoreShard& shard : core_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
     shard.fifo.clear();

@@ -49,12 +49,21 @@ void mix_transfer(Fnv1a& h, const DataTransfer& t) {
 
 namespace {
 
-std::uint64_t context_fingerprint(const Partitioning& pt,
-                                  const std::vector<DataTransfer>& transfers,
-                                  const bad::ClockSpec& clocks,
-                                  const DesignConstraints& constraints,
-                                  const FeasibilityCriteria& criteria,
-                                  Pins extra_pins) {
+struct ContextDigests {
+  std::uint64_t core = 0;  ///< Constraint/criteria-independent prefix.
+  std::uint64_t full = 0;  ///< The whole tuple.
+};
+
+/// Streams the tuple so the constraint budget and feasibility criteria are
+/// mixed last: the running digest just before them is the core
+/// fingerprint, and the final digest is the full one. Keeping both from a
+/// single pass guarantees the core is a true prefix of the full key.
+ContextDigests context_fingerprints(const Partitioning& pt,
+                                    const std::vector<DataTransfer>& transfers,
+                                    const bad::ClockSpec& clocks,
+                                    const DesignConstraints& constraints,
+                                    const FeasibilityCriteria& criteria,
+                                    Pins extra_pins) {
   Fnv1a h;
   for (const chip::ChipInstance& c : pt.chips()) {
     h.mix(c.name);
@@ -86,6 +95,11 @@ std::uint64_t context_fingerprint(const Partitioning& pt,
   h.mix(clocks.main_clock);
   h.mix(static_cast<std::int64_t>(clocks.datapath_multiplier));
   h.mix(static_cast<std::int64_t>(clocks.transfer_multiplier));
+  h.mix(static_cast<std::int64_t>(extra_pins));
+
+  ContextDigests out;
+  out.core = h.digest();
+
   h.mix(constraints.performance_ns);
   h.mix(constraints.delay_ns);
   h.mix(constraints.system_power_mw);
@@ -94,11 +108,28 @@ std::uint64_t context_fingerprint(const Partitioning& pt,
   h.mix(criteria.performance_prob);
   h.mix(criteria.delay_prob);
   h.mix(criteria.power_prob);
-  h.mix(static_cast<std::int64_t>(extra_pins));
-  return h.digest();
+  out.full = h.digest();
+  return out;
 }
 
 }  // namespace
+
+std::uint64_t partition_fingerprint(const Partitioning& pt, std::size_t p) {
+  const Partition& part = pt.partitions()[p];
+  Fnv1a h;
+  h.mix(part.name);
+  h.mix(static_cast<std::int64_t>(part.chip));
+  const chip::ChipPackage& pkg =
+      pt.chips()[static_cast<std::size_t>(part.chip)].package;
+  h.mix(pkg.width_mil);
+  h.mix(pkg.height_mil);
+  h.mix(static_cast<std::int64_t>(pkg.pin_count));
+  h.mix(pkg.pad_delay);
+  h.mix(pkg.io_pad_area);
+  h.mix(static_cast<std::int64_t>(pkg.infrastructure_pins));
+  for (dfg::NodeId id : part.members) h.mix(static_cast<std::int64_t>(id));
+  return h.digest();
+}
 
 EvalContext::EvalContext(const Partitioning& pt,
                          std::vector<DataTransfer> transfers,
@@ -115,8 +146,10 @@ EvalContext::EvalContext(const Partitioning& pt,
   constraints_.validate();
   criteria_.validate();
   CHOP_REQUIRE(extra_pins_ >= 0, "extra pin reserve cannot be negative");
-  fingerprint_ = context_fingerprint(pt, transfers_, clocks_, constraints_,
-                                     criteria_, extra_pins_);
+  const ContextDigests digests = context_fingerprints(
+      pt, transfers_, clocks_, constraints_, criteria_, extra_pins_);
+  fingerprint_ = digests.full;
+  core_fingerprint_ = digests.core;
 }
 
 }  // namespace chop::core

@@ -47,6 +47,14 @@ class EvalContext {
   /// cached IntegrationResults are interchangeable between them.
   std::uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Digest of the constraint-independent prefix of the tuple: everything
+  /// fingerprint() covers except the constraint budget and the feasibility
+  /// criteria. Two contexts with equal core fingerprints produce identical
+  /// IntegrationCore values for any selection — only the verdict can
+  /// differ — which is what lets the §2.7 tighten/loosen-constraint group
+  /// reuse memoized integration cores and warm evaluator state.
+  std::uint64_t core_fingerprint() const { return core_fingerprint_; }
+
  private:
   const Partitioning* pt_;
   std::vector<DataTransfer> transfers_;
@@ -55,6 +63,13 @@ class EvalContext {
   FeasibilityCriteria criteria_;
   Pins extra_pins_;
   std::uint64_t fingerprint_;
+  std::uint64_t core_fingerprint_;
 };
+
+/// Content digest of one partition as integrate() sees it: name, chip
+/// binding (including the chip's package geometry) and member set. The
+/// session diffs these across an EvalDelta to decide which partitions'
+/// predictions and bound columns are actually dirty.
+std::uint64_t partition_fingerprint(const Partitioning& pt, std::size_t p);
 
 }  // namespace chop::core

@@ -1,0 +1,104 @@
+// EvalDelta — a structured description of one §2.7 designer modification.
+//
+// The paper's interactive loop offers four modification groups: move an
+// operation between partitions, retarget a partition's chip (or swap the
+// chip's package/library), change the clock family, and tighten or loosen
+// the constraint budget. An EvalDelta names one such edit as data, so the
+// session can apply it, diff the evaluation-context fingerprints before
+// and after, and route the follow-up search through the incremental path:
+// per-partition prediction reuse, warm CandidateEvaluator shards (full-key
+// and constraint-independent core-key), and cached BoundTables columns.
+//
+// A DeltaImpact summarises what actually changed — the contract consumers
+// rely on: `noop` deltas must trigger zero re-search, `constraints_only`
+// deltas keep every IntegrationCore valid, and `dirty_partitions` names
+// the prediction lists that genuinely need a fresh BAD pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bad/style.hpp"
+#include "core/constraints.hpp"
+#include "core/partitioning.hpp"
+
+namespace chop::core {
+
+/// One §2.7 modification, as data.
+struct EvalDelta {
+  enum class Kind {
+    MoveOperation,       ///< Move one op to another partition (§2.7 group 1).
+    MovePartitionToChip, ///< Rebind a partition to another chip (group 2).
+    ReplaceChipPackage,  ///< Swap a chip's package/library (group 2).
+    SetClocking,         ///< Replace the style + clock family (group 3).
+    SetConstraints,      ///< Replace the constraint budget (group 4).
+  };
+
+  Kind kind = Kind::SetConstraints;
+
+  // MoveOperation.
+  dfg::NodeId op = dfg::kNoNode;
+  int to_partition = -1;
+
+  // MovePartitionToChip.
+  int partition = -1;
+
+  // MovePartitionToChip / ReplaceChipPackage.
+  int chip = -1;
+  chip::ChipPackage package{};
+
+  // SetClocking.
+  bad::ArchitectureStyle style{};
+  bad::ClockSpec clocks{};
+
+  // SetConstraints.
+  DesignConstraints constraints{};
+
+  const char* kind_name() const;
+
+  static EvalDelta move_operation(dfg::NodeId op, int to_partition);
+  static EvalDelta move_partition_to_chip(int partition, int chip);
+  static EvalDelta replace_chip_package(int chip, chip::ChipPackage package);
+  static EvalDelta set_clocking(bad::ArchitectureStyle style,
+                                bad::ClockSpec clocks);
+  static EvalDelta set_constraints(DesignConstraints constraints);
+};
+
+/// What one apply(EvalDelta) actually changed, from fingerprint diffs.
+struct DeltaImpact {
+  std::uint64_t revision = 0;  ///< Session revision after the apply.
+
+  /// Full-context fingerprint unchanged: the edit re-stated the current
+  /// state. Predictions stay valid and research() must not re-search.
+  bool noop = false;
+
+  /// Core fingerprint unchanged (but the full one moved): only the
+  /// constraint budget / criteria differ, so every memoized
+  /// IntegrationCore and BoundTables static remains valid.
+  bool constraints_only = false;
+
+  /// Per-partition flag: the partition's prediction inputs (members, chip
+  /// package, clocks, or the pruning budget) changed, so its list — and
+  /// its bound-table column — must be recomputed.
+  std::vector<bool> dirty_partitions;
+
+  std::uint64_t old_fingerprint = 0;
+  std::uint64_t new_fingerprint = 0;
+
+  std::size_t dirty_count() const {
+    std::size_t n = 0;
+    for (bool d : dirty_partitions) n += d ? 1 : 0;
+    return n;
+  }
+};
+
+/// Applies `delta` to the loose session state. Mutation semantics match
+/// the long-standing Partitioning mutators / session setters exactly:
+/// the same validation, the same ordering of members after a move. Throws
+/// (via CHOP_REQUIRE) on invalid targets, like the mutators it wraps.
+void apply_delta(const EvalDelta& delta, Partitioning& pt,
+                 bad::ArchitectureStyle& style, bad::ClockSpec& clocks,
+                 DesignConstraints& constraints);
+
+}  // namespace chop::core

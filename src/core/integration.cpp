@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "bad/power_model.hpp"
 #include "obs/metrics.hpp"
@@ -36,29 +35,47 @@ bool rates_compatible(
 
 namespace {
 
-/// Pin-sharing statistics per chip: how many pin-crossing transfers
-/// multiplex the chip's data pins, and the mux depth that implies.
-struct PinSharing {
-  int transfers = 0;
-  int mux_levels() const {
-    return transfers <= 1
-               ? 0
-               : static_cast<int>(std::ceil(std::log2(transfers)));
-  }
+/// Mux depth implied by `transfers` pin-crossing transfers multiplexing one
+/// chip's data pins.
+int mux_levels(int transfers) {
+  return transfers <= 1 ? 0
+                        : static_cast<int>(std::ceil(std::log2(transfers)));
+}
+
+/// Per-thread scratch arena for integrate_core(). The search evaluates
+/// thousands of combinations per second and every one used to allocate a
+/// dozen vectors, a map and a task graph; the arena keeps those buffers
+/// (and an SoA StatBank for the chip area/power accumulators) alive across
+/// trials so the steady-state inner loop is allocation-free. thread_local
+/// because the parallel enumeration runs leaf evaluations from pool
+/// threads concurrently.
+struct EvalScratch {
+  std::vector<Pins> reserved;
+  std::vector<Pins> data_pins;
+  std::vector<int> sharing;  ///< Pin-crossing transfer count per chip.
+  sched::TaskGraph tg;
+  std::vector<int> pin_res;
+  std::vector<int> mem_res;  ///< Resource id per memory block (flat).
+  std::vector<int> pu_task;
+  std::vector<int> transfer_task;
+  StatBank chip_area;
+  StatBank chip_power;
 };
+
+EvalScratch& scratch_for_thread() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
 
 }  // namespace
 
-IntegrationResult integrate(
+IntegrationCore integrate_core(
     const EvalContext& ctx,
     const std::vector<const bad::DesignPrediction*>& selection,
     Cycles ii_main) {
   const Partitioning& pt = ctx.partitioning();
   const std::vector<DataTransfer>& transfers = ctx.transfers();
   const bad::ClockSpec& clocks = ctx.clocks();
-  const DesignConstraints& constraints = ctx.constraints();
-  const FeasibilityCriteria& criteria = ctx.criteria();
-  const Pins extra_reserved_pins_per_chip = ctx.extra_pins();
   const auto& partitions = pt.partitions();
   const auto& chips = pt.chips();
   CHOP_REQUIRE(selection.size() == partitions.size(),
@@ -73,17 +90,17 @@ IntegrationResult integrate(
 
   static obs::Counter& attempts =
       obs::MetricsRegistry::global().counter("integration.attempts");
-  static obs::Counter& infeasible =
-      obs::MetricsRegistry::global().counter("integration.infeasible");
   attempts.add();
 
-  IntegrationResult out;
+  EvalScratch& scratch = scratch_for_thread();
+  IntegrationCore core;
+  IntegrationResult& out = core.partial;
   out.ii_main = ii_main;
   auto fail = [&](std::string why) {
-    infeasible.add();
+    core.structural_fail = true;
     out.feasible = false;
     out.reason = std::move(why);
-    return out;
+    return std::move(core);
   };
 
   if (!rates_compatible(selection)) {
@@ -96,8 +113,11 @@ IntegrationResult integrate(
   }
 
   // --- pin budgets -------------------------------------------------------
-  const std::vector<Pins> reserved = reserved_control_pins(pt, transfers);
-  std::vector<Pins> data_pins(chips.size(), 0);
+  reserved_control_pins_into(pt, transfers, 2, scratch.reserved);
+  const std::vector<Pins>& reserved = scratch.reserved;
+  std::vector<Pins>& data_pins = scratch.data_pins;
+  data_pins.assign(chips.size(), 0);
+  const Pins extra_reserved_pins_per_chip = ctx.extra_pins();
   for (std::size_t c = 0; c < chips.size(); ++c) {
     data_pins[c] = chips[c].package.signal_pins() - reserved[c] -
                    extra_reserved_pins_per_chip;
@@ -107,9 +127,10 @@ IntegrationResult integrate(
     }
   }
 
-  std::vector<PinSharing> sharing(chips.size());
+  std::vector<int>& sharing = scratch.sharing;
+  sharing.assign(chips.size(), 0);
   for (const DataTransfer& t : transfers) {
-    for (int c : t.chips) sharing[static_cast<std::size_t>(c)].transfers++;
+    for (int c : t.chips) sharing[static_cast<std::size_t>(c)]++;
   }
 
   // --- transfer bandwidth and duration ------------------------------------
@@ -150,19 +171,24 @@ IntegrationResult integrate(
   }
 
   // --- system task graph and urgency schedule -----------------------------
-  sched::TaskGraph tg;
+  sched::TaskGraph& tg = scratch.tg;
+  tg.tasks.clear();
+  tg.precedence.clear();
+  tg.capacity.clear();
   // Resources: one per chip (data pins), one per memory block (ports).
-  std::vector<int> pin_res(chips.size());
+  std::vector<int>& pin_res = scratch.pin_res;
+  pin_res.assign(chips.size(), -1);
   for (std::size_t c = 0; c < chips.size(); ++c) {
     pin_res[c] = tg.add_resource(data_pins[c]);
   }
-  std::map<int, int> mem_res;
+  std::vector<int>& mem_res = scratch.mem_res;
+  mem_res.assign(pt.memory().blocks.size(), -1);
   for (std::size_t b = 0; b < pt.memory().blocks.size(); ++b) {
-    mem_res[static_cast<int>(b)] =
-        tg.add_resource(pt.memory().blocks[b].ports);
+    mem_res[b] = tg.add_resource(pt.memory().blocks[b].ports);
   }
 
-  std::vector<int> pu_task(partitions.size());
+  std::vector<int>& pu_task = scratch.pu_task;
+  pu_task.assign(partitions.size(), -1);
   for (std::size_t p = 0; p < partitions.size(); ++p) {
     sched::Task task;
     task.name = partitions[p].name;
@@ -172,13 +198,14 @@ IntegrationResult integrate(
       (void)accesses;
       const int mem_chip = pt.memory().placement(block);
       if (mem_chip == partitions[p].chip) {
-        task.demands.emplace_back(mem_res.at(block), 1);
+        task.demands.emplace_back(mem_res[static_cast<std::size_t>(block)], 1);
       }
     }
     pu_task[p] = tg.add_task(std::move(task));
   }
 
-  std::vector<int> transfer_task(out.transfers.size(), -1);
+  std::vector<int>& transfer_task = scratch.transfer_task;
+  transfer_task.assign(out.transfers.size(), -1);
   for (std::size_t i = 0; i < out.transfers.size(); ++i) {
     const TransferPlan& plan = out.transfers[i];
     sched::Task task;
@@ -189,7 +216,8 @@ IntegrationResult integrate(
                                 plan.pins);
     }
     if (plan.task.memory_block >= 0 && plan.task.crosses_pins()) {
-      task.demands.emplace_back(mem_res.at(plan.task.memory_block), 1);
+      task.demands.emplace_back(
+          mem_res[static_cast<std::size_t>(plan.task.memory_block)], 1);
     }
     transfer_task[i] = tg.add_task(std::move(task));
 
@@ -274,7 +302,7 @@ IntegrationResult integrate(
     const double buffer_area = static_cast<double>(plan.buffer_bits) * reg.area;
     double mux_area = 0.0;
     for (int c : plan.task.chips) {
-      const int levels = sharing[static_cast<std::size_t>(c)].mux_levels();
+      const int levels = mux_levels(sharing[static_cast<std::size_t>(c)]);
       mux_area = std::max(mux_area, static_cast<double>(plan.pins) *
                                         static_cast<double>(levels) * mux.area);
     }
@@ -283,44 +311,47 @@ IntegrationResult integrate(
         buffers + StatVal(mux_area) + plan.controller.area;
   }
 
-  // --- per-chip area feasibility ------------------------------------------
-  out.chip_area.assign(chips.size(), StatVal{});
+  // --- per-chip area accumulation (SoA scratch, then materialised) --------
+  scratch.chip_area.assign(chips.size());
   for (std::size_t p = 0; p < partitions.size(); ++p) {
-    out.chip_area[static_cast<std::size_t>(partitions[p].chip)] +=
-        selection[p]->total_area;
+    scratch.chip_area.add(static_cast<std::size_t>(partitions[p].chip),
+                          selection[p]->total_area);
   }
   for (const TransferPlan& plan : out.transfers) {
     for (int c : plan.task.chips) {
-      out.chip_area[static_cast<std::size_t>(c)] += plan.module_area;
+      scratch.chip_area.add(static_cast<std::size_t>(c), plan.module_area);
     }
   }
   for (std::size_t b = 0; b < pt.memory().blocks.size(); ++b) {
     const int placement = pt.memory().placement(static_cast<int>(b));
     if (placement != chip::kOffTheShelfChip) {
-      out.chip_area[static_cast<std::size_t>(placement)] +=
-          StatVal(pt.memory().blocks[b].area);
+      scratch.chip_area.add_exact(static_cast<std::size_t>(placement),
+                                  pt.memory().blocks[b].area);
     }
   }
+  out.chip_area.assign(chips.size(), StatVal{});
   for (std::size_t c = 0; c < chips.size(); ++c) {
-    if (!criteria.area_ok(out.chip_area[c], chips[c].package.usable_area())) {
-      out.violated_chips.push_back(static_cast<int>(c));
-    }
+    out.chip_area[c] = scratch.chip_area.get(c);
   }
 
   // --- per-chip and system power (the §5 power extension) -----------------
-  out.chip_power_mw.assign(chips.size(), StatVal{});
+  scratch.chip_power.assign(chips.size());
   for (std::size_t p = 0; p < partitions.size(); ++p) {
-    out.chip_power_mw[static_cast<std::size_t>(partitions[p].chip)] +=
-        selection[p]->power_mw;
+    scratch.chip_power.add(static_cast<std::size_t>(partitions[p].chip),
+                           selection[p]->power_mw);
   }
   for (const TransferPlan& plan : out.transfers) {
     for (int c : plan.task.chips) {
-      out.chip_power_mw[static_cast<std::size_t>(c)] += plan.module_power_mw;
+      scratch.chip_power.add(static_cast<std::size_t>(c), plan.module_power_mw);
     }
+  }
+  out.chip_power_mw.assign(chips.size(), StatVal{});
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    out.chip_power_mw[c] = scratch.chip_power.get(c);
   }
   for (const StatVal& p : out.chip_power_mw) out.system_power_mw += p;
 
-  // --- clock adjustment and absolute feasibility ---------------------------
+  // --- clock adjustment ----------------------------------------------------
   Ns partition_charge = 0.0;
   for (const bad::DesignPrediction* p : selection) {
     partition_charge = std::max(partition_charge, p->clock_overhead_ns);
@@ -328,10 +359,10 @@ IntegrationResult integrate(
   Ns transfer_charge = 0.0;
   const lib::BitCellSpec mux{18.0, 4.0};
   for (std::size_t c = 0; c < chips.size(); ++c) {
-    if (sharing[c].transfers == 0) continue;
+    if (sharing[c] == 0) continue;
     // Only the on-chip pin-multiplexing tree stretches the clock; pad
     // delay is charged to the transfer duration above.
-    const Ns path = static_cast<double>(sharing[c].mux_levels()) * mux.delay;
+    const Ns path = static_cast<double>(mux_levels(sharing[c])) * mux.delay;
     transfer_charge = std::max(
         transfer_charge,
         path / static_cast<double>(clocks.transfer_multiplier));
@@ -346,6 +377,38 @@ IntegrationResult integrate(
       out.adjusted_clock_ns * static_cast<double>(out.ii_main);
   out.delay_ns =
       out.adjusted_clock_ns * static_cast<double>(out.system_delay_main);
+  return core;
+}
+
+IntegrationResult apply_verdict(const EvalContext& ctx,
+                                const IntegrationCore& core) {
+  static obs::Counter& infeasible =
+      obs::MetricsRegistry::global().counter("integration.infeasible");
+
+  IntegrationResult out = core.partial;
+  if (core.structural_fail) {
+    // Structural failures carry their final reason from integrate_core();
+    // no constraint is ever consulted for them.
+    infeasible.add();
+    return out;
+  }
+
+  const DesignConstraints& constraints = ctx.constraints();
+  const FeasibilityCriteria& criteria = ctx.criteria();
+  const auto& chips = ctx.partitioning().chips();
+  auto fail = [&](std::string why) {
+    infeasible.add();
+    out.feasible = false;
+    out.reason = std::move(why);
+    return std::move(out);
+  };
+
+  out.violated_chips.clear();
+  for (std::size_t c = 0; c < chips.size(); ++c) {
+    if (!criteria.area_ok(out.chip_area[c], chips[c].package.usable_area())) {
+      out.violated_chips.push_back(static_cast<int>(c));
+    }
+  }
 
   if (!out.violated_chips.empty()) {
     return fail("chip area constraint violated");
@@ -369,7 +432,15 @@ IntegrationResult integrate(
     }
   }
   out.feasible = true;
+  out.reason.clear();
   return out;
+}
+
+IntegrationResult integrate(
+    const EvalContext& ctx,
+    const std::vector<const bad::DesignPrediction*>& selection,
+    Cycles ii_main) {
+  return apply_verdict(ctx, integrate_core(ctx, selection, ii_main));
 }
 
 }  // namespace chop::core

@@ -39,6 +39,7 @@
 
 namespace chop::core {
 
+class BoundTablesCache;
 class CandidateEvaluator;
 
 /// Which search heuristic to run ("H" column of Tables 4/6).
@@ -95,6 +96,11 @@ struct SearchOptions {
   /// `true` here only when set to a disabling value). The iterative
   /// heuristic ignores this.
   bool bound_pruning = true;
+  /// Session-owned memo for bound-table construction across §2.7
+  /// revisions (see BoundTablesCache in core/eval/bound_state.hpp). Not
+  /// owned; null (the default) — and an unarmed cache — leave the
+  /// construction byte-identical to the cacheless path.
+  BoundTablesCache* bound_cache = nullptr;
   /// Distributed-tracing context to run under: every span the search
   /// emits (including spans on pool worker threads) joins this trace as
   /// one connected tree. Inactive (the default) inherits whatever

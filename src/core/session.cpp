@@ -1,13 +1,33 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
+#include "core/eval/fingerprint.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_profile.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace chop::core {
+
+namespace {
+
+/// Family tags folded into bound-cache column keys: the cache must never
+/// serve a column computed from the raw list to a search over the
+/// eligible list (options.prune picks the family uniformly).
+constexpr std::uint64_t kEligibleFamily = 0x454c4947u;  // "ELIG"
+constexpr std::uint64_t kRawFamily = 0x52415721u;       // "RAW!"
+
+Cycles max_ii_dp_for(const ChopConfig& config) {
+  const Cycles max_ii_main = static_cast<Cycles>(
+      config.constraints.performance_ns / config.clocks.main_clock);
+  return std::max<Cycles>(1, max_ii_main / config.clocks.datapath_multiplier);
+}
+
+}  // namespace
 
 ChopSession::ChopSession(const lib::ComponentLibrary& library,
                          Partitioning partitioning, ChopConfig config)
@@ -35,54 +55,129 @@ void ChopSession::set_clocking(const bad::ArchitectureStyle& style,
   predictions_valid_ = false;  // every prediction depends on the clocks
 }
 
+std::uint64_t ChopSession::predict_env_key() const {
+  Fnv1a h;
+  h.mix(static_cast<int>(config_.style.clocking));
+  h.mix(config_.style.allow_pipelining ? 1 : 0);
+  h.mix(config_.clocks.main_clock);
+  h.mix(config_.clocks.datapath_multiplier);
+  h.mix(config_.clocks.transfer_multiplier);
+  h.mix(max_ii_dp_for(config_));
+  h.mix(config_.testability.scan_design ? 1 : 0);
+  h.mix(config_.testability.register_area_factor);
+  h.mix(config_.testability.register_delay_penalty_ns);
+  h.mix(config_.testability.controller_area_factor);
+  h.mix(config_.testability.test_pins_per_chip);
+  for (int units : config_.predictor.unit_sweep) h.mix(units);
+  for (const auto& block : partitioning_.memory().blocks) {
+    h.mix(block.ports);
+    h.mix(block.access_time);
+  }
+  return h.digest();
+}
+
+std::uint64_t ChopSession::raw_key(std::size_t p,
+                                   std::uint64_t env_key) const {
+  Fnv1a h;
+  h.mix(env_key);
+  h.mix(static_cast<std::uint64_t>(p));
+  for (dfg::NodeId member : partitioning_.partitions()[p].members) {
+    h.mix(member);
+  }
+  return h.digest();
+}
+
+std::uint64_t ChopSession::eligible_key(std::size_t p,
+                                        std::uint64_t raw) const {
+  Fnv1a h;
+  h.mix(raw);
+  const Partition& part = partitioning_.partitions()[p];
+  h.mix(partitioning_.chips()[static_cast<std::size_t>(part.chip)]
+            .package.usable_area());
+  h.mix(config_.constraints.performance_ns);
+  h.mix(config_.constraints.delay_ns);
+  h.mix(config_.constraints.system_power_mw);
+  h.mix(config_.constraints.chip_power_mw);
+  h.mix(config_.criteria.area_prob);
+  h.mix(config_.criteria.performance_prob);
+  h.mix(config_.criteria.delay_prob);
+  h.mix(config_.criteria.power_prob);
+  return h.digest();
+}
+
 PredictionStats ChopSession::predict_partitions() {
   obs::TraceSpan span("session.predict");
   Timer timer;
   partitioning_.validate();
-  predictions_ = PartitionPredictions{};
 
   const auto& partitions = partitioning_.partitions();
   const auto& chips = partitioning_.chips();
 
+  if (predictions_.raw.size() != partitions.size() ||
+      predict_cache_.size() != partitions.size()) {
+    predictions_ = PartitionPredictions{};
+    predictions_.raw.resize(partitions.size());
+    predictions_.eligible.resize(partitions.size());
+    predict_cache_.assign(partitions.size(), PartitionPredictState{});
+  }
+
   // Cap pipelined II enumeration from the performance budget (§3.2).
-  const Cycles max_ii_main = static_cast<Cycles>(
-      config_.constraints.performance_ns / config_.clocks.main_clock);
-  const Cycles max_ii_dp = std::max<Cycles>(
-      1, max_ii_main / config_.clocks.datapath_multiplier);
+  const Cycles max_ii_dp = max_ii_dp_for(config_);
+  const std::uint64_t env_key = predict_env_key();
+
+  static obs::Counter& reused_counter =
+      obs::MetricsRegistry::global().counter("eval.delta_predict_reused");
+  static obs::Counter& recomputed_counter =
+      obs::MetricsRegistry::global().counter("eval.delta_predict_recomputed");
 
   bad::Predictor predictor(config_.predictor);
+  PredictionStats stats;
   for (std::size_t p = 0; p < partitions.size(); ++p) {
-    obs::TraceSpan partition_span("session.predict.partition");
-    partition_span.arg("partition", partitions[p].name);
-    const dfg::Subgraph sub = partitioning_.subgraph(static_cast<int>(p));
+    PartitionPredictState& state = predict_cache_[p];
+    const std::uint64_t rk = raw_key(p, env_key);
+    const bool raw_hit = state.valid && state.raw_key == rk;
+    if (raw_hit) {
+      ++stats.reused;
+      reused_counter.add();
+    } else {
+      obs::TraceSpan partition_span("session.predict.partition");
+      partition_span.arg("partition", partitions[p].name);
+      const dfg::Subgraph sub = partitioning_.subgraph(static_cast<int>(p));
 
-    bad::PredictionRequest request;
-    request.graph = &sub.graph;
-    request.library = library_;
-    request.style = config_.style;
-    request.clocks = config_.clocks;
-    request.max_ii_dp = max_ii_dp;
-    request.testability = config_.testability;
-    for (std::size_t b = 0; b < partitioning_.memory().blocks.size(); ++b) {
-      request.memory_ports[static_cast<int>(b)] =
-          partitioning_.memory().blocks[b].ports;
-      request.memory_access_time.push_back(
-          partitioning_.memory().blocks[b].access_time);
+      bad::PredictionRequest request;
+      request.graph = &sub.graph;
+      request.library = library_;
+      request.style = config_.style;
+      request.clocks = config_.clocks;
+      request.max_ii_dp = max_ii_dp;
+      request.testability = config_.testability;
+      for (std::size_t b = 0; b < partitioning_.memory().blocks.size(); ++b) {
+        request.memory_ports[static_cast<int>(b)] =
+            partitioning_.memory().blocks[b].ports;
+        request.memory_access_time.push_back(
+            partitioning_.memory().blocks[b].access_time);
+      }
+
+      predictions_.raw[p] = predictor.predict(request);
+      recomputed_counter.add();
     }
-
-    std::vector<bad::DesignPrediction> raw = predictor.predict(request);
-    const AreaMil2 usable =
-        chips[static_cast<std::size_t>(partitions[p].chip)]
-            .package.usable_area();
-    std::vector<bad::DesignPrediction> eligible = prune_level1(
-        raw, usable, config_.clocks, config_.constraints, config_.criteria);
-    predictions_.raw.push_back(std::move(raw));
-    predictions_.eligible.push_back(std::move(eligible));
+    const std::uint64_t ek = eligible_key(p, rk);
+    if (!raw_hit || state.eligible_key != ek) {
+      const AreaMil2 usable =
+          chips[static_cast<std::size_t>(partitions[p].chip)]
+              .package.usable_area();
+      predictions_.eligible[p] =
+          prune_level1(predictions_.raw[p], usable, config_.clocks,
+                       config_.constraints, config_.criteria);
+    }
+    state.raw_key = rk;
+    state.eligible_key = ek;
+    state.valid = true;
   }
 
   predictions_valid_ = true;
-  const PredictionStats stats{predictions_.raw_total(),
-                              predictions_.eligible_total()};
+  stats.total = predictions_.raw_total();
+  stats.feasible = predictions_.eligible_total();
   obs::MetricsRegistry::global()
       .histogram("session.predict_ms")
       .observe(timer.elapsed_ms());
@@ -92,7 +187,144 @@ PredictionStats ChopSession::predict_partitions() {
   span.arg("partitions", partitioning_.partitions().size());
   span.arg("predictions_raw", stats.total);
   span.arg("predictions_eligible", stats.feasible);
+  span.arg("predictions_reused", stats.reused);
   return stats;
+}
+
+DeltaImpact ChopSession::apply(const EvalDelta& delta) {
+  obs::TraceSpan span("session.apply_delta");
+  span.arg("kind", delta.kind_name());
+  static obs::Counter& applied =
+      obs::MetricsRegistry::global().counter("eval.delta_applied");
+
+  const std::size_t old_nparts = partitioning_.partitions().size();
+  std::uint64_t old_full = 0;
+  std::uint64_t old_core = 0;
+  {
+    const EvalContext before = make_eval_context();
+    old_full = before.fingerprint();
+    old_core = before.core_fingerprint();
+  }
+  std::vector<std::uint64_t> old_keys(old_nparts);
+  {
+    const std::uint64_t env = predict_env_key();
+    for (std::size_t p = 0; p < old_nparts; ++p) {
+      old_keys[p] = eligible_key(p, raw_key(p, env));
+    }
+  }
+
+  apply_delta(delta, partitioning_, config_.style, config_.clocks,
+              config_.constraints);
+  partitioning_.validate();
+
+  DeltaImpact impact;
+  impact.revision = ++revision_;
+  impact.old_fingerprint = old_full;
+  {
+    const EvalContext after = make_eval_context();
+    impact.new_fingerprint = after.fingerprint();
+    impact.noop = impact.new_fingerprint == old_full;
+    impact.constraints_only =
+        !impact.noop && after.core_fingerprint() == old_core;
+  }
+
+  const std::size_t nparts = partitioning_.partitions().size();
+  if (nparts != old_nparts) {
+    impact.dirty_partitions.assign(nparts, true);
+  } else {
+    impact.dirty_partitions.assign(nparts, false);
+    const std::uint64_t env = predict_env_key();
+    for (std::size_t p = 0; p < nparts; ++p) {
+      impact.dirty_partitions[p] =
+          eligible_key(p, raw_key(p, env)) != old_keys[p];
+    }
+  }
+
+  if (!impact.noop) {
+    predictions_valid_ = false;
+    last_result_valid_ = false;
+  }
+  applied.add();
+  span.arg("noop", impact.noop ? 1 : 0);
+  span.arg("constraints_only", impact.constraints_only ? 1 : 0);
+  span.arg("dirty_partitions", impact.dirty_count());
+  return impact;
+}
+
+SearchResult ChopSession::research(const SearchOptions& options) {
+  obs::TraceSpan span("session.research");
+  if (!predictions_valid_) {
+    obs::ScopedPhase predict_phase(options.profile, obs::SearchPhase::kPredict);
+    predict_partitions();
+  }
+  if (bound_cache_ == nullptr) {
+    bound_cache_ = std::make_unique<BoundTablesCache>();
+  }
+
+  // The context must outlive the search (it is passed by reference).
+  const EvalContext ctx = make_eval_context();
+
+  const std::size_t nparts = partitioning_.partitions().size();
+  const std::uint64_t env = predict_env_key();
+  std::vector<std::uint64_t> raw_keys(nparts);
+  std::vector<std::uint64_t> eligible_keys(nparts);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    raw_keys[p] = raw_key(p, env);
+    eligible_keys[p] = eligible_key(p, raw_keys[p]);
+  }
+
+  // One-deep result memo, content-keyed: the context fingerprint covers
+  // the integration inputs, the list keys cover the searched lists, and
+  // the option fields below are exactly the ones a deterministic search
+  // depends on (threads is deliberately excluded — results are identical
+  // across thread counts; observer/cancel/deadline disqualify caching
+  // outright because the caller observes the run itself).
+  Fnv1a rk;
+  rk.mix(ctx.fingerprint());
+  rk.mix(static_cast<int>(options.heuristic));
+  rk.mix(options.prune ? 1 : 0);
+  rk.mix(options.record_all ? 1 : 0);
+  rk.mix(static_cast<std::uint64_t>(options.max_trials));
+  rk.mix(options.bound_pruning ? 1 : 0);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    rk.mix(raw_keys[p]);
+    rk.mix(eligible_keys[p]);
+  }
+  const std::uint64_t result_key = rk.digest();
+  const bool cache_eligible =
+      options.cancel == nullptr &&
+      options.deadline == std::chrono::steady_clock::time_point{} &&
+      options.observer == nullptr;
+
+  static obs::Counter& noop_counter =
+      obs::MetricsRegistry::global().counter("eval.delta_noop_research");
+  if (cache_eligible && last_result_valid_ && last_result_key_ == result_key) {
+    noop_counter.add();
+    span.arg("cached", 1);
+    return last_result_;
+  }
+
+  SearchOptions opts = options;
+  if (opts.evaluator == nullptr) opts.evaluator = evaluator_.get();
+  if (opts.bound_cache == nullptr) {
+    std::vector<std::uint64_t> column_keys(nparts);
+    for (std::size_t p = 0; p < nparts; ++p) {
+      Fnv1a ch;
+      ch.mix(opts.prune ? kEligibleFamily : kRawFamily);
+      ch.mix(opts.prune ? eligible_keys[p] : raw_keys[p]);
+      column_keys[p] = ch.digest();
+    }
+    bound_cache_->prepare(ctx.core_fingerprint(), std::move(column_keys));
+    opts.bound_cache = bound_cache_.get();
+  }
+
+  SearchResult result = find_feasible_implementations(ctx, predictions_, opts);
+  if (cache_eligible && !result.cancelled) {
+    last_result_ = result;
+    last_result_key_ = result_key;
+    last_result_valid_ = true;
+  }
+  return result;
 }
 
 std::vector<DataTransfer> ChopSession::transfer_tasks() const {

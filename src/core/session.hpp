@@ -2,14 +2,31 @@
 // designer loop of the paper's Figure 1: create/modify partitions, run
 // BAD per partition (with level-1 pruning), search for feasible global
 // implementations, inspect the guideline output, modify, repeat.
+//
+// Two ways to drive the modify half of the loop:
+//  * the legacy setters (mutate_partitioning / set_constraints /
+//    set_clocking) followed by predict_partitions() + search(), and
+//  * the revisioned incremental pipeline: apply(EvalDelta) + research().
+//    apply() patches the session state through a structured §2.7 delta
+//    and reports which partitions it dirtied; research() then re-runs
+//    only the invalidated work — per-partition prediction reuse, the
+//    session evaluator's two-level memo, and a BoundTablesCache that
+//    rebuilds only dirty bound columns — while returning a result
+//    byte-identical to a cold predict+search of the same state (the
+//    equality oracle in chop_fuzz and tests/eval_delta_test enforce
+//    this).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bad/predictor.hpp"
+#include "core/eval/bound_state.hpp"
 #include "core/eval/candidate_evaluator.hpp"
+#include "core/eval/eval_delta.hpp"
 #include "core/partitioning.hpp"
 #include "core/search.hpp"
 
@@ -30,6 +47,9 @@ struct ChopConfig {
 struct PredictionStats {
   std::size_t total = 0;     ///< Raw predictions from BAD.
   std::size_t feasible = 0;  ///< After level-1 pruning (feasible, non-inferior).
+  /// Partitions whose raw BAD run was skipped because nothing the
+  /// prediction depends on changed since the last pass.
+  std::size_t reused = 0;
 };
 
 /// The interactive partitioning session. Owns the partitioning state;
@@ -61,6 +81,31 @@ class ChopSession {
   /// predictions.
   void set_clocking(const bad::ArchitectureStyle& style,
                     const bad::ClockSpec& clocks);
+
+  /// Monotone revision counter: 0 at construction, bumped by every
+  /// apply() — including no-op deltas, so a revision id names an apply
+  /// event, not a distinct state.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Applies one structured §2.7 modification and reports its impact:
+  /// which partitions now need fresh predictions, whether the delta was a
+  /// no-op (state fingerprint unchanged), and whether it only moved the
+  /// constraint budget (integration cores stay reusable). A no-op keeps
+  /// every cached artifact valid, so the following research() does zero
+  /// new work. Throws chop::Error (strong guarantee on config, but the
+  /// partitioning may have been patched) if the delta is invalid against
+  /// the current state.
+  DeltaImpact apply(const EvalDelta& delta);
+
+  /// The incremental counterpart of predict_partitions() + search():
+  /// refreshes predictions if needed (reusing every partition whose
+  /// inputs are unchanged), arms the session's bound-table cache, and
+  /// runs the search on the session evaluator. The returned result is
+  /// byte-identical to a cold session's predict+search of the same state.
+  /// Plain repeated calls with unchanged state and equivalent options are
+  /// answered from a one-deep result cache (skipped when options carry an
+  /// observer, cancel flag, or deadline).
+  SearchResult research(const SearchOptions& options);
 
   /// Runs BAD on every partition and applies level-1 pruning. Stores the
   /// lists for subsequent search() calls and returns the Table-3/5 stats.
@@ -95,11 +140,38 @@ class ChopSession {
   std::string guideline(const GlobalDesign& design) const;
 
  private:
+  /// Cached content keys of one partition's prediction lists, deciding
+  /// reuse across predict passes. raw_key digests everything the raw BAD
+  /// run reads (clocking environment, testability, memory subsystem,
+  /// predictor sweep, partition members); eligible_key additionally
+  /// digests what level-1 pruning reads (the chip's usable area, the
+  /// constraint budget, the feasibility criteria). Equal keys imply
+  /// identical lists by construction.
+  struct PartitionPredictState {
+    std::uint64_t raw_key = 0;
+    std::uint64_t eligible_key = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t predict_env_key() const;
+  std::uint64_t raw_key(std::size_t p, std::uint64_t env_key) const;
+  std::uint64_t eligible_key(std::size_t p, std::uint64_t raw) const;
+
   const lib::ComponentLibrary* library_;
   Partitioning partitioning_;
   ChopConfig config_;
   PartitionPredictions predictions_;
   bool predictions_valid_ = false;
+  std::uint64_t revision_ = 0;
+  std::vector<PartitionPredictState> predict_cache_;
+  /// Bound-table memo armed by research() before each search; behind a
+  /// pointer for the same movability reason as evaluator_.
+  std::unique_ptr<BoundTablesCache> bound_cache_;
+  /// One-deep research() result cache, content-keyed on the evaluation
+  /// context, the prediction-list keys, and the deterministic options.
+  bool last_result_valid_ = false;
+  std::uint64_t last_result_key_ = 0;
+  SearchResult last_result_;
   /// Session-lifetime memo cache for integrate(); behind a pointer so the
   /// session stays movable (the cache holds mutexes), mutable because
   /// caching is invisible to the session's logical state (search() stays

@@ -133,9 +133,19 @@ std::vector<DataTransfer> create_transfer_tasks(const Partitioning& pt) {
 std::vector<Pins> reserved_control_pins(
     const Partitioning& pt, const std::vector<DataTransfer>& transfers,
     Pins handshake_pins_per_transfer) {
+  std::vector<Pins> reserved;
+  reserved_control_pins_into(pt, transfers, handshake_pins_per_transfer,
+                             reserved);
+  return reserved;
+}
+
+void reserved_control_pins_into(const Partitioning& pt,
+                                const std::vector<DataTransfer>& transfers,
+                                Pins handshake_pins_per_transfer,
+                                std::vector<Pins>& reserved) {
   CHOP_REQUIRE(handshake_pins_per_transfer >= 0,
                "handshake pin reserve cannot be negative");
-  std::vector<Pins> reserved(pt.chips().size(), 0);
+  reserved.assign(pt.chips().size(), 0);
 
   // Memory Select/R-W lines: a chip reserves the block's control pins when
   // it talks to a block that lives elsewhere, and when it hosts a block
@@ -156,7 +166,6 @@ std::vector<Pins> reserved_control_pins(
       reserved[static_cast<std::size_t>(c)] += handshake_pins_per_transfer;
     }
   }
-  return reserved;
 }
 
 }  // namespace chop::core

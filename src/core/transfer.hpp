@@ -54,4 +54,12 @@ std::vector<Pins> reserved_control_pins(
     const Partitioning& pt, const std::vector<DataTransfer>& transfers,
     Pins handshake_pins_per_transfer = 2);
 
+/// Allocation-reusing variant for the evaluation hot path: writes the same
+/// per-chip reserves into `out` (resized to the chip count) instead of
+/// returning a fresh vector per call.
+void reserved_control_pins_into(const Partitioning& pt,
+                                const std::vector<DataTransfer>& transfers,
+                                Pins handshake_pins_per_transfer,
+                                std::vector<Pins>& out);
+
 }  // namespace chop::core

@@ -1,7 +1,8 @@
 // Search-phase profiler: cheap scoped wall-clock counters attributing
 // where a search spends its time — bound-table builds, heuristic probe
-// seeding, leaf evaluations, result merging, evaluator-cache lock waits,
-// and serve-side result rendering.
+// seeding, leaf evaluations, verdict-only re-evaluations on a memoized
+// core, result merging, evaluator-cache lock waits, per-partition BAD
+// prediction, and serve-side result rendering.
 //
 // Unlike TraceSpan (per-event, needs a sink and a file) this is an
 // aggregate: two atomic adds per scope, readable live while the search
@@ -26,8 +27,10 @@ enum class SearchPhase : std::size_t {
   kBoundTables = 0,  ///< B&B bound-table construction per prefix unit.
   kSeedProbes,       ///< Heuristic probes seeding the pruning frontier.
   kLeafEval,         ///< Candidate evaluations at enumeration leaves.
+  kVerdict,          ///< Constraint-verdict re-runs on a memoized core.
   kMerge,            ///< In-order merging of per-unit results.
   kCacheWait,        ///< Blocked acquiring an evaluator cache shard lock.
+  kPredict,          ///< Per-partition BAD prediction (session research).
   kRender,           ///< Serve-side result JSON rendering.
   kCount
 };

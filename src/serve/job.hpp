@@ -109,6 +109,9 @@ struct Job {
   std::string error;
   core::PredictionStats prediction_stats{};
   std::size_t designs = 0;  ///< Feasible non-inferior designs found.
+  /// Base job id when this job was created by a `revise` request; empty
+  /// for plain submissions.
+  std::string revised_from;
 };
 
 }  // namespace chop::serve

@@ -1,8 +1,12 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <set>
 #include <string>
+
+#include "chip/mosis_packages.hpp"
 
 namespace chop::serve {
 
@@ -36,6 +40,7 @@ bool bool_field(const JsonValue& v, const std::string& key) {
 
 RequestOp parse_op(const std::string& op) {
   if (op == "submit") return RequestOp::Submit;
+  if (op == "revise") return RequestOp::Revise;
   if (op == "status") return RequestOp::Status;
   if (op == "result") return RequestOp::Result;
   if (op == "cancel") return RequestOp::Cancel;
@@ -54,6 +59,7 @@ const std::set<std::string>& allowed_keys(RequestOp op) {
       "op",          "id",         "spec",       "spec_path",
       "heuristic",   "threads",    "priority",   "deadline_ms",
       "max_trials",  "keep_all",   "bound_pruning"};
+  static const std::set<std::string> revise{"op", "id", "new_id", "delta"};
   static const std::set<std::string> by_id{"op", "id"};
   static const std::set<std::string> result{"op", "id", "wait"};
   static const std::set<std::string> bare{"op"};
@@ -62,6 +68,7 @@ const std::set<std::string>& allowed_keys(RequestOp op) {
   static const std::set<std::string> shutdown{"op", "drain"};
   switch (op) {
     case RequestOp::Submit: return submit;
+    case RequestOp::Revise: return revise;
     case RequestOp::Result: return result;
     case RequestOp::Status:
     case RequestOp::Cancel: return by_id;
@@ -72,6 +79,109 @@ const std::set<std::string>& allowed_keys(RequestOp op) {
     case RequestOp::Healthz: return bare;
   }
   return bare;
+}
+
+[[noreturn]] void bad_delta(const std::string& message) {
+  throw ProtocolError("invalid_delta", message);
+}
+
+/// Strict per-kind key check: the delta object may carry exactly the
+/// fields its kind defines, so typos surface instead of silently keeping
+/// the base value.
+void check_delta_keys(const JsonValue& delta, const std::string& kind,
+                      std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : delta.as_object()) {
+    (void)value;
+    if (std::find_if(allowed.begin(), allowed.end(), [&](const char* a) {
+          return key == a;
+        }) == allowed.end()) {
+      bad_delta("unknown delta field '" + key + "' for kind '" + kind + "'");
+    }
+  }
+}
+
+const std::string& delta_string(const JsonValue& delta, const char* key) {
+  const JsonValue* v = delta.find(key);
+  if (v == nullptr) bad_delta(std::string("delta misses field '") + key + "'");
+  if (!v->is_string() || v->as_string().empty()) {
+    bad_delta(std::string("delta field '") + key +
+              "' must be a non-empty string");
+  }
+  return v->as_string();
+}
+
+double delta_number(const JsonValue& delta, const char* key, double lo,
+                    double hi) {
+  const JsonValue* v = delta.find(key);
+  if (v == nullptr) bad_delta(std::string("delta misses field '") + key + "'");
+  if (!v->is_number()) {
+    bad_delta(std::string("delta field '") + key + "' must be a number");
+  }
+  const double n = v->as_number();
+  if (!(n >= lo && n <= hi)) {
+    bad_delta(std::string("delta field '") + key + "' out of range");
+  }
+  return n;
+}
+
+DeltaSpec parse_delta_spec(const JsonValue& delta) {
+  if (!delta.is_object()) bad_delta("'delta' must be an object");
+  const JsonValue* kind_field = delta.find("kind");
+  if (kind_field == nullptr || !kind_field->is_string()) {
+    bad_delta("delta needs a string 'kind'");
+  }
+  const std::string& kind = kind_field->as_string();
+
+  DeltaSpec spec;
+  if (kind == "move_op") {
+    spec.kind = DeltaSpec::Kind::MoveOp;
+    check_delta_keys(delta, kind, {"kind", "op", "to"});
+    spec.op_name = delta_string(delta, "op");
+    spec.partition = delta_string(delta, "to");
+  } else if (kind == "retarget_chip") {
+    spec.kind = DeltaSpec::Kind::RetargetChip;
+    check_delta_keys(delta, kind, {"kind", "partition", "chip"});
+    spec.partition = delta_string(delta, "partition");
+    spec.chip = delta_string(delta, "chip");
+  } else if (kind == "replace_package") {
+    spec.kind = DeltaSpec::Kind::ReplacePackage;
+    check_delta_keys(delta, kind, {"kind", "chip", "package"});
+    spec.chip = delta_string(delta, "chip");
+    spec.package = delta_string(delta, "package");
+    if (spec.package != "mosis64" && spec.package != "mosis84") {
+      bad_delta("delta field 'package' must be \"mosis64\" or \"mosis84\"");
+    }
+  } else if (kind == "set_clock") {
+    spec.kind = DeltaSpec::Kind::SetClock;
+    check_delta_keys(delta, kind,
+                     {"kind", "main_clock_ns", "datapath_multiplier",
+                      "transfer_multiplier"});
+    spec.main_clock_ns = delta_number(delta, "main_clock_ns", 1e-3, 1e9);
+    spec.datapath_multiplier = static_cast<int>(
+        delta_number(delta, "datapath_multiplier", 1, 1024));
+    spec.transfer_multiplier = static_cast<int>(
+        delta_number(delta, "transfer_multiplier", 1, 1024));
+  } else if (kind == "set_constraints") {
+    spec.kind = DeltaSpec::Kind::SetConstraints;
+    check_delta_keys(delta, kind,
+                     {"kind", "performance_ns", "delay_ns", "system_power_mw",
+                      "chip_power_mw"});
+    if (delta.find("performance_ns") != nullptr) {
+      spec.performance_ns = delta_number(delta, "performance_ns", 1e-3, 1e12);
+    }
+    if (delta.find("delay_ns") != nullptr) {
+      spec.delay_ns = delta_number(delta, "delay_ns", 1e-3, 1e12);
+    }
+    if (delta.find("system_power_mw") != nullptr) {
+      spec.system_power_mw = delta_number(delta, "system_power_mw", 0, 1e12);
+    }
+    if (delta.find("chip_power_mw") != nullptr) {
+      spec.chip_power_mw = delta_number(delta, "chip_power_mw", 0, 1e12);
+    }
+  } else {
+    bad_delta("unknown delta kind '" + kind + "'");
+  }
+  return spec;
 }
 
 }  // namespace
@@ -160,6 +270,18 @@ Request parse_request(const std::string& line, const ProtocolLimits& limits) {
       }
       break;
     }
+    case RequestOp::Revise: {
+      if (request.id.empty()) invalid("missing 'id'");
+      if (const JsonValue* n = doc.find("new_id")) {
+        request.new_id = string_field(*n, "new_id");
+        if (request.new_id.empty()) invalid("field 'new_id' must be non-empty");
+        if (request.new_id.size() > 256) invalid("field 'new_id' too long");
+      }
+      const JsonValue* delta = doc.find("delta");
+      if (delta == nullptr) invalid("missing 'delta'");
+      request.delta = parse_delta_spec(*delta);
+      break;
+    }
     case RequestOp::Status:
     case RequestOp::Cancel:
       if (request.id.empty()) invalid("missing 'id'");
@@ -233,6 +355,102 @@ JsonValue render_search_result(const core::SearchResult& result) {
   search.set("truncated", JsonValue(result.truncated));
   search.set("cancelled", JsonValue(result.cancelled));
   return search;
+}
+
+namespace {
+
+int partition_index(const io::Project& project, const std::string& name) {
+  for (std::size_t p = 0; p < project.partitions.size(); ++p) {
+    if (project.partitions[p].name == name) return static_cast<int>(p);
+  }
+  throw ProtocolError("not_found", "no partition named '" + name + "'");
+}
+
+int chip_index(const io::Project& project, const std::string& name) {
+  for (std::size_t c = 0; c < project.chips.size(); ++c) {
+    if (project.chips[c].name == name) return static_cast<int>(c);
+  }
+  throw ProtocolError("not_found", "no chip named '" + name + "'");
+}
+
+}  // namespace
+
+io::Project apply_delta(const io::Project& base, const DeltaSpec& delta) {
+  io::Project out = base;
+  switch (delta.kind) {
+    case DeltaSpec::Kind::MoveOp: {
+      dfg::NodeId op = dfg::kNoNode;
+      for (dfg::NodeId id = 0;
+           id < static_cast<dfg::NodeId>(out.graph.node_count()); ++id) {
+        if (out.graph.node(id).name == delta.op_name) {
+          op = id;
+          break;
+        }
+      }
+      if (op == dfg::kNoNode) {
+        throw ProtocolError("not_found",
+                            "no node named '" + delta.op_name + "'");
+      }
+      const int dest = partition_index(out, delta.partition);
+      int src = -1;
+      for (std::size_t p = 0; p < out.partitions.size(); ++p) {
+        const auto& members = out.partitions[p].members;
+        if (std::find(members.begin(), members.end(), op) != members.end()) {
+          src = static_cast<int>(p);
+          break;
+        }
+      }
+      if (src == -1) {
+        bad_delta("node '" + delta.op_name + "' is not in any partition");
+      }
+      // Mirror core::Partitioning::move_operation: already there is a
+      // no-op; a migration may never empty its source partition; member
+      // order is preserved on both sides.
+      if (src == dest) break;
+      auto& src_members = out.partitions[static_cast<std::size_t>(src)].members;
+      if (src_members.size() <= 1) {
+        bad_delta("cannot empty partition '" +
+                  out.partitions[static_cast<std::size_t>(src)].name +
+                  "' by migration");
+      }
+      src_members.erase(std::find(src_members.begin(), src_members.end(), op));
+      out.partitions[static_cast<std::size_t>(dest)].members.push_back(op);
+      break;
+    }
+    case DeltaSpec::Kind::RetargetChip: {
+      const int p = partition_index(out, delta.partition);
+      out.partitions[static_cast<std::size_t>(p)].chip =
+          chip_index(out, delta.chip);
+      break;
+    }
+    case DeltaSpec::Kind::ReplacePackage: {
+      const int c = chip_index(out, delta.chip);
+      out.chips[static_cast<std::size_t>(c)].package =
+          delta.package == "mosis64" ? chip::mosis_package_64()
+                                     : chip::mosis_package_84();
+      break;
+    }
+    case DeltaSpec::Kind::SetClock:
+      out.config.clocks.main_clock = delta.main_clock_ns;
+      out.config.clocks.datapath_multiplier = delta.datapath_multiplier;
+      out.config.clocks.transfer_multiplier = delta.transfer_multiplier;
+      break;
+    case DeltaSpec::Kind::SetConstraints:
+      if (delta.performance_ns >= 0.0) {
+        out.config.constraints.performance_ns = delta.performance_ns;
+      }
+      if (delta.delay_ns >= 0.0) {
+        out.config.constraints.delay_ns = delta.delay_ns;
+      }
+      if (delta.system_power_mw >= 0.0) {
+        out.config.constraints.system_power_mw = delta.system_power_mw;
+      }
+      if (delta.chip_power_mw >= 0.0) {
+        out.config.constraints.chip_power_mw = delta.chip_power_mw;
+      }
+      break;
+  }
+  return out;
 }
 
 }  // namespace chop::serve

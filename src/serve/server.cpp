@@ -84,6 +84,55 @@ SubmitOutcome ChopServer::submit(io::Project project, JobOptions options,
   return {SubmitStatus::ShuttingDown, std::move(id)};
 }
 
+ReviseOutcome ChopServer::revise(const std::string& base_id,
+                                 const DeltaSpec& delta, std::string new_id) {
+  static obs::Counter& revised_counter =
+      obs::MetricsRegistry::global().counter("serve.revised");
+
+  io::Project base_project;
+  JobOptions base_options;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(base_id);
+    if (it == jobs_.end()) return {ReviseStatus::NotFound, {}};
+    if (it->second->state != JobState::Done) {
+      return {ReviseStatus::NotDone, {}};
+    }
+    base_project = it->second->project;
+    base_options = it->second->options;
+  }
+
+  // Outside the lock: name resolution walks the project and may throw
+  // ProtocolError, which the service renders as a structured error.
+  io::Project revised = apply_delta(base_project, delta);
+
+  ReviseOutcome outcome;
+  outcome.submit =
+      submit(std::move(revised), base_options, std::move(new_id));
+  switch (outcome.submit.status) {
+    case SubmitStatus::Accepted:
+      outcome.status = ReviseStatus::Accepted;
+      break;
+    case SubmitStatus::Overloaded:
+      outcome.status = ReviseStatus::Overloaded;
+      return outcome;
+    case SubmitStatus::ShuttingDown:
+      outcome.status = ReviseStatus::ShuttingDown;
+      return outcome;
+    case SubmitStatus::DuplicateId:
+      outcome.status = ReviseStatus::DuplicateId;
+      return outcome;
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(outcome.submit.id);
+    if (it != jobs_.end()) it->second->revised_from = base_id;
+    ++revised_;
+  }
+  revised_counter.add();
+  return outcome;
+}
+
 void ChopServer::worker_loop() {
   while (std::shared_ptr<Job> job = queue_.pop()) {
     run_job(job);
@@ -147,13 +196,16 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
     search.deadline = job->deadline;
     search.profile = &job->profile;
 
-    // The cross-request warm cache: every job whose specification reduces
-    // to the same EvalContext fingerprint shares one evaluator.
+    // The cross-request warm cache, keyed on the *core* fingerprint so a
+    // revised job that only moved the constraint budget shares its base
+    // job's evaluator: full-key entries from the base keep matching where
+    // the constraints agree, and the core-level memo answers the rest
+    // with verdict-only re-evaluations instead of fresh integrations.
     std::shared_ptr<core::CandidateEvaluator> shared_evaluator;
     if (options_.share_evaluators) {
       obs::TraceSpan acquire_span("serve.evaluator_pool.acquire");
       const std::uint64_t fingerprint =
-          session.make_eval_context().fingerprint();
+          session.make_eval_context().core_fingerprint();
       shared_evaluator = evaluator_pool_.acquire(fingerprint);
       search.evaluator = shared_evaluator.get();
       span.arg("fingerprint", fingerprint);
@@ -321,6 +373,7 @@ ServerStats ChopServer::stats() const {
     stats.workers = workers_.size();
     stats.running = running_;
     stats.submitted = submitted_;
+    stats.revised = revised_;
     stats.rejected_overload = rejected_overload_;
     stats.completed = completed_;
     stats.cancelled = cancelled_;

@@ -32,6 +32,7 @@
 #include "serve/evaluator_pool.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
 
 namespace chop::serve {
 
@@ -55,6 +56,20 @@ struct SubmitOutcome {
   SubmitStatus status = SubmitStatus::Accepted;
   std::string id;  ///< Assigned (or echoed) job id when accepted.
   std::uint64_t trace_id = 0;  ///< Minted at acceptance; 0 when rejected.
+};
+
+enum class ReviseStatus {
+  Accepted,
+  NotFound,      ///< No base job with that id.
+  NotDone,       ///< Base job exists but is not in JobState::Done.
+  Overloaded,    ///< The revised submission was rejected by the queue.
+  ShuttingDown,
+  DuplicateId,   ///< The requested new id already exists.
+};
+
+struct ReviseOutcome {
+  ReviseStatus status = ReviseStatus::Accepted;
+  SubmitOutcome submit;  ///< The revised job's submission (when accepted).
 };
 
 enum class CancelOutcome {
@@ -86,6 +101,7 @@ struct ServerStats {
   std::size_t queue_capacity = 0;
   std::size_t running = 0;
   std::uint64_t submitted = 0;
+  std::uint64_t revised = 0;  ///< Jobs created through revise().
   std::uint64_t rejected_overload = 0;
   std::uint64_t completed = 0;
   std::uint64_t cancelled = 0;
@@ -110,6 +126,17 @@ class ChopServer {
   /// never allocates a job record.
   SubmitOutcome submit(io::Project project, JobOptions options,
                        std::string id = {});
+
+  /// Resubmits a finished job's project with one DeltaSpec applied: the
+  /// base must be terminal-Done, the revised job inherits the base's
+  /// options and queues like any submission. Because the evaluator pool
+  /// keys on the *core* context fingerprint, a constraints-only revision
+  /// lands on the same warm evaluator as its base and re-verdicts
+  /// memoized integration cores instead of re-integrating. Throws
+  /// ProtocolError (not_found / invalid_delta) when the delta does not
+  /// apply to the base project.
+  ReviseOutcome revise(const std::string& base_id, const DeltaSpec& delta,
+                       std::string new_id = {});
 
   /// Lifecycle snapshot; `wait_terminal` blocks until the job reaches a
   /// terminal state or `timeout` elapses (view.found stays true — check
@@ -159,6 +186,7 @@ class ChopServer {
   std::uint64_t next_sequence_ = 0;
   std::uint64_t next_auto_id_ = 0;
   std::uint64_t submitted_ = 0;
+  std::uint64_t revised_ = 0;
   std::uint64_t rejected_overload_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_ = 0;

@@ -88,6 +88,7 @@ std::string Service::handle_line(const std::string& line) {
 std::string Service::dispatch(const Request& request) {
   switch (request.op) {
     case RequestOp::Submit: return handle_submit(request);
+    case RequestOp::Revise: return handle_revise(request);
     case RequestOp::Status: return handle_status(request);
     case RequestOp::Result: return handle_result(request);
     case RequestOp::Cancel: return handle_cancel(request);
@@ -136,6 +137,40 @@ std::string Service::handle_submit(const Request& request) {
   response.set("id", JsonValue(outcome.id));
   response.set("state", JsonValue(std::string(to_string(JobState::Queued))));
   response.set("trace", JsonValue(obs::trace_id_hex(outcome.trace_id)));
+  return response.dump();
+}
+
+std::string Service::handle_revise(const Request& request) {
+  const ReviseOutcome outcome =
+      server_.revise(request.id, request.delta, request.new_id);
+  switch (outcome.status) {
+    case ReviseStatus::Accepted:
+      break;
+    case ReviseStatus::NotFound:
+      return error_response("not_found", "no such job: " + request.id,
+                            request.id);
+    case ReviseStatus::NotDone:
+      return error_response("invalid_request",
+                            "base job is not done: " + request.id, request.id);
+    case ReviseStatus::Overloaded:
+      return error_response("overload", "queue full; retry later", request.id);
+    case ReviseStatus::ShuttingDown:
+      return error_response("shutting_down", "server is shutting down",
+                            request.id);
+    case ReviseStatus::DuplicateId:
+      return error_response("duplicate_id",
+                            "job id already exists: " + request.new_id,
+                            request.new_id);
+  }
+  // "id" is the revised job, so the `--wait`-style result flow a client
+  // already has for submit works unchanged; "base" echoes the origin.
+  JsonValue response;
+  response.set("ok", JsonValue(true));
+  response.set("op", JsonValue(std::string("revise")));
+  response.set("id", JsonValue(outcome.submit.id));
+  response.set("base", JsonValue(request.id));
+  response.set("state", JsonValue(std::string(to_string(JobState::Queued))));
+  response.set("trace", JsonValue(obs::trace_id_hex(outcome.submit.trace_id)));
   return response.dump();
 }
 
@@ -250,6 +285,7 @@ std::string Service::handle_stats() {
   JsonValue jobs;
   jobs.set("running", JsonValue(static_cast<double>(stats.running)));
   jobs.set("submitted", JsonValue(static_cast<double>(stats.submitted)));
+  jobs.set("revised", JsonValue(static_cast<double>(stats.revised)));
   jobs.set("rejected_overload",
            JsonValue(static_cast<double>(stats.rejected_overload)));
   jobs.set("completed", JsonValue(static_cast<double>(stats.completed)));
@@ -271,6 +307,8 @@ std::string Service::handle_stats() {
   JsonValue cache;
   cache.set("hits", JsonValue(static_cast<double>(stats.eval_cache.hits)));
   cache.set("misses", JsonValue(static_cast<double>(stats.eval_cache.misses)));
+  cache.set("core_hits",
+            JsonValue(static_cast<double>(stats.eval_cache.core_hits)));
   cache.set("evictions",
             JsonValue(static_cast<double>(stats.eval_cache.evictions)));
   response.set("eval_cache", std::move(cache));

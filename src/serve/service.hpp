@@ -39,6 +39,7 @@ class Service {
  private:
   std::string dispatch(const Request& request);
   std::string handle_submit(const Request& request);
+  std::string handle_revise(const Request& request);
   std::string handle_status(const Request& request);
   std::string handle_result(const Request& request);
   std::string handle_cancel(const Request& request);

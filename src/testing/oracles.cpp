@@ -6,12 +6,15 @@
 #include <optional>
 #include <sstream>
 
+#include "chip/mosis_packages.hpp"
 #include "core/eval/candidate_evaluator.hpp"
+#include "core/eval/eval_delta.hpp"
 #include "core/search.hpp"
 #include "core/session.hpp"
 #include "core/transfer.hpp"
 #include "io/spec_writer.hpp"
 #include "obs/observer.hpp"
+#include "serve/protocol.hpp"
 #include "testing/properties.hpp"
 #include "util/error.hpp"
 
@@ -281,6 +284,95 @@ ScenarioReport run_oracles(const io::Project& project,
     }
     if (auto d = diff_counters(bounded, uncached)) {
       report.failures.push_back({"eval_cache", *d});
+    }
+
+    // --- Oracle: incremental research vs cold --------------------------
+    // apply(delta) + research() on a warm session must be byte-identical
+    // (through the serve rendering, trials included) to a cold session
+    // built directly at the patched state, and re-stating the same delta
+    // must report a no-op impact. The delta kind is picked from a content
+    // hash of the spec so the corpus covers every §2.7 group over time.
+    {
+      std::uint64_t h = 1469598103934665603ull;
+      for (const char c : once) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+      }
+      const core::ChopConfig& cfg = session.config();
+      const auto tightened = [&cfg] {
+        core::DesignConstraints c = cfg.constraints;
+        c.performance_ns *= 0.9;
+        return core::EvalDelta::set_constraints(c);
+      };
+      core::EvalDelta delta = tightened();
+      switch (h % 4) {
+        case 0:
+          break;  // the constraint tighten above
+        case 1: {
+          bad::ClockSpec clocks = cfg.clocks;
+          clocks.main_clock *= 1.1;
+          delta = core::EvalDelta::set_clocking(cfg.style, clocks);
+          break;
+        }
+        case 2:
+          delta = core::EvalDelta::replace_chip_package(
+              0, chip::mosis_package_64());
+          break;
+        default: {
+          // A legal migration if the partitioning offers one (source keeps
+          // an operation, the probe copy validates); else keep the tighten.
+          const core::Partitioning& pt = session.partitioning();
+          const auto& partitions = pt.partitions();
+          bool found = false;
+          for (std::size_t p = 0; !found && p < partitions.size(); ++p) {
+            if (partitions[p].members.size() < 2 || partitions.size() < 2) {
+              continue;
+            }
+            const int dest = static_cast<int>((p + 1) % partitions.size());
+            for (const dfg::NodeId op : partitions[p].members) {
+              core::Partitioning probe = pt;
+              try {
+                probe.move_operation(op, dest);
+                probe.validate();
+              } catch (const Error&) {
+                continue;
+              }
+              delta = core::EvalDelta::move_operation(op, dest);
+              found = true;
+              break;
+            }
+          }
+          break;
+        }
+      }
+      try {
+        ChopSession warm = project.make_session();
+        warm.predict_partitions();
+        const SearchOptions opt;
+        (void)warm.research(opt);
+        warm.apply(delta);
+        const SearchResult incremental = warm.research(opt);
+        if (!warm.apply(delta).noop) {
+          report.failures.push_back(
+              {"incremental_research",
+               "re-applying an applied delta did not report a no-op"});
+        }
+
+        ChopSession cold = project.make_session();
+        cold.apply(delta);
+        cold.predict_partitions();
+        const SearchResult from_cold = cold.search(opt);
+        if (serve::render_search_result(incremental).dump() !=
+            serve::render_search_result(from_cold).dump()) {
+          report.failures.push_back(
+              {"incremental_research",
+               "warm apply+research diverged from a cold session at the "
+               "same state"});
+        }
+      } catch (const Error&) {
+        // The delta is invalid for this project (chip index out of range,
+        // package too small, ...) — rejection is the contract, not a bug.
+      }
     }
 
     // --- Oracle: enumeration vs iterative ------------------------------

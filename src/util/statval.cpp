@@ -5,26 +5,12 @@
 
 namespace chop {
 
-double StatVal::cdf(double x) const {
-  if (x <= lo_) return exact() && x >= lo_ ? 1.0 : 0.0;
-  if (x >= hi_) return 1.0;
-  // Triangular CDF on (lo, hi) with mode `likely`.
-  const double span = hi_ - lo_;
-  if (x < likely_) {
-    const double rise = likely_ - lo_;
-    if (rise <= 0.0) return 0.0;  // mode at lo: fall straight to descending leg
-    return (x - lo_) * (x - lo_) / (span * rise);
-  }
-  const double fall = hi_ - likely_;
-  if (fall <= 0.0) return 1.0;  // mode at hi
-  return 1.0 - (hi_ - x) * (hi_ - x) / (span * fall);
-}
+double StatVal::cdf(double x) const { return triangular_cdf(lo_, likely_, hi_, x); }
 
 bool StatVal::satisfies(double limit, double prob) const {
   CHOP_REQUIRE(prob >= 0.0 && prob <= 1.0,
                "feasibility probability must lie in [0, 1]");
-  if (prob >= 1.0) return hi_ <= limit;
-  return cdf(limit) >= prob;
+  return triangular_satisfies(lo_, likely_, hi_, limit, prob);
 }
 
 StatVal StatVal::max(const StatVal& a, const StatVal& b) {

@@ -16,11 +16,45 @@
 // approximation for the mode.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <vector>
 
 #include "util/error.hpp"
 
 namespace chop {
+
+/// P(X <= x) for a triangular(lo, likely, hi) distribution, as free scalar
+/// math over the raw components. Semantically identical to StatVal::cdf
+/// (which delegates here) but written branch-lean: both quadratic legs are
+/// evaluated unconditionally with guarded denominators and the result is
+/// chosen by flat selects, so the hot feasibility checks compile down to
+/// conditional moves instead of an unpredictable branch ladder.
+inline double triangular_cdf(double lo, double likely, double hi, double x) {
+  const double span = hi - lo;
+  const double rise = likely - lo;
+  const double fall = hi - likely;
+  const double rise_den = span * rise;
+  const double fall_den = span * fall;
+  const double up = (x - lo) * (x - lo) / (rise_den > 0.0 ? rise_den : 1.0);
+  const double down =
+      1.0 - (hi - x) * (hi - x) / (fall_den > 0.0 ? fall_den : 1.0);
+  double p = x < likely ? (rise <= 0.0 ? 0.0 : up)   // ascending leg
+                        : (fall <= 0.0 ? 1.0 : down);  // descending leg
+  // Support edges override the legs; exact triplets (lo == hi) carry all
+  // mass at the point, so x == lo == hi passes with probability 1.
+  if (x <= lo) p = (lo == hi && x >= lo) ? 1.0 : 0.0;
+  if (x >= hi) p = 1.0;
+  return p;
+}
+
+/// True when P(X <= limit) >= prob for triangular(lo, likely, hi).
+/// prob == 1 demands hi <= limit (the paper's "probability of 100%").
+inline bool triangular_satisfies(double lo, double likely, double hi,
+                                 double limit, double prob) {
+  if (prob >= 1.0) return hi <= limit;
+  return triangular_cdf(lo, likely, hi, limit) >= prob;
+}
 
 /// A (lower, most-likely, upper) prediction triple with triangular-CDF
 /// probability queries. Immutable-value style: all operations return new
@@ -91,5 +125,58 @@ class StatVal {
 };
 
 std::ostream& operator<<(std::ostream& os, const StatVal& v);
+
+/// Structure-of-arrays bank of triplets for the evaluation hot path.
+/// Per-chip area/power accumulators live as three flat double arrays
+/// instead of a vector<StatVal>, so integrate()'s inner loops add raw
+/// components without churning AoS objects, and feasibility queries run
+/// through the branch-lean triangular_* scalar path. Accumulation is the
+/// same componentwise addition, in the same order, as the StatVal sums it
+/// replaces — results are bit-identical.
+class StatBank {
+ public:
+  /// Resets the bank to `n` zero triplets, reusing capacity.
+  void assign(std::size_t n) {
+    lo_.assign(n, 0.0);
+    likely_.assign(n, 0.0);
+    hi_.assign(n, 0.0);
+  }
+
+  std::size_t size() const { return lo_.size(); }
+
+  void add(std::size_t i, const StatVal& v) {
+    lo_[i] += v.lo();
+    likely_[i] += v.likely();
+    hi_[i] += v.hi();
+  }
+
+  void add(std::size_t i, double lo, double likely, double hi) {
+    lo_[i] += lo;
+    likely_[i] += likely;
+    hi_[i] += hi;
+  }
+
+  /// Exact value: all three components advance by `v`.
+  void add_exact(std::size_t i, double v) { add(i, v, v, v); }
+
+  double lo(std::size_t i) const { return lo_[i]; }
+  double likely(std::size_t i) const { return likely_[i]; }
+  double hi(std::size_t i) const { return hi_[i]; }
+
+  /// Materialises slot `i` as a StatVal (validates the triplet invariant).
+  StatVal get(std::size_t i) const {
+    return StatVal(lo_[i], likely_[i], hi_[i]);
+  }
+
+  /// P(slot i <= limit) >= prob without materialising a StatVal.
+  bool satisfies(std::size_t i, double limit, double prob) const {
+    return triangular_satisfies(lo_[i], likely_[i], hi_[i], limit, prob);
+  }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> likely_;
+  std::vector<double> hi_;
+};
 
 }  // namespace chop

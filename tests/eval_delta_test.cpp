@@ -1,0 +1,340 @@
+// Tests for the incremental evaluation pipeline: EvalDelta application,
+// DeltaImpact classification, revision tracking, and the contract that
+// apply()+research() is byte-identical (through the serve rendering,
+// counters included) to a cold session built at the same state.
+#include "core/eval/eval_delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chip/mosis_packages.hpp"
+#include "core/integration.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+
+namespace chop::core {
+namespace {
+
+const lib::ComponentLibrary& library() {
+  static const lib::ComponentLibrary lib = lib::dac91_experiment_library();
+  return lib;
+}
+
+ChopSession make_session(int nparts,
+                         chip::ChipPackage pkg = chip::mosis_package_84()) {
+  static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  std::vector<chip::ChipInstance> chips;
+  for (int c = 0; c < nparts; ++c) {
+    chips.push_back({"chip" + std::to_string(c), pkg});
+  }
+  Partitioning pt(ar.graph, std::move(chips));
+  const auto cuts =
+      nparts == 1
+          ? std::vector<std::vector<dfg::NodeId>>{ar.all_operations()}
+          : (nparts == 2 ? dfg::ar_two_way_cut(ar) : dfg::ar_three_way_cut(ar));
+  for (int p = 0; p < nparts; ++p) {
+    pt.add_partition("P" + std::to_string(p + 1),
+                     cuts[static_cast<std::size_t>(p)], p);
+  }
+  ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = {30000.0, 30000.0};
+  return ChopSession(library(), std::move(pt), config);
+}
+
+std::string rendered(const SearchResult& r) {
+  return serve::render_search_result(r).dump();
+}
+
+std::uint64_t counter(const std::string& name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/// A node that can legally migrate to the next partition, or kNoNode.
+dfg::NodeId find_movable(const Partitioning& pt, int* dest_out) {
+  const auto& partitions = pt.partitions();
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    if (partitions[p].members.size() < 2) continue;
+    const int dest = static_cast<int>((p + 1) % partitions.size());
+    for (const dfg::NodeId op : partitions[p].members) {
+      Partitioning probe = pt;
+      try {
+        probe.move_operation(op, dest);
+        probe.validate();
+      } catch (const Error&) {
+        continue;
+      }
+      *dest_out = dest;
+      return op;
+    }
+  }
+  return dfg::kNoNode;
+}
+
+// ---- DeltaImpact classification ----
+
+TEST(EvalDelta, NoopDeltaReportsNoopAndSkipsAllWork) {
+  ChopSession s = make_session(2);
+  s.predict_partitions();
+  const SearchOptions opt;
+  const SearchResult base = s.research(opt);
+
+  // Re-stating the current constraints changes no fingerprint.
+  const DeltaImpact impact =
+      s.apply(EvalDelta::set_constraints(s.config().constraints));
+  EXPECT_TRUE(impact.noop);
+  EXPECT_EQ(impact.dirty_count(), 0u);
+  EXPECT_EQ(impact.old_fingerprint, impact.new_fingerprint);
+
+  const std::uint64_t attempts = counter("integration.attempts");
+  const std::uint64_t noops = counter("eval.delta_noop_research");
+  const SearchResult again = s.research(opt);
+  EXPECT_EQ(counter("integration.attempts"), attempts)
+      << "a no-op research must not integrate anything";
+  EXPECT_EQ(counter("eval.delta_noop_research"), noops + 1);
+  EXPECT_EQ(rendered(base), rendered(again));
+}
+
+TEST(EvalDelta, ConstraintChangeIsConstraintsOnly) {
+  ChopSession s = make_session(2);
+  DesignConstraints c = s.config().constraints;
+  c.performance_ns = 27000.0;
+  const DeltaImpact impact = s.apply(EvalDelta::set_constraints(c));
+  EXPECT_FALSE(impact.noop);
+  EXPECT_TRUE(impact.constraints_only);
+  EXPECT_NE(impact.old_fingerprint, impact.new_fingerprint);
+}
+
+TEST(EvalDelta, ClockChangeDirtiesEveryPartition) {
+  ChopSession s = make_session(3);
+  bad::ClockSpec clocks = s.config().clocks;
+  clocks.main_clock = 330.0;
+  const DeltaImpact impact =
+      s.apply(EvalDelta::set_clocking(s.config().style, clocks));
+  EXPECT_FALSE(impact.noop);
+  EXPECT_FALSE(impact.constraints_only);
+  ASSERT_EQ(impact.dirty_partitions.size(), 3u);
+  EXPECT_EQ(impact.dirty_count(), 3u);
+}
+
+TEST(EvalDelta, MoveDirtiesOnlyTheTouchedPartitions) {
+  ChopSession s = make_session(3);
+  int dest = 0;
+  const dfg::NodeId op = find_movable(s.partitioning(), &dest);
+  ASSERT_NE(op, dfg::kNoNode);
+  const DeltaImpact impact = s.apply(EvalDelta::move_operation(op, dest));
+  EXPECT_FALSE(impact.noop);
+  ASSERT_EQ(impact.dirty_partitions.size(), 3u);
+  EXPECT_EQ(impact.dirty_count(), 2u)
+      << "a migration touches exactly source and destination";
+}
+
+TEST(EvalDelta, RevisionsIncreaseMonotonically) {
+  ChopSession s = make_session(2);
+  EXPECT_EQ(s.revision(), 0u);
+  const DeltaImpact first =
+      s.apply(EvalDelta::set_constraints(s.config().constraints));
+  EXPECT_EQ(first.revision, 1u);
+  EXPECT_EQ(s.revision(), 1u);
+  DesignConstraints c = s.config().constraints;
+  c.performance_ns = 27000.0;
+  const DeltaImpact second = s.apply(EvalDelta::set_constraints(c));
+  EXPECT_EQ(second.revision, 2u);
+}
+
+TEST(EvalDelta, InvalidTargetsThrow) {
+  ChopSession s = make_session(2);
+  EXPECT_THROW(
+      s.apply(EvalDelta::replace_chip_package(9, chip::mosis_package_64())),
+      Error);
+  EXPECT_THROW(s.apply(EvalDelta::move_operation(dfg::NodeId{99999}, 0)),
+               Error);
+  EXPECT_THROW(s.apply(EvalDelta::move_operation(dfg::NodeId{0}, 7)), Error);
+}
+
+// ---- the equality oracle: incremental must be byte-identical to cold ----
+
+TEST(EvalDelta, EachDeltaKindMatchesColdResearch) {
+  struct Case {
+    std::string name;
+    EvalDelta delta;
+  };
+  ChopSession probe = make_session(2);
+  DesignConstraints tighter = probe.config().constraints;
+  tighter.performance_ns = 27000.0;
+  bad::ClockSpec slower = probe.config().clocks;
+  slower.main_clock = 330.0;
+  const std::vector<Case> cases = {
+      {"replace_package",
+       EvalDelta::replace_chip_package(0, chip::mosis_package_64())},
+      {"set_clocking", EvalDelta::set_clocking(probe.config().style, slower)},
+      {"set_constraints", EvalDelta::set_constraints(tighter)},
+  };
+  for (const Case& c : cases) {
+    ChopSession warm = make_session(2);
+    warm.predict_partitions();
+    const SearchOptions opt;
+    (void)warm.research(opt);
+    warm.apply(c.delta);
+    const SearchResult incremental = warm.research(opt);
+
+    ChopSession cold = make_session(2);
+    cold.apply(c.delta);
+    cold.predict_partitions();
+    const SearchResult reference = cold.search(opt);
+    EXPECT_EQ(rendered(incremental), rendered(reference)) << c.name;
+  }
+}
+
+TEST(EvalDelta, StackedDeltasAcrossRevisionsMatchCold) {
+  ChopSession warm = make_session(2);
+  warm.predict_partitions();
+  const SearchOptions opt;
+  (void)warm.research(opt);
+
+  DesignConstraints tighter = warm.config().constraints;
+  tighter.performance_ns = 27000.0;
+  const EvalDelta first = EvalDelta::set_constraints(tighter);
+  const EvalDelta second =
+      EvalDelta::replace_chip_package(0, chip::mosis_package_64());
+
+  warm.apply(first);
+  (void)warm.research(opt);
+  warm.apply(second);
+  const SearchResult incremental = warm.research(opt);
+  EXPECT_EQ(warm.revision(), 2u);
+
+  ChopSession cold = make_session(2);
+  cold.apply(first);
+  cold.apply(second);
+  cold.predict_partitions();
+  const SearchResult reference = cold.search(opt);
+  EXPECT_EQ(rendered(incremental), rendered(reference));
+}
+
+TEST(EvalDelta, RoundTripRestoresTheBaseResult) {
+  ChopSession s = make_session(2);
+  s.predict_partitions();
+  const SearchOptions opt;
+  const SearchResult base = s.research(opt);
+
+  DesignConstraints tighter = s.config().constraints;
+  tighter.performance_ns = 27000.0;
+  s.apply(EvalDelta::set_constraints(tighter));
+  (void)s.research(opt);
+  s.apply(EvalDelta::set_constraints({30000.0, 30000.0}));
+
+  const std::uint64_t attempts = counter("integration.attempts");
+  const SearchResult restored = s.research(opt);
+  EXPECT_EQ(rendered(base), rendered(restored));
+  EXPECT_EQ(counter("integration.attempts"), attempts)
+      << "reverting to an already-evaluated state must hit the caches";
+}
+
+// ---- cache reuse across revisions ----
+
+TEST(EvalDelta, ConstraintsOnlyDeltaReusesRawPredictions) {
+  ChopSession s = make_session(2);
+  s.predict_partitions();
+  const SearchOptions opt;
+  (void)s.research(opt);
+
+  // Tighten the delay budget, not performance: the performance budget
+  // feeds the pipelined-II enumeration cap, so tightening it legitimately
+  // re-runs BAD. A delay change leaves the prediction environment intact.
+  DesignConstraints tighter = s.config().constraints;
+  tighter.delay_ns = 27000.0;
+  s.apply(EvalDelta::set_constraints(tighter));
+  const std::uint64_t reused = counter("eval.delta_predict_reused");
+  const std::uint64_t core_hits = counter("eval.delta_core_hits");
+  (void)s.research(opt);
+  EXPECT_EQ(counter("eval.delta_predict_reused"), reused + 2)
+      << "a delay budget change must not re-run BAD";
+  EXPECT_GT(counter("eval.delta_core_hits"), core_hits)
+      << "memoized integration cores stay valid under a constraints-only "
+         "delta";
+}
+
+TEST(EvalDelta, ClockDeltaRecomputesEveryPrediction) {
+  ChopSession s = make_session(2);
+  s.predict_partitions();
+  const SearchOptions opt;
+  (void)s.research(opt);
+
+  bad::ClockSpec slower = s.config().clocks;
+  slower.main_clock = 330.0;
+  s.apply(EvalDelta::set_clocking(s.config().style, slower));
+  const std::uint64_t recomputed = counter("eval.delta_predict_recomputed");
+  (void)s.research(opt);
+  EXPECT_EQ(counter("eval.delta_predict_recomputed"), recomputed + 2)
+      << "an all-dirty delta degenerates to the cold prediction path";
+}
+
+TEST(EvalDelta, BoundColumnsReusedWhenRevisited) {
+  ChopSession s = make_session(2);
+  s.predict_partitions();
+  const SearchOptions opt;
+  (void)s.research(opt);
+
+  DesignConstraints tighter = s.config().constraints;
+  tighter.performance_ns = 27000.0;
+  s.apply(EvalDelta::set_constraints(tighter));
+  (void)s.research(opt);
+  s.apply(EvalDelta::set_constraints({30000.0, 30000.0}));
+  // Back at the base state: its bound-table columns are still memoized
+  // (research at base ran before), so nothing needs rebuilding — but the
+  // round trip is served from the result cache without touching tables at
+  // all. Re-ask at the tightened state after evicting the result key by
+  // toggling once more: columns for that state were built above.
+  const std::uint64_t reused = counter("eval.delta_bound_cols_reused");
+  (void)s.research(opt);
+  s.apply(EvalDelta::set_constraints(tighter));
+  (void)s.research(opt);
+  EXPECT_GE(counter("eval.delta_bound_cols_reused"), reused);
+}
+
+// ---- the core/verdict split ----
+
+TEST(EvalDelta, IntegrateEqualsCoreThenVerdict) {
+  ChopSession s = make_session(2);
+  s.predict_partitions();
+  const EvalContext ctx = s.make_eval_context();
+  const auto& eligible = s.predictions().eligible;
+  ASSERT_EQ(eligible.size(), 2u);
+  ASSERT_FALSE(eligible[0].empty());
+  ASSERT_FALSE(eligible[1].empty());
+  // Walk a few combinations, not just the head of each list.
+  for (std::size_t i = 0; i < eligible[0].size(); i += 3) {
+    for (std::size_t j = 0; j < eligible[1].size(); j += 3) {
+      const std::vector<const bad::DesignPrediction*> selection = {
+          &eligible[0][i], &eligible[1][j]};
+      const Cycles ii = combination_ii(selection);
+      const IntegrationResult direct = integrate(ctx, selection, ii);
+      const IntegrationResult split =
+          apply_verdict(ctx, integrate_core(ctx, selection, ii));
+      EXPECT_EQ(direct.feasible, split.feasible);
+      EXPECT_EQ(direct.ii_main, split.ii_main);
+      EXPECT_EQ(direct.system_delay_main, split.system_delay_main);
+      EXPECT_EQ(direct.reason, split.reason);
+      EXPECT_EQ(direct.violated_chips, split.violated_chips);
+      EXPECT_EQ(direct.performance_ns, split.performance_ns);
+      EXPECT_EQ(direct.delay_ns, split.delay_ns);
+      EXPECT_EQ(direct.adjusted_clock_ns, split.adjusted_clock_ns);
+      EXPECT_EQ(direct.system_power_mw, split.system_power_mw);
+      ASSERT_EQ(direct.chip_area.size(), split.chip_area.size());
+      for (std::size_t c = 0; c < direct.chip_area.size(); ++c) {
+        EXPECT_EQ(direct.chip_area[c], split.chip_area[c]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chop::core

@@ -239,5 +239,83 @@ TEST(StatValProperty, SumsCloseUnderTheAlgebra) {
   }
 }
 
+// ---- the branch-lean scalar path and the SoA bank must be bit-identical
+// ---- to the StatVal member functions they replace on the hot path
+
+TEST(StatValProperty, FreeTriangularFunctionsMatchMemberGrid) {
+  Rng rng(20260808);
+  for (int t = 0; t < 200; ++t) {
+    const StatVal sv = random_triplet(rng);
+    // Probe well outside, at, and between every interesting point of the
+    // support, plus random interior points.
+    std::vector<double> grid = {sv.lo() - 1.0,
+                                sv.lo(),
+                                (sv.lo() + sv.likely()) / 2.0,
+                                sv.likely(),
+                                (sv.likely() + sv.hi()) / 2.0,
+                                sv.hi(),
+                                sv.hi() + 1.0};
+    for (int i = 0; i < 5; ++i) {
+      grid.push_back(sv.lo() + rng.uniform01() * (sv.hi() - sv.lo() + 2.0) -
+                     1.0);
+    }
+    for (const double x : grid) {
+      EXPECT_EQ(triangular_cdf(sv.lo(), sv.likely(), sv.hi(), x), sv.cdf(x))
+          << sv << " at " << x;
+      for (const double prob : {0.5, 0.8, 1.0}) {
+        EXPECT_EQ(triangular_satisfies(sv.lo(), sv.likely(), sv.hi(), x, prob),
+                  sv.satisfies(x, prob))
+            << sv << " limit " << x << " prob " << prob;
+      }
+    }
+  }
+}
+
+TEST(StatBank, AccumulatesBitIdenticalToStatVal) {
+  Rng rng(777);
+  constexpr std::size_t kSlots = 7;
+  StatBank bank;
+  bank.assign(kSlots);
+  std::vector<StatVal> reference(kSlots);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t slot = static_cast<std::size_t>(rng.uniform(0, 6));
+    const StatVal v = random_triplet(rng);
+    if (round % 3 == 0) {
+      bank.add(slot, v);
+    } else if (round % 3 == 1) {
+      bank.add(slot, v.lo(), v.likely(), v.hi());
+    } else {
+      const double exact = v.likely();
+      bank.add_exact(slot, exact);
+      reference[slot] += StatVal(exact);
+      continue;
+    }
+    reference[slot] += v;
+  }
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    // Same additions in the same order: exactly equal, not just close.
+    EXPECT_EQ(bank.get(i), reference[i]) << "slot " << i;
+    EXPECT_EQ(bank.lo(i), reference[i].lo());
+    EXPECT_EQ(bank.likely(i), reference[i].likely());
+    EXPECT_EQ(bank.hi(i), reference[i].hi());
+    for (const double prob : {0.5, 0.8, 1.0}) {
+      const double limit = reference[i].likely() + 1.0;
+      EXPECT_EQ(bank.satisfies(i, limit, prob),
+                reference[i].satisfies(limit, prob));
+    }
+  }
+}
+
+TEST(StatBank, AssignResetsToZero) {
+  StatBank bank;
+  bank.assign(2);
+  bank.add(1, StatVal(1.0, 2.0, 3.0));
+  bank.assign(3);
+  EXPECT_EQ(bank.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(bank.get(i), StatVal());
+  }
+}
+
 }  // namespace
 }  // namespace chop

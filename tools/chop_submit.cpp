@@ -3,6 +3,8 @@
 // and prints the raw response line(s) to stdout.
 //
 //   chop_submit --socket=<path> --spec=<file.chop> [submit knobs] [--wait]
+//   chop_submit --socket=<path> --revise=<base-id> --delta='<delta json>'
+//       [--id=<new-id>] [--wait]
 //   chop_submit --socket=<path> --status=<job-id>
 //   chop_submit --socket=<path> --result=<job-id> [--wait]
 //   chop_submit --socket=<path> --cancel=<job-id>
@@ -41,6 +43,8 @@ namespace {
 struct ClientOptions {
   std::string socket_path;
   std::string spec_path;
+  std::string revise_id;
+  std::string delta_json;
   std::string status_id;
   std::string result_id;
   std::string cancel_id;
@@ -67,13 +71,15 @@ struct ClientOptions {
 
 int usage() {
   std::cerr
-      << "usage: chop_submit --socket=<path> (--spec=<file> | --status=<id> |\n"
+      << "usage: chop_submit --socket=<path> (--spec=<file> |\n"
+         "           --revise=<id> --delta='<json>' | --status=<id> |\n"
          "           --result=<id> | --cancel=<id> | --stats | --metrics |\n"
          "           --healthz | --profile[=<id>] | --shutdown |\n"
          "           --raw='<json>')\n"
          "       submit knobs: [--id=<id>] [--heuristic=E|I] [--threads=N]\n"
          "           [--priority=N] [--deadline-ms=N] [--max-trials=N]\n"
          "           [--keep-all] [--no-bound-pruning] [--wait]\n"
+         "       revise knobs: [--id=<new-id>] [--wait]\n"
          "       metrics knob: [--prom] (print raw Prometheus text)\n"
          "       shutdown knob: [--no-drain]\n";
   return 1;
@@ -87,6 +93,10 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
         options.socket_path = arg.substr(9);
       } else if (arg.rfind("--spec=", 0) == 0) {
         options.spec_path = arg.substr(7);
+      } else if (arg.rfind("--revise=", 0) == 0) {
+        options.revise_id = arg.substr(9);
+      } else if (arg.rfind("--delta=", 0) == 0) {
+        options.delta_json = arg.substr(8);
       } else if (arg.rfind("--status=", 0) == 0) {
         options.status_id = arg.substr(9);
       } else if (arg.rfind("--result=", 0) == 0) {
@@ -140,13 +150,19 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
     }
   }
   if (options.socket_path.empty()) return false;
-  const int modes = (!options.spec_path.empty()) + (!options.status_id.empty()) +
+  const int modes = (!options.spec_path.empty()) +
+                    (!options.revise_id.empty()) +
+                    (!options.status_id.empty()) +
                     (!options.result_id.empty()) +
                     (!options.cancel_id.empty()) + options.stats +
                     options.metrics + options.healthz + options.profile +
                     options.shutdown + (!options.raw.empty());
   if (modes != 1) {
     std::cerr << "exactly one request mode is required\n";
+    return false;
+  }
+  if (!options.revise_id.empty() && options.delta_json.empty()) {
+    std::cerr << "--revise requires --delta='<json>'\n";
     return false;
   }
   return true;
@@ -189,6 +205,18 @@ std::string build_request(const ClientOptions& options, std::string* error) {
     if (options.no_bound_pruning) {
       request.set("bound_pruning", JsonValue(false));
     }
+  } else if (!options.revise_id.empty()) {
+    JsonValue delta;
+    try {
+      delta = JsonValue::parse(options.delta_json);
+    } catch (const chop::serve::JsonError& e) {
+      *error = std::string("bad --delta json: ") + e.what();
+      return "";
+    }
+    request.set("op", JsonValue(std::string("revise")));
+    request.set("id", JsonValue(options.revise_id));
+    if (!options.id.empty()) request.set("new_id", JsonValue(options.id));
+    request.set("delta", std::move(delta));
   } else if (!options.status_id.empty()) {
     request.set("op", JsonValue(std::string("status")));
     request.set("id", JsonValue(options.status_id));
@@ -278,8 +306,10 @@ int main(int argc, char** argv) {
   }
   int status = report(response, options.metrics && options.prom);
 
-  // --wait on submit: block on the result of the job we just queued.
-  if (status == 0 && !options.spec_path.empty() && options.wait) {
+  // --wait on submit/revise: block on the result of the job we queued.
+  if (status == 0 &&
+      (!options.spec_path.empty() || !options.revise_id.empty()) &&
+      options.wait) {
     chop::serve::JsonValue parsed = chop::serve::JsonValue::parse(response);
     const chop::serve::JsonValue* id = parsed.find("id");
     if (id != nullptr && id->is_string()) {

@@ -7,17 +7,32 @@ if(NOT DEFINED CHOPD OR NOT DEFINED SPEC_DIR)
   message(FATAL_ERROR "CHOPD and SPEC_DIR must be defined")
 endif()
 
-# One worker so the third submit is still queued behind fir4/diffeq when
-# the cancel line (processed microseconds later) lands.
+# One worker, and a queue of keep-all (unpruned, thousands-of-leaves)
+# jobs in front of the victim, so the victim is still queued — or at
+# worst just started — when its cancel line (processed microseconds
+# after the submit) lands. The victim itself is keep-all too: should the
+# single-CPU scheduler stall the reader thread long enough for the
+# victim to start, the cooperative cancel still stops it mid-search and
+# the job still terminates `cancelled`. Both paths are legitimate (the
+# unit tests pin each one deterministically); only `already_terminal`
+# would fail the needles below.
 set(input "serve_pipe_smoke_input.ndjson")
 file(WRITE ${input} "")
-file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"fir4\",\"spec_path\":\"${SPEC_DIR}/fir4.chop\",\"heuristic\":\"E\"}\n")
-file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"diffeq\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\"}\n")
-file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"victim\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\"}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"fir4\",\"spec_path\":\"${SPEC_DIR}/fir4.chop\",\"heuristic\":\"E\",\"keep_all\":true,\"bound_pruning\":false}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"diffeq\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\",\"keep_all\":true,\"bound_pruning\":false}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"blocker1\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\",\"keep_all\":true,\"bound_pruning\":false}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"blocker2\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\",\"keep_all\":true,\"bound_pruning\":false}\n")
+file(APPEND ${input} "{\"op\":\"submit\",\"id\":\"victim\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\",\"keep_all\":true,\"bound_pruning\":false}\n")
 file(APPEND ${input} "{\"op\":\"cancel\",\"id\":\"victim\"}\n")
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"fir4\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"diffeq\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"victim\",\"wait\":true}\n")
+# Revise both finished jobs through the incremental pipeline: a tighter
+# constraint budget on fir4, a slower clock family on diffeq.
+file(APPEND ${input} "{\"op\":\"revise\",\"id\":\"fir4\",\"new_id\":\"fir4-r1\",\"delta\":{\"kind\":\"set_constraints\",\"performance_ns\":27000}}\n")
+file(APPEND ${input} "{\"op\":\"result\",\"id\":\"fir4-r1\",\"wait\":true}\n")
+file(APPEND ${input} "{\"op\":\"revise\",\"id\":\"diffeq\",\"new_id\":\"diffeq-r1\",\"delta\":{\"kind\":\"set_clock\",\"main_clock_ns\":330,\"datapath_multiplier\":10,\"transfer_multiplier\":1}}\n")
+file(APPEND ${input} "{\"op\":\"result\",\"id\":\"diffeq-r1\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"stats\"}\n")
 file(APPEND ${input} "{\"op\":\"healthz\"}\n")
 file(APPEND ${input} "{\"op\":\"metrics\"}\n")
@@ -38,8 +53,13 @@ endif()
 foreach(needle
     "\"op\":\"result\",\"id\":\"fir4\",\"state\":\"done\""
     "\"op\":\"result\",\"id\":\"diffeq\",\"state\":\"done\""
-    "\"op\":\"cancel\",\"id\":\"victim\",\"outcome\":\"cancelled_queued\""
+    # Matches "cancelled_queued" and "cancelling", never "already_terminal".
+    "\"op\":\"cancel\",\"id\":\"victim\",\"outcome\":\"cancel"
     "\"op\":\"result\",\"id\":\"victim\",\"state\":\"cancelled\""
+    "\"op\":\"revise\",\"id\":\"fir4-r1\",\"base\":\"fir4\""
+    "\"op\":\"result\",\"id\":\"fir4-r1\",\"state\":\"done\""
+    "\"op\":\"revise\",\"id\":\"diffeq-r1\",\"base\":\"diffeq\""
+    "\"op\":\"result\",\"id\":\"diffeq-r1\",\"state\":\"done\""
     "\"op\":\"stats\""
     "\"op\":\"healthz\""
     "\"uptime_ms\""
