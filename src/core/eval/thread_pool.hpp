@@ -1,14 +1,22 @@
-// A small fixed-size thread pool for the evaluation engine. The parallel
-// enumeration submits one job per odometer chunk and joins them in chunk
-// order through the returned futures — the pool itself imposes no
-// ordering, so determinism lives entirely in the caller's merge step.
+// Work-stealing thread pool for the evaluation engine. The parallel
+// enumeration submits one job per prefix unit; each worker owns a deque
+// it pushes and pops LIFO, idle workers steal FIFO from a randomly
+// rotated victim, and externally submitted jobs land in a shared
+// injector queue (batches are scattered across the worker deques so
+// there is something to steal from the first instant). The pool imposes
+// no ordering — determinism lives entirely in the caller's merge step —
+// so steal order is free to be random, and a test-only chaos seed makes
+// it adversarially random to prove exactly that.
 //
-// Deliberately minimal: no work stealing, no resizing, no task priorities.
-// Search chunks are coarse (hundreds-plus integrations each), so a mutex-
-// guarded queue is nowhere near the bottleneck.
+// Blocked callers can help: try_run_one() runs one pending job on the
+// calling thread, which lets a search joining a wave of units drain the
+// pool instead of sleeping behind it — and lets serve share one pool
+// across concurrent jobs without a long search monopolizing it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -26,23 +34,66 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains the queue: jobs already submitted run to completion, then the
-  /// workers join.
+  /// Drains the queues: jobs already submitted run to completion, then
+  /// the workers join.
   ~ThreadPool();
 
   /// Enqueues `job`; the future becomes ready when it finishes (or rethrows
-  /// what it threw).
+  /// what it threw). Called from a pool worker, the job goes on that
+  /// worker's own deque (LIFO); otherwise it goes to the injector queue.
   std::future<void> submit(std::function<void()> job);
+
+  /// Enqueues a batch, scattering the jobs round-robin across the worker
+  /// deques so every worker starts with local work and stealing only
+  /// balances the tail. Futures are in job order.
+  std::vector<std::future<void>> submit_batch(
+      std::vector<std::function<void()>> jobs);
+
+  /// Runs one pending job on the calling thread (injector first, then a
+  /// steal). Returns false when nothing was runnable — never blocks.
+  bool try_run_one();
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Maps a thread-count request to an actual worker count: values >= 1
+  /// pass through, 0 (or negative) means "one worker per hardware
+  /// thread" — the contract behind chop_cli/chopd `--threads=0`.
+  static int resolve_threads(int requested);
+
+  /// Test-only scheduler chaos: a nonzero seed perturbs victim rotation
+  /// and queue preference per worker so repeated runs execute under
+  /// different interleavings. 0 (the default) restores the tuned order.
+  /// Applies to pools constructed after the call.
+  static void set_scheduler_chaos_for_testing(std::uint64_t seed);
+
  private:
-  void worker_loop();
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool pop_own(std::size_t self, std::packaged_task<void()>& task);
+  bool pop_injector(std::packaged_task<void()>& task);
+  /// Steals FIFO from some other worker's deque; `self` == size() for
+  /// external helpers (no deque of their own to skip).
+  bool steal(std::size_t self, std::uint64_t& rng,
+             std::packaged_task<void()>& task);
+  void enqueue(std::size_t target, std::packaged_task<void()> task);
+  void announce(std::size_t count);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  WorkerDeque injector_;
+  std::uint64_t chaos_seed_ = 0;  ///< Snapshot at construction.
+  std::atomic<std::size_t> next_scatter_{0};  ///< Batch scatter cursor.
+
+  std::mutex cv_mu_;
   std::condition_variable cv_;
+  /// Queued, not yet popped (under cv_mu_). Signed: a pop can observe a
+  /// task between its enqueue and its announce, so the count may dip
+  /// transiently negative.
+  long long pending_ = 0;
   bool stop_ = false;
 };
 

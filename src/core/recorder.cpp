@@ -17,19 +17,22 @@ double round_sig3(double v) {
 
 }  // namespace
 
-void ParetoFrontier::insert(Cycles ii, Cycles delay) {
+bool ParetoFrontier::insert(Cycles ii, Cycles delay) {
   // First point at or right of `ii` (the staircase is II-ascending with
   // strictly descending delays, so everything left of `lo` has smaller II).
   auto lo = std::lower_bound(
       points_.begin(), points_.end(), ii,
       [](const std::pair<Cycles, Cycles>& p, Cycles v) { return p.first < v; });
   // Weakly dominated by an existing point (i <= ii, d <= delay)?
-  if (lo != points_.begin() && std::prev(lo)->second <= delay) return;
-  if (lo != points_.end() && lo->first == ii && lo->second <= delay) return;
+  if (lo != points_.begin() && std::prev(lo)->second <= delay) return false;
+  if (lo != points_.end() && lo->first == ii && lo->second <= delay) {
+    return false;
+  }
   // Remove entries the new point weakly dominates (i >= ii, d >= delay).
   auto hi = lo;
   while (hi != points_.end() && hi->second >= delay) ++hi;
   points_.insert(points_.erase(lo, hi), {ii, delay});
+  return true;
 }
 
 bool ParetoFrontier::dominates_strictly(Cycles ii, Cycles delay) const {

@@ -24,7 +24,10 @@ class ParetoFrontier {
  public:
   /// Adds a feasible design's (ii, delay); dominated entries (either
   /// direction) are folded away. Weakly dominated inserts are no-ops.
-  void insert(Cycles ii, Cycles delay);
+  /// Returns true when the staircase tightened (the point was admitted) —
+  /// the signal the shared-incumbent broadcast uses to decide whether a
+  /// find is worth publishing.
+  bool insert(Cycles ii, Cycles delay);
 
   /// Strict-dominance query for bound pruning: true when some inserted
   /// point (i, d) satisfies (i <= ii && d < delay) or (i < ii && d <=

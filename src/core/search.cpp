@@ -217,15 +217,19 @@ const std::vector<std::vector<bad::DesignPrediction>>& search_lists(
 // incumbent Pareto frontier; the surviving leaf sequence is a subsequence
 // of the exhaustive order and the final design set is provably identical.
 //
-// Work (and incumbent-frontier scope) is split on the outermost digits
-// into a fixed number of units — the split depth grows until at least
-// kMinUnits units exist, independent of the thread count, so the unit
-// boundaries (and therefore every observable output) are identical at any
-// SearchOptions::threads. Units evaluate concurrently and merge strictly
-// in unit order. Each unit's frontier starts from deterministic seed
-// probes (greedy per-partition picks, evaluated up front) and grows with
-// the unit's own feasible finds; cross-unit feasible designs are NOT
-// shared, which keeps pruning decisions independent of timing.
+// Work is split on the outermost digits into a fixed number of units —
+// the split depth grows until at least kMinUnits units exist, independent
+// of the thread count, so the unit boundaries (and therefore every
+// observable output) are identical at any SearchOptions::threads. Units
+// evaluate concurrently on a work-stealing pool and merge strictly in
+// unit order. Each unit's frontier starts from deterministic seed probes
+// (greedy per-partition picks, evaluated up front) and grows with the
+// unit's own feasible finds; with SearchOptions::shared_frontier it also
+// pulls every *committed* cross-unit find. Commits happen only at wave
+// barriers — units are grouped into deterministic waves, and a wave's
+// feasible finds become visible exactly when the next wave starts — so
+// pruning decisions depend on the wave structure, never on timing, and
+// every output stays byte-identical across thread counts and schedules.
 // ---------------------------------------------------------------------------
 
 /// One buffered enumeration trial, produced by a worker and consumed by
@@ -296,6 +300,29 @@ struct UnitPlan {
   std::size_t leaves_per_unit = 1;  ///< Saturated product of inner lens.
 };
 
+/// Wave sizes for the shared-frontier schedule: units are grouped into
+/// consecutive index ranges, and every unit of wave k finishes (and
+/// publishes) before any unit of wave k+1 starts. A short geometric ramp
+/// commits the first incumbents after only a few units, then wide waves
+/// keep the pool saturated between barriers. Without sharing there are
+/// no barriers to honor, so a single wave covers everything.
+std::vector<std::size_t> plan_waves(std::size_t unit_count, bool share) {
+  std::vector<std::size_t> sizes;
+  if (!share || unit_count == 0) {
+    sizes.push_back(unit_count);
+    return sizes;
+  }
+  std::size_t placed = 0;
+  std::size_t next = 4;
+  while (placed < unit_count) {
+    const std::size_t size = std::min(next, unit_count - placed);
+    sizes.push_back(size);
+    placed += size;
+    if (next < 32) next *= 2;
+  }
+  return sizes;
+}
+
 UnitPlan plan_units(const OdometerSpace& space) {
   UnitPlan plan;
   const std::size_t nparts = space.len.size();
@@ -358,7 +385,11 @@ struct UnitOutcome {
   std::vector<TrialRecord> records;
   std::size_t pruned_subtrees = 0;
   std::size_t skipped_leaves = 0;  ///< Saturating.
-  bool capped = false;  ///< Stopped at the per-unit record cap.
+  /// Shared-incumbent traffic: feasible finds this unit published, and
+  /// whether its unit-start snapshot pulled a tightened staircase.
+  std::size_t frontier_broadcasts = 0;
+  std::size_t frontier_snapshot_hits = 0;
+  bool capped = false;  ///< Stopped at the per-unit record budget.
   /// The walk observed a raised cancel flag / expired deadline mid-unit.
   /// Collected records are complete evaluations and stay mergeable.
   bool cancelled = false;
@@ -417,13 +448,15 @@ class BoundedWalker {
                 const std::vector<std::vector<bad::DesignPrediction>>& lists,
                 const UnitPlan& plan, const BoundTables& tables,
                 const ParetoFrontier& seed, std::size_t record_cap,
-                const std::atomic<bool>* stop, const CancelState& cancel,
-                CandidateEvaluator& evaluator, obs::PhaseProfile* profile)
+                SharedFrontier* shared, const std::atomic<bool>* stop,
+                const CancelState& cancel, CandidateEvaluator& evaluator,
+                obs::PhaseProfile* profile)
       : ctx_(ctx),
         lists_(lists),
         plan_(plan),
         tables_(tables),
         record_cap_(record_cap),
+        shared_(shared),
         stop_(stop),
         cancel_(cancel),
         evaluator_(evaluator),
@@ -434,6 +467,14 @@ class BoundedWalker {
         selection_(lists.size(), nullptr) {}
 
   UnitOutcome run(std::size_t u) {
+    if (shared_ != nullptr) {
+      // One snapshot per unit suffices: the shared frontier commits only
+      // at wave barriers, and every unit of a wave completes before the
+      // next commit — the staircase cannot tighten mid-unit.
+      obs::ScopedPhase sync(profile_, obs::SearchPhase::kFrontierSync);
+      std::uint64_t seen = 0;
+      if (shared_->snapshot(seen, frontier_)) ++out_.frontier_snapshot_hits;
+    }
     decode_unit(lists_, plan_, u, digits_, selection_);
     const std::size_t nparts = lists_.size();
     for (std::size_t p = nparts; p-- > plan_.inner_count;) {
@@ -484,6 +525,15 @@ class BoundedWalker {
       stopped_ = true;  // partial outcome; the merge will never read it
       return;
     }
+    if (record_cap_ > 0 && out_.records.size() >= record_cap_) {
+      // The in-order merge can consume at most record_cap_ records from
+      // this unit (the global cap minus everything earlier waves already
+      // collected), so stop *before* evaluating this leaf instead of
+      // over-collecting records the merge would only truncate.
+      out_.capped = true;
+      stopped_ = true;
+      return;
+    }
     if (cancel_.armed() && cancel_.triggered()) {
       // Unlike a stop-flag abort, a cancelled unit's collected records are
       // complete evaluations — the merge consumes them as a valid prefix.
@@ -494,13 +544,16 @@ class BoundedWalker {
     TrialRecord record =
         evaluate_leaf(ctx_, selection_, digits_, evaluator_, profile_);
     if (record.feasible) {
-      frontier_.insert(record.ii_main, record.delay_main);
+      // Publish only staircase-tightening finds: a point the unit's own
+      // frontier already dominates cannot tighten the shared one either.
+      const bool tightened =
+          frontier_.insert(record.ii_main, record.delay_main);
+      if (tightened && shared_ != nullptr) {
+        shared_->publish(record.ii_main, record.delay_main);
+        ++out_.frontier_broadcasts;
+      }
     }
     out_.records.push_back(std::move(record));
-    if (record_cap_ > 0 && out_.records.size() >= record_cap_) {
-      out_.capped = true;
-      stopped_ = true;
-    }
   }
 
   const EvalContext& ctx_;
@@ -508,6 +561,7 @@ class BoundedWalker {
   const UnitPlan& plan_;
   const BoundTables& tables_;
   const std::size_t record_cap_;
+  SharedFrontier* shared_;
   const std::atomic<bool>* stop_;
   const CancelState& cancel_;
   CandidateEvaluator& evaluator_;
@@ -526,6 +580,19 @@ class BoundedWalker {
 /// tests can toggle the variable within one process.
 bool bound_pruning_env_enabled() {
   const char* env = std::getenv("CHOP_BOUND_PRUNING");
+  if (env == nullptr) return true;
+  std::string v(env);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return !(v == "0" || v == "false" || v == "off");
+}
+
+/// True unless CHOP_SHARED_FRONTIER is set to 0/false/off — the run-time
+/// ablation switch for the cross-unit incumbent broadcast. Same contract
+/// and re-read cadence as CHOP_BOUND_PRUNING.
+bool shared_frontier_env_enabled() {
+  const char* env = std::getenv("CHOP_SHARED_FRONTIER");
   if (env == nullptr) return true;
   std::string v(env);
   for (char& c : v) {
@@ -622,6 +689,10 @@ SearchResult search_enumeration(const EvalContext& ctx,
       obs::MetricsRegistry::global().counter("search.bound_skipped_leaves");
   static obs::Counter& probe_counter =
       obs::MetricsRegistry::global().counter("search.probe_integrations");
+  static obs::Counter& broadcast_counter =
+      obs::MetricsRegistry::global().counter("search.frontier_broadcasts");
+  static obs::Counter& snapshot_counter =
+      obs::MetricsRegistry::global().counter("search.frontier_snapshot_hits");
 
   const OdometerSpace space = odometer_space(lists);
   std::size_t limit = space.total;
@@ -659,15 +730,52 @@ SearchResult search_enumeration(const EvalContext& ctx,
   std::vector<GlobalDesign> feasible;
   TrialReporter reporter(options.observer);
   std::atomic<bool> stop{false};
-  // Per-unit record cap: with bound pruning the global cap applies to
-  // *surviving* leaves, which only the in-order merge can count — each
-  // unit over-collects up to the full cap and the merge truncates.
-  const std::size_t record_cap = bounded ? options.max_trials : 0;
 
-  const auto run_unit = [&](std::size_t u) -> UnitOutcome {
+  // Cross-unit incumbent broadcast (see SharedFrontier): bounded walks
+  // only — the unbounded walk keeps no frontier — and pointless for a
+  // single unit.
+  const bool share = bounded && options.shared_frontier &&
+                     shared_frontier_env_enabled() && plan.unit_count > 1;
+  SharedFrontier shared;
+
+  // Deterministic wave schedule: with sharing, a wave's finds commit at
+  // its barrier and the next wave prunes against them; without sharing
+  // one wave covers everything (no barriers to honor).
+  const std::vector<std::size_t> waves = plan_waves(plan.unit_count, share);
+  std::vector<std::size_t> wave_first(waves.size());
+  for (std::size_t k = 0, first = 0; k < waves.size(); ++k) {
+    wave_first[k] = first;
+    first += waves[k];
+  }
+
+  // Per-unit record budget for a wave starting after `records_before`
+  // records were collected by earlier waves: the in-order merge consumes
+  // at most max_trials records total and folds every earlier wave's
+  // records in first, so one unit can never contribute more than the
+  // difference — collecting past it would be over-collection the merge
+  // only truncates. Computed from completed waves only, so budgets are
+  // identical at any thread count and schedule.
+  constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+  const auto budget_for = [&](std::size_t records_before) -> std::size_t {
+    if (!bounded || options.max_trials == 0) return kUnlimited;
+    return options.max_trials > records_before
+               ? options.max_trials - records_before
+               : 0;
+  };
+
+  const auto run_unit = [&](std::size_t u, std::size_t budget) -> UnitOutcome {
+    if (budget == 0) {
+      // Earlier waves already filled the cap: the merge is guaranteed to
+      // stop before reaching this unit, so there is nothing to collect.
+      UnitOutcome out;
+      out.capped = true;
+      return out;
+    }
     if (bounded) {
-      return BoundedWalker(ctx, lists, plan, *tables, seed, record_cap, &stop,
-                           cancel, evaluator, profile)
+      return BoundedWalker(ctx, lists, plan, *tables, seed,
+                           budget == kUnlimited ? 0 : budget,
+                           share ? &shared : nullptr, &stop, cancel, evaluator,
+                           profile)
           .run(u);
     }
     return run_unit_unbounded(ctx, lists, plan, u, limit, cancel, evaluator,
@@ -688,6 +796,8 @@ SearchResult search_enumeration(const EvalContext& ctx,
     out.pruned_subtrees = sat_add(out.pruned_subtrees, unit.pruned_subtrees);
     out.bound_skipped_leaves =
         sat_add(out.bound_skipped_leaves, unit.skipped_leaves);
+    out.frontier_broadcasts += unit.frontier_broadcasts;
+    out.frontier_snapshot_hits += unit.frontier_snapshot_hits;
     for (std::size_t i = 0; i < unit.records.size(); ++i) {
       merge_trial(out, std::move(unit.records[i]), reporter, options,
                   feasible);
@@ -706,75 +816,125 @@ SearchResult search_enumeration(const EvalContext& ctx,
   };
 
   if (options.threads <= 1 || unit_count <= 1) {
-    for (std::size_t u = 0; u < unit_count && !reached_cap && !cancel_hit;
-         ++u) {
-      if (cancel.armed() && cancel.triggered()) {
-        cancel_hit = true;
-        break;
+    std::size_t records_before = 0;
+    for (std::size_t k = 0; k < waves.size() && !reached_cap && !cancel_hit;
+         ++k) {
+      const std::size_t budget = budget_for(records_before);
+      for (std::size_t u = wave_first[k]; u < wave_first[k] + waves[k]; ++u) {
+        if (reached_cap || cancel_hit) break;
+        if (cancel.armed() && cancel.triggered()) {
+          cancel_hit = true;
+          break;
+        }
+        UnitOutcome outcome = run_unit(u, budget);
+        records_before += outcome.records.size();
+        consume(u, std::move(outcome));
       }
-      consume(u, run_unit(u));
+      if (share && !reached_cap && !cancel_hit) {
+        obs::ScopedPhase sync(profile, obs::SearchPhase::kFrontierSync);
+        shared.commit();
+      }
     }
   } else {
     obs::TraceSpan span("search.parallel");
-    // Tasks group consecutive units; grouping affects scheduling only —
-    // every observable comes from per-unit outcomes merged in unit order.
-    const std::size_t task_count = std::min<std::size_t>(
-        unit_count, static_cast<std::size_t>(options.threads) * 4);
-    const std::size_t task_size = (unit_count + task_count - 1) / task_count;
-    ThreadPool pool(
-        std::min<int>(options.threads, static_cast<int>(task_count)));
+    // An external pool (serve's, shared across jobs) schedules this
+    // search's units interleaved with everyone else's; otherwise spin up
+    // a private work-stealing pool for this search only.
+    ThreadPool* pool = options.pool;
+    std::unique_ptr<ThreadPool> private_pool;
+    if (pool == nullptr) {
+      private_pool = std::make_unique<ThreadPool>(
+          std::min<int>(options.threads, static_cast<int>(unit_count)));
+      pool = private_pool.get();
+    }
 
     // Pool threads have no ambient trace context; hand them this span's
-    // so chunk spans join the job's trace tree instead of floating free.
-    const obs::TraceContext chunk_ctx = span.context();
-    std::vector<std::vector<UnitOutcome>> task_outcomes(task_count);
-    std::vector<std::future<void>> done;
-    done.reserve(task_count);
-    for (std::size_t t = 0; t < task_count; ++t) {
-      const std::size_t first = std::min(unit_count, t * task_size);
-      const std::size_t last = std::min(unit_count, first + task_size);
-      done.push_back(pool.submit([&, t, first, last] {
-        obs::TraceContextScope ctx_scope(chunk_ctx);
-        obs::TraceSpan task_span("search.parallel.chunk");
-        task_span.arg("chunk", t);
-        task_span.arg("units", last - first);
-        auto& outcomes = task_outcomes[t];
-        outcomes.reserve(last - first);
-        for (std::size_t u = first; u < last; ++u) {
-          if (stop.load(std::memory_order_relaxed)) break;
-          outcomes.push_back(run_unit(u));
-          if (outcomes.back().cancelled) break;
-        }
-      }));
-    }
+    // so unit spans join the job's trace tree instead of floating free.
+    const obs::TraceContext unit_ctx = span.context();
+    std::vector<UnitOutcome> outcomes(unit_count);
+    std::vector<std::vector<std::future<void>>> inflight(waves.size());
 
-    // In-order merge: task t is folded in only once complete, so the
-    // observer, the recorder and the result fields see exactly the serial
-    // sequence. Workers keep racing ahead on later units meanwhile.
-    for (std::size_t t = 0; t < task_count && !reached_cap && !cancel_hit;
-         ++t) {
-      done[t].get();
-      const std::size_t first = std::min(unit_count, t * task_size);
-      for (std::size_t i = 0;
-           i < task_outcomes[t].size() && !reached_cap && !cancel_hit; ++i) {
-        consume(first + i, std::move(task_outcomes[t][i]));
+    // On any exit — including an exception thrown out of a unit — stop
+    // stragglers and drain every scheduled future, so no task outlives
+    // `outcomes` (essential when running on serve's shared pool).
+    struct Drain {
+      std::atomic<bool>& stop;
+      std::vector<std::vector<std::future<void>>>& inflight;
+      ~Drain() {
+        stop.store(true, std::memory_order_relaxed);
+        for (auto& wave : inflight) {
+          for (auto& f : wave) {
+            if (f.valid()) f.wait();
+          }
+        }
       }
-      task_outcomes[t].clear();
-      task_outcomes[t].shrink_to_fit();
-    }
-    // Unblock any still-queued tasks before the pool tears down.
-    stop.store(true, std::memory_order_relaxed);
-    for (std::size_t t = 0; t < task_count; ++t) {
-      if (done[t].valid()) done[t].wait();
+    } drain{stop, inflight};
+
+    const auto schedule_wave = [&](std::size_t k, std::size_t budget) {
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(waves[k]);
+      for (std::size_t u = wave_first[k]; u < wave_first[k] + waves[k]; ++u) {
+        jobs.push_back([&, u, k, budget] {
+          if (stop.load(std::memory_order_relaxed)) return;
+          obs::TraceContextScope ctx_scope(unit_ctx);
+          obs::TraceSpan unit_span("search.parallel.unit");
+          unit_span.arg("unit", u);
+          unit_span.arg("wave", k);
+          outcomes[u] = run_unit(u, budget);
+        });
+      }
+      inflight[k] = pool->submit_batch(std::move(jobs));
+    };
+
+    // Joining a wave helps run queued tasks instead of idling at the
+    // barrier — on a shared pool that may be other jobs' units.
+    const auto join_wave = [&](std::size_t k) {
+      for (auto& f : inflight[k]) {
+        while (f.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+          if (!pool->try_run_one()) f.wait();
+        }
+        f.get();  // rethrows a unit's exception
+      }
+    };
+
+    std::size_t records_before = 0;
+    schedule_wave(0, budget_for(0));
+    for (std::size_t k = 0; k < waves.size(); ++k) {
+      join_wave(k);
+      // Wave barrier: every unit of wave k is complete. Commit its finds
+      // and schedule wave k+1 *before* merging wave k, so the next wave
+      // executes while this thread merges — the barrier never idles the
+      // pool. Budgets use pre-truncation record counts (deterministic);
+      // if the merge below stops at the cap or a cancellation, wave k+1's
+      // outcomes are simply never consumed.
+      for (std::size_t u = wave_first[k]; u < wave_first[k] + waves[k]; ++u) {
+        records_before += outcomes[u].records.size();
+      }
+      if (share) {
+        obs::ScopedPhase sync(profile, obs::SearchPhase::kFrontierSync);
+        shared.commit();
+      }
+      if (k + 1 < waves.size()) {
+        schedule_wave(k + 1, budget_for(records_before));
+      }
+      for (std::size_t u = wave_first[k];
+           u < wave_first[k] + waves[k] && !reached_cap && !cancel_hit; ++u) {
+        consume(u, std::move(outcomes[u]));
+      }
+      if (reached_cap || cancel_hit) break;  // Drain stops wave k+1
     }
     span.arg("threads", options.threads);
     span.arg("units", unit_count);
-    span.arg("tasks", task_count);
+    span.arg("waves", waves.size());
+    span.arg("shared_frontier", share);
     span.arg("trials", out.trials);
   }
 
   pruned_counter.add(out.pruned_subtrees);
   skipped_counter.add(out.bound_skipped_leaves);
+  broadcast_counter.add(out.frontier_broadcasts);
+  snapshot_counter.add(out.frontier_snapshot_hits);
 
   // Unbounded truncation is exact (the walk stops at a known global
   // index); bounded truncation is deterministically pessimistic — the

@@ -20,10 +20,13 @@
 // already violate a hard constraint or are dominated by the incumbent
 // Pareto front, while provably returning the identical design set as the
 // exhaustive walk. The work is split on top-level digit prefixes into a
-// fixed number of units; units evaluate concurrently on
-// SearchOptions::threads workers and merge in prefix order, so the
-// SearchResult (trials, feasible_raw, designs, recorder contents,
-// observer callback sequence) is identical across thread counts.
+// fixed number of units; units are scheduled in deterministic waves on a
+// work-stealing pool (SearchOptions::threads workers, or an external
+// shared pool), publish feasible finds into a SharedFrontier committed
+// at wave barriers so later units prune against every earlier unit's
+// incumbents, and merge in prefix order — the SearchResult (trials,
+// feasible_raw, designs, recorder contents, observer callback sequence)
+// is identical across thread counts and scheduling orders.
 #pragma once
 
 #include <atomic>
@@ -41,6 +44,7 @@ namespace chop::core {
 
 class BoundTablesCache;
 class CandidateEvaluator;
+class ThreadPool;
 
 /// Which search heuristic to run ("H" column of Tables 4/6).
 enum class Heuristic { Enumeration, Iterative };
@@ -66,10 +70,30 @@ struct SearchOptions {
   /// when threads > 1 (they are serialized through the merge step).
   obs::SearchObserver* observer = nullptr;
   /// Worker threads for the enumeration heuristic. 1 (the default) is
-  /// exactly the historical serial behavior; N > 1 evaluates odometer
-  /// chunks concurrently with a deterministic in-order merge. The
-  /// iterative heuristic is inherently sequential and ignores this.
+  /// exactly the historical serial behavior; N > 1 evaluates prefix
+  /// units concurrently with a deterministic in-order merge. Must be
+  /// >= 1 here — the CLI/daemon layers map a user-facing `0` to the
+  /// hardware thread count via ThreadPool::resolve_threads() before
+  /// building these options. The iterative heuristic is inherently
+  /// sequential and ignores this.
   int threads = 1;
+  /// External work-stealing pool to run enumeration units on (not owned).
+  /// May be shared across concurrent searches — serve passes one shared
+  /// pool so a long search's units interleave with other jobs instead of
+  /// monopolizing workers. Null (the default): the search spins up a
+  /// private pool when threads > 1. Ignored when threads <= 1.
+  ThreadPool* pool = nullptr;
+  /// Cross-unit incumbent broadcast for the bounded enumeration: units
+  /// publish feasible finds into a SharedFrontier committed at
+  /// deterministic wave barriers, so every later unit prunes against all
+  /// earlier units' incumbents instead of only the seed probes. The
+  /// design set is provably unchanged (strict-dominance cuts never
+  /// remove a non-inferior design) and `trials` can only shrink; all
+  /// outputs stay identical across thread counts and schedules. Also
+  /// switchable off at run time via CHOP_SHARED_FRONTIER=0 (the env wins
+  /// over a `true` here only when set to a disabling value). Meaningless
+  /// — and ignored — when bound_pruning is off.
+  bool shared_frontier = true;
   /// Shared memo cache (not owned; may outlive many searches). When null,
   /// the search uses a private cache that lives for this call only —
   /// ChopSession::search() substitutes its session-lifetime evaluator.
@@ -146,6 +170,14 @@ struct SearchResult {
   /// `search.bound_skipped_leaves` metrics.
   std::size_t pruned_subtrees = 0;
   std::size_t bound_skipped_leaves = 0;
+  /// Shared-incumbent traffic (SearchOptions::shared_frontier): feasible
+  /// finds units broadcast into the shared frontier, and unit-start
+  /// snapshots that actually pulled a tightened staircase. Counted from
+  /// merged units only, so both are deterministic at any thread count.
+  /// Also exported as the `search.frontier_broadcasts` and
+  /// `search.frontier_snapshot_hits` metrics.
+  std::size_t frontier_broadcasts = 0;
+  std::size_t frontier_snapshot_hits = 0;
   bool truncated = false;             ///< Hit SearchOptions::max_trials.
   /// Stopped early by SearchOptions::cancel or an expired deadline. The
   /// result is a valid partial answer: every reported design was fully

@@ -11,6 +11,7 @@ const char* to_string(SearchPhase phase) {
     case SearchPhase::kLeafEval: return "leaf_eval";
     case SearchPhase::kVerdict: return "verdict";
     case SearchPhase::kMerge: return "merge";
+    case SearchPhase::kFrontierSync: return "frontier_sync";
     case SearchPhase::kCacheWait: return "cache_wait";
     case SearchPhase::kPredict: return "predict";
     case SearchPhase::kRender: return "render";

@@ -1,8 +1,9 @@
 // Search-phase profiler: cheap scoped wall-clock counters attributing
 // where a search spends its time — bound-table builds, heuristic probe
 // seeding, leaf evaluations, verdict-only re-evaluations on a memoized
-// core, result merging, evaluator-cache lock waits, per-partition BAD
-// prediction, and serve-side result rendering.
+// core, result merging, shared-incumbent frontier synchronization,
+// evaluator-cache lock waits, per-partition BAD prediction, and
+// serve-side result rendering.
 //
 // Unlike TraceSpan (per-event, needs a sink and a file) this is an
 // aggregate: two atomic adds per scope, readable live while the search
@@ -29,6 +30,7 @@ enum class SearchPhase : std::size_t {
   kLeafEval,         ///< Candidate evaluations at enumeration leaves.
   kVerdict,          ///< Constraint-verdict re-runs on a memoized core.
   kMerge,            ///< In-order merging of per-unit results.
+  kFrontierSync,     ///< Shared-incumbent snapshots and wave commits.
   kCacheWait,        ///< Blocked acquiring an evaluator cache shard lock.
   kPredict,          ///< Per-partition BAD prediction (session research).
   kRender,           ///< Serve-side result JSON rendering.

@@ -247,8 +247,10 @@ Request parse_request(const std::string& line, const ProtocolLimits& limits) {
         }
       }
       if (const JsonValue* t = doc.find("threads")) {
+        // 0 = auto-detect (one enumeration worker per hardware thread),
+        // matching chop_cli --threads=0 and chopd --workers=0.
         request.options.threads =
-            static_cast<int>(int_field(*t, "threads", 1, 256));
+            static_cast<int>(int_field(*t, "threads", 0, 256));
       }
       if (const JsonValue* p = doc.find("priority")) {
         request.options.priority =

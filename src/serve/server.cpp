@@ -26,10 +26,18 @@ ChopServer::ChopServer(ServerOptions options)
       queue_(options.queue_capacity),
       evaluator_pool_(options.evaluator_pool_capacity,
                       options.cache_entries_per_context) {
-  if (options_.workers < 1) options_.workers = 1;
+  // 0 means auto-detect for both pools — the same contract as
+  // chop_cli --threads=0.
+  options_.workers = core::ThreadPool::resolve_threads(options_.workers);
+  options_.search_threads =
+      core::ThreadPool::resolve_threads(options_.search_threads);
   obs::MetricsRegistry::global()
       .gauge("serve.workers")
       .set(static_cast<double>(options_.workers));
+  obs::MetricsRegistry::global()
+      .gauge("serve.search_pool_threads")
+      .set(static_cast<double>(options_.search_threads));
+  search_pool_ = std::make_unique<core::ThreadPool>(options_.search_threads);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -184,7 +192,10 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
 
     core::SearchOptions search;
     search.heuristic = job->options.heuristic;
-    search.threads = job->options.threads;
+    // threads: 0 = auto-detect; > 1 runs the job's enumeration units on
+    // the server-wide work-stealing pool, interleaved with other jobs'.
+    search.threads = core::ThreadPool::resolve_threads(job->options.threads);
+    search.pool = search_pool_.get();
     search.prune = !job->options.keep_all;
     search.bound_pruning =
         job->options.bound_pruning && !job->options.keep_all;

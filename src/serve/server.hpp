@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/eval/thread_pool.hpp"
 #include "serve/evaluator_pool.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
@@ -37,7 +38,13 @@
 namespace chop::serve {
 
 struct ServerOptions {
+  /// Job worker threads; 0 = one per hardware thread.
   int workers = 2;
+  /// Size of the shared search pool enumeration units run on when a
+  /// job's SearchOptions ask for threads > 1. Shared by every job, so a
+  /// long search's units interleave with other jobs' units instead of
+  /// monopolizing workers. 0 (the default) = one per hardware thread.
+  int search_threads = 0;
   /// Hard bound on queued (not yet running) jobs; submissions beyond it
   /// are rejected with SubmitStatus::Overloaded.
   std::size_t queue_capacity = 64;
@@ -198,6 +205,10 @@ class ChopServer {
   /// Serializes shutdown(); later callers block until the first completes.
   std::mutex shutdown_mu_;
 
+  /// Work-stealing pool shared by every job's parallel enumeration
+  /// (SearchOptions::pool). Declared before the job workers — its only
+  /// submitters — so it outlives them.
+  std::unique_ptr<core::ThreadPool> search_pool_;
   std::vector<std::thread> workers_;
 };
 

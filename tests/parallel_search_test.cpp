@@ -1,15 +1,20 @@
 // Determinism tests for the parallel enumeration search: any thread count
 // must produce a SearchResult — designs, trial counts, recorder contents,
 // observer callback sequence — byte-identical to the serial run, on the
-// Figure-7 (AR filter, keep-all) workload.
+// Figure-7 (AR filter, keep-all) workload. The AdversarialScheduler suite
+// additionally perturbs the work-stealing pool's steal order and the
+// SharedFrontier's commit fold order through the testing hooks and
+// demands the same byte-identity across 16 hostile schedules.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "chip/mosis_packages.hpp"
+#include "core/eval/bound_state.hpp"
 #include "core/eval/candidate_evaluator.hpp"
 #include "core/eval/eval_context.hpp"
 #include "core/eval/thread_pool.hpp"
@@ -288,6 +293,165 @@ TEST(ParallelSearch, SaturatedSpaceHonorsCapAtEveryThreadCount) {
           threads);
     }
   }
+}
+
+std::size_t eligible_product(const ChopSession& session) {
+  std::size_t product = 1;
+  for (const auto& list : session.predictions().eligible) {
+    product *= list.size();
+  }
+  return product;
+}
+
+void expect_same_observer_stream(const CaptureObserver& a,
+                                 const CaptureObserver& b) {
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.done_calls, b.done_calls);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].trials, b.events[i].trials) << "event " << i;
+    EXPECT_EQ(a.events[i].feasible, b.events[i].feasible) << "event " << i;
+    EXPECT_EQ(a.events[i].best_ii, b.events[i].best_ii) << "event " << i;
+    EXPECT_EQ(a.events[i].best_delay, b.events[i].best_delay) << "event " << i;
+    EXPECT_EQ(a.events[i].trial_feasible, b.events[i].trial_feasible)
+        << "event " << i;
+    EXPECT_EQ(a.events[i].reason, b.events[i].reason) << "event " << i;
+  }
+}
+
+/// Forces adversarial scheduling for the lifetime of the guard: the pool
+/// constructed inside the search shuffles its task-source preference and
+/// steal victims from `seed`, and every SharedFrontier::commit folds its
+/// staged publishes in a seeded shuffle order instead of arrival order.
+/// Both hooks reset to the deterministic default on destruction.
+struct ScheduleChaos {
+  explicit ScheduleChaos(std::uint64_t seed) {
+    ThreadPool::set_scheduler_chaos_for_testing(seed);
+    SharedFrontier::set_commit_shuffle_for_testing(
+        seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  }
+  ~ScheduleChaos() {
+    ThreadPool::set_scheduler_chaos_for_testing(0);
+    SharedFrontier::set_commit_shuffle_for_testing(0);
+  }
+};
+
+/// Bounded (default) pruned search through the session's shared evaluator,
+/// so the 64 adversarial replays below are mostly cache hits.
+SearchResult run_scheduled(const ChopSession& session, int threads,
+                           obs::SearchObserver* observer = nullptr,
+                           std::size_t max_trials = 0) {
+  SearchOptions opt;
+  opt.heuristic = Heuristic::Enumeration;
+  opt.prune = true;
+  opt.record_all = true;
+  opt.threads = threads;
+  opt.observer = observer;
+  opt.max_trials = max_trials;
+  return session.search(opt);
+}
+
+TEST(AdversarialScheduler, ByteIdenticalAcrossSixteenHostileSchedules) {
+  ChopSession session = fig7_session(3);
+  session.predict_partitions();
+  const std::size_t space = eligible_product(session);
+  CaptureObserver base_obs;
+  const SearchResult base = run_scheduled(session, 1, &base_obs);
+  ASSERT_FALSE(base.designs.empty());
+  // Every leaf is either visited or accounted to a cut subtree.
+  EXPECT_EQ(base.trials + base.bound_skipped_leaves, space);
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    for (int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      ScheduleChaos chaos(seed);
+      CaptureObserver obs;
+      const SearchResult got = run_scheduled(session, threads, &obs);
+      expect_identical(base, got, threads);
+      EXPECT_EQ(got.trials + got.bound_skipped_leaves, space);
+      EXPECT_EQ(base.pruned_subtrees, got.pruned_subtrees);
+      EXPECT_EQ(base.bound_skipped_leaves, got.bound_skipped_leaves);
+      EXPECT_EQ(base.frontier_broadcasts, got.frontier_broadcasts);
+      EXPECT_EQ(base.frontier_snapshot_hits, got.frontier_snapshot_hits);
+      expect_same_observer_stream(base_obs, obs);
+    }
+  }
+}
+
+TEST(AdversarialScheduler, CappedRunsDeterministicUnderChaos) {
+  // max_trials interacts with the wave pipeline (later waves are scheduled
+  // with budgets derived from completed waves only) — the truncation point
+  // must not move with the schedule.
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+  const std::size_t cap = 37;  // not on any unit or wave boundary
+  const SearchResult base = run_scheduled(session, 1, nullptr, cap);
+  EXPECT_TRUE(base.truncated);
+  EXPECT_EQ(base.trials, cap);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (int threads : {2, 4, 8}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " threads=" + std::to_string(threads));
+      ScheduleChaos chaos(seed);
+      expect_identical(base, run_scheduled(session, threads, nullptr, cap),
+                       threads);
+    }
+  }
+}
+
+TEST(SharedFrontierSearch, OnOffDesignSetsIdenticalUncapped) {
+  // The cross-unit incumbent broadcast may only ever cut strictly
+  // dominated subtrees: switching it off must reproduce the exact design
+  // set while visiting at least as many leaves, and both runs must
+  // account for every leaf in the odometer space.
+  ChopSession session = fig7_session(3);
+  session.predict_partitions();
+  const std::size_t space = eligible_product(session);
+  SearchOptions opt;
+  opt.heuristic = Heuristic::Enumeration;
+  opt.prune = true;
+  opt.record_all = false;
+  opt.threads = 4;
+  opt.shared_frontier = false;
+  const SearchResult off = session.search(opt);
+  opt.shared_frontier = true;
+  const SearchResult on = session.search(opt);
+  ASSERT_FALSE(on.designs.empty());
+  ASSERT_EQ(on.designs.size(), off.designs.size());
+  for (std::size_t i = 0; i < on.designs.size(); ++i) {
+    EXPECT_EQ(on.designs[i].choice, off.designs[i].choice) << "design " << i;
+    EXPECT_EQ(on.designs[i].integration.ii_main,
+              off.designs[i].integration.ii_main);
+    EXPECT_EQ(on.designs[i].integration.system_delay_main,
+              off.designs[i].integration.system_delay_main);
+  }
+  EXPECT_EQ(on.trials + on.bound_skipped_leaves, space);
+  EXPECT_EQ(off.trials + off.bound_skipped_leaves, space);
+  EXPECT_LE(on.trials, off.trials);
+  EXPECT_EQ(off.frontier_broadcasts, 0u);
+  EXPECT_EQ(off.frontier_snapshot_hits, 0u);
+}
+
+TEST(ThreadPool, ResolveThreadsAutoDetectsZeroAndNegative) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), ThreadPool::resolve_threads(-3));
+}
+
+TEST(ThreadPool, CallerCanHelpDrainTheQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back([&ran] { ran.fetch_add(1); });
+  }
+  auto futures = pool.submit_batch(std::move(jobs));
+  // The caller helps instead of blocking; whatever the workers have not
+  // grabbed yet runs inline here.
+  while (pool.try_run_one()) {
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 32);
 }
 
 TEST(ThreadPool, RunsEverySubmittedJob) {

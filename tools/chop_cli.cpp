@@ -3,13 +3,18 @@
 //   chop_cli <project.chop> [options]
 //     --heuristic=E|I   search heuristic (default I, the Figure-5 walk)
 //     --threads=N       worker threads for the enumeration heuristic
-//                       (default 1; also read from CHOP_THREADS; results
-//                       are identical at any thread count)
+//                       (default 1; 0 = one worker per hardware thread;
+//                       also read from CHOP_THREADS; results are
+//                       identical at any thread count)
 //     --no-bound-pruning  disable the branch-and-bound subtree pruning of
 //                       the enumeration search (identical designs either
 //                       way; useful for timing comparisons and for
 //                       recording the full design space). Also settable
 //                       via CHOP_BOUND_PRUNING=0.
+//     --no-shared-frontier  disable the cross-unit incumbent broadcast of
+//                       the bounded enumeration search (identical designs
+//                       either way; only the number of visited leaves
+//                       changes). Also settable via CHOP_SHARED_FRONTIER=0.
 //     --keep-all        disable pruning (including branch-and-bound),
 //                       report the design-space size
 //     --guideline       print the full designer guideline for every design
@@ -34,6 +39,7 @@
 #include <string>
 
 #include "core/auto_partition.hpp"
+#include "core/eval/thread_pool.hpp"
 #include "core/memory_optimizer.hpp"
 #include "dfg/dot.hpp"
 #include "io/spec_format.hpp"
@@ -54,6 +60,7 @@ struct CliOptions {
   core::Heuristic heuristic = core::Heuristic::Iterative;
   int threads = 1;
   bool bound_pruning = true;
+  bool shared_frontier = true;
   bool keep_all = false;
   bool guideline = false;
   bool auto_partition = false;
@@ -69,29 +76,35 @@ struct CliOptions {
 int usage() {
   std::cerr
       << "usage: chop_cli <project.chop> [--heuristic=E|I] [--threads=N]\n"
-         "                [--no-bound-pruning] [--keep-all] [--guideline]\n"
+         "                [--no-bound-pruning] [--no-shared-frontier]\n"
+         "                [--keep-all] [--guideline]\n"
          "                [--auto] [--optimize-memory] [--dot=<file>]\n"
          "                [--save=<file>] [--report=<file>] [--trace=<file>]\n"
          "                [--metrics=<file>] [--progress]\n"
          "  --threads=N runs the enumeration search on N workers (default 1,\n"
-         "  or the CHOP_THREADS environment variable); any thread count\n"
-         "  produces identical results.\n"
+         "  or the CHOP_THREADS environment variable; N=0 auto-detects one\n"
+         "  worker per hardware thread); any thread count produces\n"
+         "  identical results.\n"
          "  --no-bound-pruning disables the enumeration search's\n"
          "  branch-and-bound subtree pruning (the design set is identical\n"
          "  either way; only the number of visited leaves changes). The\n"
-         "  CHOP_BOUND_PRUNING=0 environment variable does the same.\n";
+         "  CHOP_BOUND_PRUNING=0 environment variable does the same.\n"
+         "  --no-shared-frontier disables the cross-unit incumbent\n"
+         "  broadcast of the bounded enumeration (identical design set;\n"
+         "  more visited leaves). CHOP_SHARED_FRONTIER=0 does the same.\n";
   return 1;
 }
 
-/// Parses a positive thread count; returns 0 on garbage.
+/// Parses a thread count (0 = auto-detect hardware concurrency, same
+/// contract as chopd); returns -1 on garbage.
 int parse_threads(const std::string& value) {
   try {
     std::size_t used = 0;
     const int n = std::stoi(value, &used);
-    if (used != value.size() || n < 1) return 0;
+    if (used != value.size() || n < 0) return -1;
     return n;
   } catch (...) {
-    return 0;
+    return -1;
   }
 }
 
@@ -99,7 +112,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
   // Environment default; an explicit --threads= overrides it.
   if (const char* env = std::getenv("CHOP_THREADS")) {
     const int n = parse_threads(env);
-    if (n > 0) options.threads = n;
+    if (n >= 0) options.threads = n;
   }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +120,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.keep_all = true;
     } else if (arg == "--no-bound-pruning") {
       options.bound_pruning = false;
+    } else if (arg == "--no-shared-frontier") {
+      options.shared_frontier = false;
     } else if (arg == "--guideline") {
       options.guideline = true;
     } else if (arg == "--auto") {
@@ -124,7 +139,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = parse_threads(arg.substr(10));
-      if (options.threads < 1) return false;
+      if (options.threads < 0) return false;
     } else if (arg.rfind("--dot=", 0) == 0) {
       options.dot_path = arg.substr(6);
     } else if (arg.rfind("--save=", 0) == 0) {
@@ -219,9 +234,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --threads=0: one worker per hardware thread, resolved once here so
+    // every search (including --auto) sees a concrete count.
+    options.threads = core::ThreadPool::resolve_threads(options.threads);
+
     core::SearchOptions search;
     search.heuristic = options.heuristic;
     search.threads = options.threads;
+    search.shared_frontier = options.shared_frontier;
     // --keep-all exists to record the full design space, so it implies
     // the exhaustive walk (branch-and-bound skips most of the space).
     search.bound_pruning = options.bound_pruning && !options.keep_all;
@@ -239,6 +259,7 @@ int main(int argc, char** argv) {
       auto_options.search.heuristic = options.heuristic;
       auto_options.search.threads = options.threads;
       auto_options.search.bound_pruning = options.bound_pruning;
+      auto_options.search.shared_frontier = options.shared_frontier;
       const core::AutoPartitionResult r = core::auto_partition(
           project.graph, project.library, project.chips, project.memory,
           project.config, auto_options);

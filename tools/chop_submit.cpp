@@ -60,7 +60,7 @@ struct ClientOptions {
   // Submit knobs.
   std::string id;
   std::string heuristic;
-  int threads = 0;
+  int threads = -1;  ///< -1 = not sent; 0 = server auto-detects.
   int priority = 0;
   long long deadline_ms = 0;
   long long max_trials = -1;
@@ -76,7 +76,8 @@ int usage() {
          "           --result=<id> | --cancel=<id> | --stats | --metrics |\n"
          "           --healthz | --profile[=<id>] | --shutdown |\n"
          "           --raw='<json>')\n"
-         "       submit knobs: [--id=<id>] [--heuristic=E|I] [--threads=N]\n"
+         "       submit knobs: [--id=<id>] [--heuristic=E|I]\n"
+         "           [--threads=N (0 = auto-detect)]\n"
          "           [--priority=N] [--deadline-ms=N] [--max-trials=N]\n"
          "           [--keep-all] [--no-bound-pruning] [--wait]\n"
          "       revise knobs: [--id=<new-id>] [--wait]\n"
@@ -187,7 +188,7 @@ std::string build_request(const ClientOptions& options, std::string* error) {
     if (!options.heuristic.empty()) {
       request.set("heuristic", JsonValue(options.heuristic));
     }
-    if (options.threads > 0) {
+    if (options.threads >= 0) {
       request.set("threads", JsonValue(static_cast<double>(options.threads)));
     }
     if (options.priority != 0) {

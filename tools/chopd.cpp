@@ -9,7 +9,14 @@
 //                                drains and exits
 //
 // Options:
-//   --workers=N            worker threads (default 2)
+//   --workers=N            job worker threads (default 2; 0 = one per
+//                          hardware thread)
+//   --search-threads=N     size of the shared search pool enumeration
+//                          units run on when a job asks for threads > 1
+//                          (default 0 = one per hardware thread); the
+//                          pool is shared by all jobs, so a long search's
+//                          units interleave with other jobs' instead of
+//                          monopolizing workers
 //   --queue-cap=N          queued-job bound; beyond it submissions are
 //                          rejected with "overload" (default 64)
 //   --no-shared-cache      disable cross-request evaluator sharing
@@ -49,7 +56,8 @@ struct DaemonOptions {
 int usage() {
   std::cerr
       << "usage: chopd (--pipe | --socket=<path>) [--workers=N]\n"
-         "             [--queue-cap=N] [--no-shared-cache] [--trace=<file>]\n"
+         "             [--search-threads=N] [--queue-cap=N]\n"
+         "             [--no-shared-cache] [--trace=<file>]\n"
          "             [--metrics=<file>] [--metrics-jsonl=<file>]\n"
          "             [--prom=<file>] [--metrics-interval-ms=N]\n";
   return 1;
@@ -65,6 +73,8 @@ bool parse_args(int argc, char** argv, DaemonOptions& options) {
         options.socket_path = arg.substr(9);
       } else if (arg.rfind("--workers=", 0) == 0) {
         options.server.workers = std::stoi(arg.substr(10));
+      } else if (arg.rfind("--search-threads=", 0) == 0) {
+        options.server.search_threads = std::stoi(arg.substr(17));
       } else if (arg.rfind("--queue-cap=", 0) == 0) {
         options.server.queue_capacity =
             static_cast<std::size_t>(std::stoul(arg.substr(12)));
@@ -98,8 +108,13 @@ bool parse_args(int argc, char** argv, DaemonOptions& options) {
     std::cerr << "exactly one of --pipe or --socket=<path> is required\n";
     return false;
   }
-  if (options.server.workers < 1 || options.server.workers > 256) {
-    std::cerr << "--workers out of range [1,256]\n";
+  if (options.server.workers < 0 || options.server.workers > 256) {
+    std::cerr << "--workers out of range [0,256] (0 = auto-detect)\n";
+    return false;
+  }
+  if (options.server.search_threads < 0 ||
+      options.server.search_threads > 256) {
+    std::cerr << "--search-threads out of range [0,256] (0 = auto-detect)\n";
     return false;
   }
   return true;
