@@ -1,0 +1,53 @@
+#include "exact/certificate.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace chop::exact {
+
+const char* to_string(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::Performance: return "performance";
+    case PruneReason::Delay: return "delay";
+    case PruneReason::ChipArea: return "chip-area";
+    case PruneReason::ChipPower: return "chip-power";
+    case PruneReason::SystemPower: return "system-power";
+    case PruneReason::RateConflict: return "rate-conflict";
+    case PruneReason::Dominance: return "dominance";
+  }
+  return "unknown";
+}
+
+void write_certificate(const Certificate& cert, std::ostream& os) {
+  // One record per line, fixed field order, shortest-roundtrip doubles:
+  // byte-identical for identical certificates on every platform we build.
+  os << "chop-exact-certificate v1\n";
+  os << "fingerprint " << std::hex << cert.context_fingerprint << std::dec
+     << "\n";
+  os << "space " << cert.space << "\n";
+  os << "visited " << cert.visited << "\n";
+  os << "frontier " << cert.frontier.size() << "\n";
+  for (std::size_t i = 0; i < cert.frontier.size(); ++i) {
+    const Witness& w = cert.frontier[i];
+    os << "W " << i << " ii " << w.ii_main << " delay " << w.delay_main
+       << " choice";
+    for (std::size_t digit : w.choice) os << ' ' << digit;
+    os << "\n";
+  }
+  os << "proofs " << cert.proofs.size() << "\n";
+  const auto saved_precision = os.precision(17);
+  for (std::size_t i = 0; i < cert.proofs.size(); ++i) {
+    const BoundProof& p = cert.proofs[i];
+    os << "P " << i << " reason " << to_string(p.reason) << " leaves "
+       << p.leaves << " chip " << p.chip << " ii " << p.ii_bound << " delay "
+       << p.delay_bound;
+    if (p.reason == PruneReason::Dominance) os << " witness " << p.witness;
+    os << " bound " << p.bound_lo << ' ' << p.bound_likely << ' ' << p.bound_hi
+       << " prefix";
+    for (std::size_t digit : p.prefix) os << ' ' << digit;
+    os << "\n";
+  }
+  os.precision(saved_precision);
+}
+
+}  // namespace chop::exact

@@ -1,0 +1,91 @@
+// The machine-checkable optimality certificate the exact solver emits.
+//
+// A certificate is a complete, self-contained account of one implicit
+// enumeration over the implementation-selection space of an EvalContext:
+//
+//   * one Witness per claimed frontier point — the selected candidate
+//     index per partition plus the (initiation interval, system delay)
+//     the selection integrates to. Witnesses are replayable: a checker
+//     re-runs integrate() on the recorded choice and compares.
+//   * one BoundProof per pruned region — the committed digit prefix, the
+//     number of leaves the cut skipped, and the reason no completion of
+//     the prefix can reach the non-inferior set (a constraint its
+//     interval lower bound already violates, a pipelined-rate conflict
+//     inside the prefix, or strict dominance by a frontier witness).
+//   * the coverage equation: visited leaves + the leaves of all pruned
+//     regions must account for every leaf of the odometer space.
+//
+// Together these form an optimality proof for the frontier that a tiny
+// standalone checker (exact::verify_certificate) can replay with no
+// access to the solver: the only partitioner machinery it invokes is
+// integrate() itself; every bound claim is re-derived from the candidate
+// lists with plain StatVal arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace chop::exact {
+
+/// One claimed frontier point: a fully specified selection and the
+/// integration coordinates it must reproduce under integrate().
+struct Witness {
+  std::vector<std::size_t> choice;  ///< Candidate index per partition.
+  Cycles ii_main = 0;
+  Cycles delay_main = 0;
+};
+
+/// Why a pruned region provably contains no non-inferior design.
+enum class PruneReason {
+  Performance,   ///< II lower bound alone violates the performance budget.
+  Delay,         ///< Latency lower bound alone violates the delay budget.
+  ChipArea,      ///< A chip's area lower bound violates its usable area.
+  ChipPower,     ///< A chip's power lower bound violates the chip budget.
+  SystemPower,   ///< The system power lower bound violates the budget.
+  RateConflict,  ///< Two committed pipelined candidates disagree on rate.
+  Dominance,     ///< A frontier witness strictly dominates the bound.
+};
+
+const char* to_string(PruneReason reason);
+
+/// Proof that one subtree of the enumeration was cut soundly. The region
+/// is identified by its committed digit prefix: `prefix[k]` is the
+/// candidate index committed for partition `P - 1 - k` (the enumeration
+/// commits partitions from the highest index — the slowest odometer digit
+/// — downward), leaving partitions [0, P - prefix.size()) open.
+struct BoundProof {
+  std::vector<std::size_t> prefix;
+  PruneReason reason = PruneReason::Performance;
+  std::size_t leaves = 0;  ///< Product of the open partitions' list sizes.
+  int chip = -1;           ///< ChipArea / ChipPower: which chip.
+  /// Dominance: the region's (II, delay) interval lower bounds and the
+  /// frontier witness index whose point strictly dominates them.
+  Cycles ii_bound = 0;
+  Cycles delay_bound = 0;
+  std::size_t witness = 0;
+  /// The violated quantity's lower-bound triplet as the solver computed
+  /// it (diagnostic; the checker re-derives its own bound from the lists
+  /// rather than trusting these numbers).
+  double bound_lo = 0.0;
+  double bound_likely = 0.0;
+  double bound_hi = 0.0;
+};
+
+/// The complete certificate for one solved space.
+struct Certificate {
+  std::uint64_t context_fingerprint = 0;  ///< EvalContext::fingerprint().
+  std::size_t space = 0;    ///< Total leaves (product of list sizes).
+  std::size_t visited = 0;  ///< Leaves actually evaluated via integrate().
+  std::vector<Witness> frontier;  ///< II ascending, delay strictly descending.
+  std::vector<BoundProof> proofs;
+};
+
+/// Writes the certificate in its deterministic one-record-per-line text
+/// form (the artifact `chop_cli --certify` leaves behind).
+void write_certificate(const Certificate& cert, std::ostream& os);
+
+}  // namespace chop::exact

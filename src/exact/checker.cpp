@@ -1,0 +1,319 @@
+#include "exact/checker.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "core/constraints.hpp"
+#include "core/integration.hpp"
+#include "core/partitioning.hpp"
+
+namespace chop::exact {
+namespace {
+
+constexpr std::size_t kNoWitness = std::numeric_limits<std::size_t>::max();
+
+CheckResult fail(std::string detail) { return CheckResult{false, std::move(detail)}; }
+
+StatVal componentwise_min(const StatVal& a, const StatVal& b) {
+  return StatVal(std::min(a.lo(), b.lo()), std::min(a.likely(), b.likely()),
+                 std::min(a.hi(), b.hi()));
+}
+
+/// True when (ii_a, delay_a) strictly dominates (ii_b, delay_b).
+bool strictly_dominates(Cycles ii_a, Cycles delay_a, Cycles ii_b,
+                        Cycles delay_b) {
+  return (ii_a <= ii_b && delay_a < delay_b) ||
+         (ii_a < ii_b && delay_a <= delay_b);
+}
+
+/// The region bounds the checker re-derives for one proof, accumulated
+/// directly from the lists in its own (committed-then-open) order.
+struct RegionBounds {
+  Cycles ii_lb = 1;
+  Cycles lat_lb = 0;
+  std::vector<StatVal> area;   // Per chip, unshaved.
+  std::vector<StatVal> power;  // Per chip, unshaved.
+  bool rate_conflict = false;  // Two committed pipelined rates disagree.
+};
+
+RegionBounds region_bounds(
+    const core::EvalContext& ctx,
+    const std::vector<std::vector<bad::DesignPrediction>>& lists,
+    const std::vector<std::size_t>& prefix) {
+  const auto& partitions = ctx.partitioning().partitions();
+  const std::size_t total = lists.size();
+  RegionBounds bounds;
+  bounds.area.assign(ctx.partitioning().chips().size(), StatVal{});
+  bounds.power.assign(ctx.partitioning().chips().size(), StatVal{});
+  Cycles pipe_rate = 0;
+  for (std::size_t k = 0; k < prefix.size(); ++k) {
+    const std::size_t p = total - 1 - k;
+    const bad::DesignPrediction& cand = lists[p][prefix[k]];
+    const auto chip = static_cast<std::size_t>(partitions[p].chip);
+    bounds.area[chip] += cand.total_area;
+    bounds.power[chip] += cand.power_mw;
+    bounds.ii_lb = std::max(bounds.ii_lb, cand.ii_main);
+    bounds.lat_lb = std::max(bounds.lat_lb, cand.latency_main);
+    if (cand.style == bad::DesignStyle::Pipelined) {
+      if (pipe_rate == 0) {
+        pipe_rate = cand.ii_main;
+      } else if (cand.ii_main != pipe_rate) {
+        bounds.rate_conflict = true;
+      }
+    }
+  }
+  for (std::size_t p = 0; p < total - prefix.size(); ++p) {
+    const auto& list = lists[p];
+    StatVal area = list[0].total_area;
+    StatVal power = list[0].power_mw;
+    Cycles ii = list[0].ii_main;
+    Cycles lat = list[0].latency_main;
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      area = componentwise_min(area, list[i].total_area);
+      power = componentwise_min(power, list[i].power_mw);
+      ii = std::min(ii, list[i].ii_main);
+      lat = std::min(lat, list[i].latency_main);
+    }
+    const auto chip = static_cast<std::size_t>(partitions[p].chip);
+    bounds.area[chip] += area;
+    bounds.power[chip] += power;
+    bounds.ii_lb = std::max(bounds.ii_lb, ii);
+    bounds.lat_lb = std::max(bounds.lat_lb, lat);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+CheckResult verify_certificate(
+    const core::EvalContext& ctx,
+    const std::vector<std::vector<bad::DesignPrediction>>& lists,
+    const Certificate& cert) {
+  const std::size_t total = lists.size();
+  if (total != ctx.partitioning().partitions().size()) {
+    return fail("candidate lists do not match the context's partitions");
+  }
+  if (cert.context_fingerprint != ctx.fingerprint()) {
+    return fail("certificate fingerprint does not match the context");
+  }
+
+  // --- space and coverage --------------------------------------------------
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t space = 1;
+  for (const auto& list : lists) {
+    if (list.empty()) {
+      space = 0;
+      break;
+    }
+    if (space > kMax / list.size()) {
+      return fail("selection space overflows; certificate cannot cover it");
+    }
+    space *= list.size();
+  }
+  if (cert.space != space) {
+    return fail("certificate space " + std::to_string(cert.space) +
+                " != recomputed space " + std::to_string(space));
+  }
+  std::size_t covered = cert.visited;
+  for (const BoundProof& proof : cert.proofs) {
+    if (proof.leaves > kMax - covered) {
+      return fail("coverage sum overflows");
+    }
+    covered += proof.leaves;
+  }
+  if (covered != space) {
+    return fail("coverage equation fails: visited + pruned = " +
+                std::to_string(covered) + " != space " +
+                std::to_string(space));
+  }
+
+  // --- proof structure: digit ranges, leaf counts, disjoint regions --------
+  for (std::size_t i = 0; i < cert.proofs.size(); ++i) {
+    const BoundProof& proof = cert.proofs[i];
+    const std::string tag = "proof " + std::to_string(i);
+    if (proof.prefix.size() > total) {
+      return fail(tag + ": prefix longer than the partition count");
+    }
+    std::size_t leaves = 1;
+    for (std::size_t k = 0; k < proof.prefix.size(); ++k) {
+      const std::size_t p = total - 1 - k;
+      if (proof.prefix[k] >= lists[p].size()) {
+        return fail(tag + ": digit out of range for partition " +
+                    std::to_string(p));
+      }
+    }
+    for (std::size_t p = 0; p < total - proof.prefix.size(); ++p) {
+      if (leaves > kMax / lists[p].size()) {
+        return fail(tag + ": region leaf count overflows");
+      }
+      leaves *= lists[p].size();
+    }
+    if (leaves != proof.leaves) {
+      return fail(tag + ": claims " + std::to_string(proof.leaves) +
+                  " leaves, region has " + std::to_string(leaves));
+    }
+  }
+  {
+    // Two odometer regions overlap iff one prefix extends the other
+    // (equality included). After a lexicographic sort any such pair has
+    // an instance at adjacent positions, so adjacent checks suffice.
+    std::vector<const std::vector<std::size_t>*> prefixes;
+    prefixes.reserve(cert.proofs.size());
+    for (const BoundProof& proof : cert.proofs) prefixes.push_back(&proof.prefix);
+    std::sort(prefixes.begin(), prefixes.end(),
+              [](const std::vector<std::size_t>* a,
+                 const std::vector<std::size_t>* b) { return *a < *b; });
+    for (std::size_t i = 1; i < prefixes.size(); ++i) {
+      const auto& a = *prefixes[i - 1];
+      const auto& b = *prefixes[i];
+      if (a.size() <= b.size() && std::equal(a.begin(), a.end(), b.begin())) {
+        return fail("pruned regions overlap: one prefix extends another");
+      }
+    }
+  }
+
+  // --- frontier witnesses: replay through integrate() ----------------------
+  for (std::size_t w = 0; w < cert.frontier.size(); ++w) {
+    const Witness& witness = cert.frontier[w];
+    const std::string tag = "witness " + std::to_string(w);
+    if (witness.choice.size() != total) {
+      return fail(tag + ": choice arity mismatch");
+    }
+    std::vector<const bad::DesignPrediction*> selection(total, nullptr);
+    for (std::size_t p = 0; p < total; ++p) {
+      if (witness.choice[p] >= lists[p].size()) {
+        return fail(tag + ": choice out of range for partition " +
+                    std::to_string(p));
+      }
+      selection[p] = &lists[p][witness.choice[p]];
+    }
+    const core::IntegrationResult replay =
+        core::integrate(ctx, selection, core::combination_ii(selection));
+    if (!replay.feasible) {
+      return fail(tag + " does not replay feasible: " + replay.reason);
+    }
+    if (replay.ii_main != witness.ii_main ||
+        replay.system_delay_main != witness.delay_main) {
+      return fail(tag + " replays to (" + std::to_string(replay.ii_main) +
+                  ", " + std::to_string(replay.system_delay_main) +
+                  "), certificate claims (" + std::to_string(witness.ii_main) +
+                  ", " + std::to_string(witness.delay_main) + ")");
+    }
+    // No witness may sit inside a pruned region.
+    for (std::size_t i = 0; i < cert.proofs.size(); ++i) {
+      const auto& prefix = cert.proofs[i].prefix;
+      bool inside = true;
+      for (std::size_t k = 0; k < prefix.size() && inside; ++k) {
+        inside = witness.choice[total - 1 - k] == prefix[k];
+      }
+      if (inside && !prefix.empty()) {
+        return fail(tag + " lies inside pruned region " + std::to_string(i));
+      }
+    }
+  }
+  // The frontier must be a strict staircase: II strictly ascending, delay
+  // strictly descending — exactly the non-inferior shape, no duplicates.
+  for (std::size_t w = 1; w < cert.frontier.size(); ++w) {
+    if (cert.frontier[w].ii_main <= cert.frontier[w - 1].ii_main ||
+        cert.frontier[w].delay_main >= cert.frontier[w - 1].delay_main) {
+      return fail("frontier is not a strict (II, delay) staircase at index " +
+                  std::to_string(w));
+    }
+  }
+
+  // --- re-derive every bound claim -----------------------------------------
+  const auto& clocks = ctx.clocks();
+  const auto& constraints = ctx.constraints();
+  const auto& criteria = ctx.criteria();
+  const auto& chips = ctx.partitioning().chips();
+  for (std::size_t i = 0; i < cert.proofs.size(); ++i) {
+    const BoundProof& proof = cert.proofs[i];
+    const std::string tag = "proof " + std::to_string(i);
+    const RegionBounds bounds = region_bounds(ctx, lists, proof.prefix);
+    switch (proof.reason) {
+      case PruneReason::Performance: {
+        const StatVal lb(clocks.main_clock *
+                         static_cast<double>(bounds.ii_lb));
+        if (criteria.performance_ok(lb, constraints.performance_ns)) {
+          return fail(tag + ": performance bound does not violate the budget");
+        }
+        break;
+      }
+      case PruneReason::Delay: {
+        const StatVal lb(clocks.main_clock *
+                         static_cast<double>(bounds.lat_lb));
+        if (criteria.delay_ok(lb, constraints.delay_ns)) {
+          return fail(tag + ": delay bound does not violate the budget");
+        }
+        break;
+      }
+      case PruneReason::ChipArea: {
+        if (proof.chip < 0 ||
+            static_cast<std::size_t>(proof.chip) >= chips.size()) {
+          return fail(tag + ": chip index out of range");
+        }
+        const auto c = static_cast<std::size_t>(proof.chip);
+        const StatVal lb = bounds.area[c] * kCheckerRelaxation;
+        if (criteria.area_ok(lb, chips[c].package.usable_area())) {
+          return fail(tag + ": area bound fits chip " + chips[c].name);
+        }
+        break;
+      }
+      case PruneReason::ChipPower: {
+        if (proof.chip < 0 ||
+            static_cast<std::size_t>(proof.chip) >= chips.size()) {
+          return fail(tag + ": chip index out of range");
+        }
+        const auto c = static_cast<std::size_t>(proof.chip);
+        const StatVal lb = bounds.power[c] * kCheckerRelaxation;
+        if (criteria.power_ok(lb, constraints.chip_power_mw)) {
+          return fail(tag + ": chip power bound fits the budget");
+        }
+        break;
+      }
+      case PruneReason::SystemPower: {
+        StatVal system{};
+        for (const StatVal& p : bounds.power) system += p;
+        system = system * kCheckerRelaxation;
+        if (criteria.power_ok(system, constraints.system_power_mw)) {
+          return fail(tag + ": system power bound fits the budget");
+        }
+        break;
+      }
+      case PruneReason::RateConflict: {
+        if (!bounds.rate_conflict) {
+          return fail(tag + ": committed prefix has no pipelined-rate "
+                            "conflict");
+        }
+        break;
+      }
+      case PruneReason::Dominance: {
+        if (proof.witness == kNoWitness ||
+            proof.witness >= cert.frontier.size()) {
+          return fail(tag + ": dominance proof names no frontier witness");
+        }
+        // The recorded bound must itself be a valid region lower bound —
+        // at or below the re-derived one — and the named witness must
+        // strictly dominate it; composition then strictly dominates every
+        // leaf in the region.
+        if (proof.ii_bound > bounds.ii_lb ||
+            proof.delay_bound > bounds.lat_lb) {
+          return fail(tag + ": dominance bound exceeds the re-derived "
+                            "region lower bound");
+        }
+        const Witness& w = cert.frontier[proof.witness];
+        if (!strictly_dominates(w.ii_main, w.delay_main, proof.ii_bound,
+                                proof.delay_bound)) {
+          return fail(tag + ": named witness does not strictly dominate the "
+                            "region bound");
+        }
+        break;
+      }
+    }
+  }
+
+  return CheckResult{true, ""};
+}
+
+}  // namespace chop::exact

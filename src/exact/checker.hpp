@@ -1,0 +1,46 @@
+// The standalone certificate checker: replays a Certificate against the
+// EvalContext and candidate lists it claims to cover, trusting nothing the
+// solver computed. The only partitioner machinery it invokes is
+// integrate() (to replay frontier witnesses); every bound claim is
+// re-derived from the lists with plain StatVal arithmetic, with the
+// checker's own — deliberately distinct — relaxation constant.
+//
+// What a passing check proves: the claimed frontier points are real
+// feasible designs forming a strict (II, delay) staircase, the pruned
+// regions are pairwise disjoint, exclude every witness, account together
+// with the visited count for every leaf of the space, and each region
+// provably contains no design that could enter or dominate the frontier.
+// The one fact the checker must take on faith is that the `visited`
+// uncovered leaves really were each evaluated — that bookkeeping has no
+// independent artifact; chop_fuzz's differential oracles cover it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bad/prediction.hpp"
+#include "core/eval/eval_context.hpp"
+#include "exact/certificate.hpp"
+
+namespace chop::exact {
+
+/// The checker's relaxation shave for re-derived sum bounds. Tighter than
+/// the solver's kExactRelaxation on purpose: a claim the solver passed at
+/// 1 - 1e-9 reproduces here with ~1e-3 of the margin to spare, while both
+/// remain far above the ~1e-13 accumulation-order drift they exist for.
+inline constexpr double kCheckerRelaxation = 1.0 - 1e-12;
+
+struct CheckResult {
+  bool ok = false;
+  std::string detail;  ///< First violated obligation; empty when ok.
+};
+
+/// Verifies `cert` against the context and candidate lists. Pure; never
+/// throws on a malformed certificate — every structural defect is a
+/// CheckResult failure with a human-readable detail.
+CheckResult verify_certificate(
+    const core::EvalContext& ctx,
+    const std::vector<std::vector<bad::DesignPrediction>>& lists,
+    const Certificate& cert);
+
+}  // namespace chop::exact

@@ -1,0 +1,429 @@
+#include "exact/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/constraints.hpp"
+#include "core/integration.hpp"
+#include "core/partitioning.hpp"
+#include "util/error.hpp"
+
+namespace chop::exact {
+namespace {
+
+constexpr std::size_t kNoWitness = std::numeric_limits<std::size_t>::max();
+
+/// Componentwise minimum of two triplets. Preserves lo <= likely <= hi:
+/// for each adjacent pair of components the minimum is taken over values
+/// that are ordered within every input triplet.
+StatVal componentwise_min(const StatVal& a, const StatVal& b) {
+  return StatVal(std::min(a.lo(), b.lo()), std::min(a.likely(), b.likely()),
+                 std::min(a.hi(), b.hi()));
+}
+
+/// The solver's own incumbent staircase over feasible (II, delay) leaves.
+/// Deliberately not core::ParetoFrontier — the exact side re-derives even
+/// its dominance bookkeeping. Strict dominance only: ties never prune, so
+/// the odometer-first tie-break of the final sweep is never disturbed.
+class Staircase {
+ public:
+  void insert(Cycles ii, Cycles delay) {
+    for (const auto& p : points_) {
+      if (p.first <= ii && p.second <= delay) return;  // weakly dominated
+    }
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const std::pair<Cycles, Cycles>& p) {
+                                   return ii <= p.first && delay <= p.second;
+                                 }),
+                  points_.end());
+    points_.emplace_back(ii, delay);
+  }
+
+  bool dominates_strictly(Cycles ii, Cycles delay) const {
+    for (const auto& p : points_) {
+      if ((p.first <= ii && p.second < delay) ||
+          (p.first < ii && p.second <= delay)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<Cycles, Cycles>> points_;
+};
+
+/// One feasible leaf in odometer order, before the final sweep.
+struct FeasibleLeaf {
+  std::vector<std::size_t> choice;
+  Cycles ii_main = 0;
+  Cycles delay_main = 0;
+};
+
+class Solver {
+ public:
+  Solver(const core::EvalContext& ctx,
+         const std::vector<std::vector<bad::DesignPrediction>>& lists)
+      : ctx_(ctx),
+        lists_(lists),
+        partition_count_(lists.size()),
+        chip_count_(ctx.partitioning().chips().size()) {
+    CHOP_REQUIRE(lists.size() == ctx.partitioning().partitions().size(),
+                 "exact solver needs one candidate list per partition");
+  }
+
+  ExactResult run(const ExactOptions& options) {
+    ExactResult result;
+    result.space = space(result.truncated);
+    if (result.truncated ||
+        (options.max_leaves != 0 && result.space > options.max_leaves)) {
+      result.truncated = true;
+      return result;
+    }
+    if (result.space == 0) {
+      // A partition with no candidates: the space is empty and the empty
+      // frontier is trivially optimal (coverage: 0 visited + 0 pruned).
+      result.certificate.context_fingerprint = ctx_.fingerprint();
+      return result;
+    }
+
+    precompute();
+    acc_area_.assign(chip_count_, StatVal{});
+    acc_power_.assign(chip_count_, StatVal{});
+    selection_.assign(partition_count_, nullptr);
+    visit(partition_count_);
+
+    result.frontier = sweep_frontier();
+    resolve_dominance_witnesses(result.frontier);
+    result.visited = visited_;
+    result.pruned_regions = proofs_.size();
+    result.certificate.context_fingerprint = ctx_.fingerprint();
+    result.certificate.space = result.space;
+    result.certificate.visited = visited_;
+    result.certificate.frontier = result.frontier;
+    result.certificate.proofs = std::move(proofs_);
+    return result;
+  }
+
+ private:
+  std::size_t space(bool& saturated) const {
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    std::size_t total = 1;
+    saturated = false;
+    for (const auto& list : lists_) {
+      if (list.empty()) return 0;
+      if (total > kMax / list.size()) {
+        saturated = true;
+        return kMax;
+      }
+      total *= list.size();
+    }
+    return total;
+  }
+
+  /// Per-partition interval minima and the cumulative open-suffix
+  /// aggregates: open_*_[m] bounds every quantity over partitions [0, m)
+  /// left fully open (the DFS commits from the highest index down, so
+  /// after k commits exactly the first P - k partitions are open).
+  void precompute() {
+    min_area_.resize(partition_count_);
+    min_power_.resize(partition_count_);
+    min_ii_.resize(partition_count_);
+    min_lat_.resize(partition_count_);
+    chip_of_.resize(partition_count_);
+    const auto& partitions = ctx_.partitioning().partitions();
+    for (std::size_t p = 0; p < partition_count_; ++p) {
+      chip_of_[p] = static_cast<std::size_t>(partitions[p].chip);
+      const auto& list = lists_[p];
+      StatVal area = list[0].total_area;
+      StatVal power = list[0].power_mw;
+      Cycles ii = list[0].ii_main;
+      Cycles lat = list[0].latency_main;
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        area = componentwise_min(area, list[i].total_area);
+        power = componentwise_min(power, list[i].power_mw);
+        ii = std::min(ii, list[i].ii_main);
+        lat = std::min(lat, list[i].latency_main);
+      }
+      min_area_[p] = area;
+      min_power_[p] = power;
+      min_ii_[p] = ii;
+      min_lat_[p] = lat;
+    }
+
+    open_area_.assign(partition_count_ + 1,
+                      std::vector<StatVal>(chip_count_, StatVal{}));
+    open_power_.assign(partition_count_ + 1,
+                       std::vector<StatVal>(chip_count_, StatVal{}));
+    open_ii_.assign(partition_count_ + 1, 0);
+    open_lat_.assign(partition_count_ + 1, 0);
+    open_leaves_.assign(partition_count_ + 1, 1);
+    for (std::size_t m = 0; m < partition_count_; ++m) {
+      open_area_[m + 1] = open_area_[m];
+      open_power_[m + 1] = open_power_[m];
+      open_area_[m + 1][chip_of_[m]] += min_area_[m];
+      open_power_[m + 1][chip_of_[m]] += min_power_[m];
+      open_ii_[m + 1] = std::max(open_ii_[m], min_ii_[m]);
+      open_lat_[m + 1] = std::max(open_lat_[m], min_lat_[m]);
+      open_leaves_[m + 1] = open_leaves_[m] * lists_[m].size();
+    }
+  }
+
+  void emit_proof(std::size_t open, PruneReason reason, int chip,
+                  Cycles ii_bound, Cycles delay_bound, const StatVal& bound,
+                  std::size_t extra_digit = kNoWitness) {
+    BoundProof proof;
+    proof.prefix = digits_;
+    if (extra_digit != kNoWitness) proof.prefix.push_back(extra_digit);
+    proof.reason = reason;
+    proof.leaves = open_leaves_[open];
+    proof.chip = chip;
+    proof.ii_bound = ii_bound;
+    proof.delay_bound = delay_bound;
+    proof.witness = kNoWitness;
+    proof.bound_lo = bound.lo();
+    proof.bound_likely = bound.likely();
+    proof.bound_hi = bound.hi();
+    proofs_.push_back(std::move(proof));
+  }
+
+  /// Region-wide prune test for the current prefix with `m` open
+  /// partitions. Every bound is a valid componentwise lower bound on the
+  /// corresponding integrate() output for every completion of the prefix
+  /// (transfer-module area/power and clock adjustment only add), so a
+  /// violated bound proves the whole region infeasible, and a strictly
+  /// dominated (II, delay) bound proves it non-inferior-free.
+  bool try_prune(std::size_t m) {
+    const auto& clocks = ctx_.clocks();
+    const auto& constraints = ctx_.constraints();
+    const auto& criteria = ctx_.criteria();
+    const auto& chips = ctx_.partitioning().chips();
+
+    // Time budgets use the exact clock floor: adjusted_clock >= main_clock
+    // componentwise and integer II/latency maxima are exact, so no
+    // floating-point shave is needed (double multiply by a nonnegative
+    // factor is monotone under round-to-nearest).
+    const Cycles ii_lb = std::max(acc_ii_, open_ii_[m]);
+    const StatVal perf_lb(clocks.main_clock * static_cast<double>(ii_lb));
+    if (!criteria.performance_ok(perf_lb, constraints.performance_ns)) {
+      emit_proof(m, PruneReason::Performance, -1, ii_lb, 0, perf_lb);
+      return true;
+    }
+    const Cycles lat_lb = std::max(acc_lat_, open_lat_[m]);
+    const StatVal delay_lb(clocks.main_clock * static_cast<double>(lat_lb));
+    if (!criteria.delay_ok(delay_lb, constraints.delay_ns)) {
+      emit_proof(m, PruneReason::Delay, -1, 0, lat_lb, delay_lb);
+      return true;
+    }
+    // Area/power are sums accumulated in a different order than the
+    // per-leaf canonical order, so they carry the relaxation shave.
+    for (std::size_t c = 0; c < chip_count_; ++c) {
+      const StatVal bound =
+          (acc_area_[c] + open_area_[m][c]) * kExactRelaxation;
+      if (!criteria.area_ok(bound, chips[c].package.usable_area())) {
+        emit_proof(m, PruneReason::ChipArea, static_cast<int>(c), 0, 0, bound);
+        return true;
+      }
+    }
+    if (constraints.power_constrained()) {
+      for (std::size_t c = 0; c < chip_count_; ++c) {
+        const StatVal bound =
+            (acc_power_[c] + open_power_[m][c]) * kExactRelaxation;
+        if (!criteria.power_ok(bound, constraints.chip_power_mw)) {
+          emit_proof(m, PruneReason::ChipPower, static_cast<int>(c), 0, 0,
+                     bound);
+          return true;
+        }
+      }
+      StatVal system{};
+      for (std::size_t c = 0; c < chip_count_; ++c) {
+        system += acc_power_[c] + open_power_[m][c];
+      }
+      system = system * kExactRelaxation;
+      if (!criteria.power_ok(system, constraints.system_power_mw)) {
+        emit_proof(m, PruneReason::SystemPower, -1, 0, 0, system);
+        return true;
+      }
+    }
+    if (incumbent_.dominates_strictly(ii_lb, lat_lb)) {
+      emit_proof(m, PruneReason::Dominance, -1, ii_lb, lat_lb, StatVal{});
+      return true;
+    }
+    return false;
+  }
+
+  struct Frame {
+    StatVal prev_area;
+    StatVal prev_power;
+    Cycles prev_ii = 0;
+    Cycles prev_lat = 0;
+    Cycles prev_pipe = 0;
+  };
+
+  /// Commits candidate `i` for partition `p`. Returns false — emitting a
+  /// RateConflict proof over the extended prefix — when the candidate is
+  /// pipelined at a rate that contradicts an already-committed pipelined
+  /// partition (every completion then dies in rates_compatible()).
+  bool push(std::size_t p, std::size_t i, Frame& frame) {
+    const bad::DesignPrediction& cand = lists_[p][i];
+    if (cand.style == bad::DesignStyle::Pipelined && pipe_rate_ != 0 &&
+        cand.ii_main != pipe_rate_) {
+      emit_proof(p, PruneReason::RateConflict, -1, 0, 0, StatVal{}, i);
+      return false;
+    }
+    const std::size_t chip = chip_of_[p];
+    frame.prev_area = acc_area_[chip];
+    frame.prev_power = acc_power_[chip];
+    frame.prev_ii = acc_ii_;
+    frame.prev_lat = acc_lat_;
+    frame.prev_pipe = pipe_rate_;
+    acc_area_[chip] += cand.total_area;
+    acc_power_[chip] += cand.power_mw;
+    acc_ii_ = std::max(acc_ii_, cand.ii_main);
+    acc_lat_ = std::max(acc_lat_, cand.latency_main);
+    if (cand.style == bad::DesignStyle::Pipelined && pipe_rate_ == 0) {
+      pipe_rate_ = cand.ii_main;
+    }
+    digits_.push_back(i);
+    selection_[p] = &cand;
+    return true;
+  }
+
+  void pop(std::size_t p, const Frame& frame) {
+    const std::size_t chip = chip_of_[p];
+    acc_area_[chip] = frame.prev_area;
+    acc_power_[chip] = frame.prev_power;
+    acc_ii_ = frame.prev_ii;
+    acc_lat_ = frame.prev_lat;
+    pipe_rate_ = frame.prev_pipe;
+    digits_.pop_back();
+    selection_[p] = nullptr;
+  }
+
+  /// DFS over the odometer: partitions commit from the highest index (the
+  /// slowest digit) downward, candidates in ascending index order, so the
+  /// visited-leaf sequence is exactly the heuristic enumeration's order —
+  /// which is what makes the first-found tie-break reproducible.
+  void visit(std::size_t m) {
+    if (try_prune(m)) return;
+    if (m == 0) {
+      evaluate_leaf();
+      return;
+    }
+    const std::size_t p = m - 1;
+    for (std::size_t i = 0; i < lists_[p].size(); ++i) {
+      Frame frame;
+      if (!push(p, i, frame)) continue;
+      visit(m - 1);
+      pop(p, frame);
+    }
+  }
+
+  void evaluate_leaf() {
+    ++visited_;
+    const core::IntegrationResult result =
+        core::integrate(ctx_, selection_, core::combination_ii(selection_));
+    if (!result.feasible) return;
+    FeasibleLeaf leaf;
+    leaf.choice.resize(partition_count_);
+    for (std::size_t k = 0; k < partition_count_; ++k) {
+      leaf.choice[partition_count_ - 1 - k] = digits_[k];
+    }
+    leaf.ii_main = result.ii_main;
+    leaf.delay_main = result.system_delay_main;
+    incumbent_.insert(leaf.ii_main, leaf.delay_main);
+    feasible_.push_back(std::move(leaf));
+  }
+
+  /// The non-inferior sweep, mirroring the heuristics' filter exactly:
+  /// stable sort by (II, delay) — so equal coordinates keep odometer
+  /// order — then keep the first design of each II with strictly
+  /// descending delay.
+  std::vector<Witness> sweep_frontier() {
+    std::stable_sort(feasible_.begin(), feasible_.end(),
+                     [](const FeasibleLeaf& a, const FeasibleLeaf& b) {
+                       if (a.ii_main != b.ii_main) return a.ii_main < b.ii_main;
+                       return a.delay_main < b.delay_main;
+                     });
+    std::vector<Witness> kept;
+    Cycles best_delay = std::numeric_limits<Cycles>::max();
+    Cycles last_ii = -1;
+    for (auto& leaf : feasible_) {
+      if (leaf.ii_main == last_ii) continue;
+      if (leaf.delay_main >= best_delay) continue;
+      best_delay = leaf.delay_main;
+      last_ii = leaf.ii_main;
+      Witness w;
+      w.choice = std::move(leaf.choice);
+      w.ii_main = leaf.ii_main;
+      w.delay_main = leaf.delay_main;
+      kept.push_back(std::move(w));
+    }
+    return kept;
+  }
+
+  /// Remaps every dominance proof to a final-frontier witness: the
+  /// incumbent point that justified the cut is itself weakly dominated by
+  /// some frontier point, and weak-over-strict composes to strict, so a
+  /// dominating witness always exists.
+  void resolve_dominance_witnesses(const std::vector<Witness>& frontier) {
+    for (BoundProof& proof : proofs_) {
+      if (proof.reason != PruneReason::Dominance) continue;
+      for (std::size_t w = 0; w < frontier.size(); ++w) {
+        const bool strict =
+            (frontier[w].ii_main <= proof.ii_bound &&
+             frontier[w].delay_main < proof.delay_bound) ||
+            (frontier[w].ii_main < proof.ii_bound &&
+             frontier[w].delay_main <= proof.delay_bound);
+        if (strict) {
+          proof.witness = w;
+          break;
+        }
+      }
+    }
+  }
+
+  const core::EvalContext& ctx_;
+  const std::vector<std::vector<bad::DesignPrediction>>& lists_;
+  const std::size_t partition_count_;
+  const std::size_t chip_count_;
+
+  // Per-partition interval minima and cumulative open-suffix aggregates.
+  std::vector<StatVal> min_area_;
+  std::vector<StatVal> min_power_;
+  std::vector<Cycles> min_ii_;
+  std::vector<Cycles> min_lat_;
+  std::vector<std::size_t> chip_of_;
+  std::vector<std::vector<StatVal>> open_area_;
+  std::vector<std::vector<StatVal>> open_power_;
+  std::vector<Cycles> open_ii_;
+  std::vector<Cycles> open_lat_;
+  std::vector<std::size_t> open_leaves_;
+
+  // Committed-prefix accumulators (restored by pop()).
+  std::vector<StatVal> acc_area_;
+  std::vector<StatVal> acc_power_;
+  Cycles acc_ii_ = 1;  // combination_ii() floors the system II at 1.
+  Cycles acc_lat_ = 0;
+  Cycles pipe_rate_ = 0;  // 0 = no pipelined partition committed yet.
+  std::vector<std::size_t> digits_;  // Push order: partition P-1 first.
+  std::vector<const bad::DesignPrediction*> selection_;
+
+  // Outputs.
+  std::vector<FeasibleLeaf> feasible_;
+  Staircase incumbent_;
+  std::vector<BoundProof> proofs_;
+  std::size_t visited_ = 0;
+};
+
+}  // namespace
+
+ExactResult solve(const core::EvalContext& ctx,
+                  const std::vector<std::vector<bad::DesignPrediction>>& lists,
+                  const ExactOptions& options) {
+  Solver solver(ctx, lists);
+  return solver.run(options);
+}
+
+}  // namespace chop::exact

@@ -1,0 +1,75 @@
+// The exact certification solver: an independent implicit-enumeration
+// 0-1 optimizer over the implementation-selection space of one
+// EvalContext (ROADMAP item 5(b)).
+//
+// Model: one block of 0-1 selection variables per partition — variable
+// (p, i) means "partition p uses candidate i of its list" — with an
+// exactly-one constraint per block, which makes the space the same
+// mixed-radix odometer the heuristics walk. Feasibility and the
+// non-inferiority criteria are expressed over the same StatVal algebra
+// the integration uses, via *interval relaxations*: for any region of
+// the space fixed by a digit prefix, every constrained quantity is
+// bounded from below by the componentwise minima of the open blocks
+// (sums for per-chip area and power, maxima for the initiation interval
+// and latency, a main-clock floor for the time budgets).
+//
+// Independence: this solver deliberately shares nothing with the
+// branch-and-bound machinery of src/core/eval/bound_state.* — no
+// BoundTables, no PrefixState, no bound_slack(), no ParetoFrontier, and
+// its own relaxation constant. A bug in the heuristic's bound tables or
+// dominance logic (e.g. the inadmissible slack chop_fuzz injects with
+// --inject-bound-bug) therefore cannot leak into the exact frontier,
+// which is what makes the exact_certification oracle a genuine second
+// derivation rather than another differential run. The only shared
+// trusted kernel is integrate() itself, evaluated at every visited leaf.
+//
+// Output: the true non-inferior design set of the space — byte-equal, by
+// construction, to what the exhaustive enumeration heuristic returns
+// (same odometer visit order, same first-found tie-break) — plus a
+// Certificate proving it (see certificate.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bad/prediction.hpp"
+#include "core/eval/eval_context.hpp"
+#include "exact/certificate.hpp"
+
+namespace chop::exact {
+
+/// The solver's own relaxation shave for floating-point lower bounds:
+/// interval sums are accumulated in a different order than integrate()'s
+/// canonical per-leaf order, so bounds are relaxed by a hair before the
+/// violation test. Distinct, on purpose, from core::kBoundSlack — the
+/// exact side carries its own constant so a corrupted heuristic slack
+/// cannot reach it.
+inline constexpr double kExactRelaxation = 1.0 - 1e-9;
+
+struct ExactOptions {
+  /// Refuse spaces larger than this many leaves (0 = unlimited). The
+  /// result then reports `truncated` and carries no certificate.
+  std::size_t max_leaves = 0;
+};
+
+/// Outcome of one exact solve.
+struct ExactResult {
+  /// The proven non-inferior set, II ascending / delay strictly
+  /// descending, ties resolved to the odometer-first selection.
+  std::vector<Witness> frontier;
+  Certificate certificate;
+  std::size_t visited = 0;         ///< integrate() leaf evaluations.
+  std::size_t pruned_regions = 0;  ///< Bound proofs emitted.
+  std::size_t space = 0;           ///< Total leaves of the model.
+  bool truncated = false;          ///< Space exceeded ExactOptions::max_leaves.
+};
+
+/// Solves the selection space of `lists` under `ctx` (one list per
+/// partition, in partition order — the same lists a search would walk)
+/// and emits the optimality certificate. Pure and deterministic: the
+/// same inputs always produce a byte-identical result.
+ExactResult solve(const core::EvalContext& ctx,
+                  const std::vector<std::vector<bad::DesignPrediction>>& lists,
+                  const ExactOptions& options = {});
+
+}  // namespace chop::exact

@@ -63,6 +63,14 @@ void SnapshotExporter::flush_now() {
   if (started_) tick();
 }
 
+bool SnapshotExporter::wait_for_ticks(std::uint64_t n,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this, n] {
+    return ticks_.load(std::memory_order_relaxed) >= n;
+  });
+}
+
 void SnapshotExporter::run() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
@@ -94,6 +102,10 @@ void SnapshotExporter::tick() {
     std::rename(tmp.c_str(), options_.prom_path.c_str());
   }
   ticks_.fetch_add(1, std::memory_order_relaxed);
+  // Taking mu_ orders the increment before any waiter's predicate check,
+  // so wait_for_ticks() cannot miss the wakeup.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
 }
 
 }  // namespace chop::obs

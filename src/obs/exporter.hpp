@@ -49,6 +49,11 @@ class SnapshotExporter {
     return ticks_.load(std::memory_order_relaxed);
   }
 
+  /// Blocks until at least `n` ticks have completed or `timeout` elapses;
+  /// returns whether the count was reached. Lets tests wait for periodic
+  /// activity without fixed-sleep polling.
+  bool wait_for_ticks(std::uint64_t n, std::chrono::milliseconds timeout);
+
  private:
   void run();
   void tick();

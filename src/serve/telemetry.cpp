@@ -96,6 +96,8 @@ void DaemonTelemetry::finalize() {
   }
   exporter_.stop();
   watcher_stop_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(watcher_mu_); }
+  watcher_cv_.notify_all();
   if (watcher_.joinable()) {
     if (watcher_.get_id() == std::this_thread::get_id()) {
       // Signal path: the watcher is finalizing and will re-raise to die;
@@ -117,6 +119,19 @@ void DaemonTelemetry::finalize() {
 
 void DaemonTelemetry::request_flush() {
   g_flush_requested.store(true, std::memory_order_release);
+  // Wake the watcher immediately. Only reachable from normal contexts
+  // (tests, control channel) — the signal handler sets the atomic alone
+  // and relies on the watcher's bounded wait below.
+  { std::lock_guard<std::mutex> lock(watcher_mu_); }
+  watcher_cv_.notify_all();
+}
+
+bool DaemonTelemetry::wait_for_flushes(std::uint64_t n,
+                                       std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(watcher_mu_);
+  return watcher_cv_.wait_for(lock, timeout, [this, n] {
+    return watcher_flushes_.load(std::memory_order_acquire) >= n;
+  });
 }
 
 void DaemonTelemetry::watcher_loop() {
@@ -124,6 +139,8 @@ void DaemonTelemetry::watcher_loop() {
     if (g_flush_requested.exchange(false, std::memory_order_acq_rel)) {
       flush();
       watcher_flushes_.fetch_add(1, std::memory_order_release);
+      { std::lock_guard<std::mutex> lock(watcher_mu_); }
+      watcher_cv_.notify_all();
       std::cerr << "chopd: telemetry flushed (exporter ticks: "
                 << exporter_.ticks() << ")\n";
     }
@@ -137,7 +154,15 @@ void DaemonTelemetry::watcher_loop() {
       std::raise(sig);
       return;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Bounded wait, not a fixed sleep: request_flush()/finalize() wake it
+    // instantly; the 20ms ceiling covers atomics set by signal handlers,
+    // which cannot notify a condition variable.
+    std::unique_lock<std::mutex> lock(watcher_mu_);
+    watcher_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
+      return watcher_stop_.load(std::memory_order_acquire) ||
+             g_flush_requested.load(std::memory_order_acquire) ||
+             g_pending_signal.load(std::memory_order_acquire) != 0;
+    });
   }
 }
 

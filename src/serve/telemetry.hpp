@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -74,10 +75,15 @@ class DaemonTelemetry {
   /// raising a real signal.
   void request_flush();
 
-  /// Number of flushes the watcher has completed (tests poll this).
+  /// Number of flushes the watcher has completed.
   std::uint64_t watcher_flushes() const {
     return watcher_flushes_.load(std::memory_order_acquire);
   }
+
+  /// Blocks until the watcher has completed at least `n` flushes or
+  /// `timeout` elapses; returns whether the count was reached. The
+  /// flake-free replacement for sleep-polling watcher_flushes().
+  bool wait_for_flushes(std::uint64_t n, std::chrono::milliseconds timeout);
 
   const TelemetryOptions& options() const { return options_; }
 
@@ -96,6 +102,11 @@ class DaemonTelemetry {
 
   std::atomic<bool> watcher_stop_{false};
   std::atomic<std::uint64_t> watcher_flushes_{0};
+  /// Wakes the watcher on request_flush()/finalize() and waiters on a
+  /// completed flush. Signal handlers never touch it (not async-signal-
+  /// safe); the watcher's bounded wait covers signal-delivered work.
+  std::mutex watcher_mu_;
+  std::condition_variable watcher_cv_;
   std::thread watcher_;
   bool signals_installed_ = false;
 };

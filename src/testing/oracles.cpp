@@ -12,6 +12,8 @@
 #include "core/search.hpp"
 #include "core/session.hpp"
 #include "core/transfer.hpp"
+#include "exact/checker.hpp"
+#include "exact/solver.hpp"
 #include "io/spec_writer.hpp"
 #include "obs/observer.hpp"
 #include "serve/protocol.hpp"
@@ -248,6 +250,60 @@ ScenarioReport run_oracles(const io::Project& project,
                std::to_string(bounded.bound_skipped_leaves) +
                " != eligible product " +
                std::to_string(report.eligible_product)});
+    }
+
+    // --- Oracle: exact certification -----------------------------------
+    // A derivation independent of both enumerators: the implicit 0-1
+    // solver reconstructs the non-inferior set from EvalContext alone
+    // (no BoundTables, no shared slack constant) and proves it with a
+    // checker-replayed certificate. The heuristic frontier must match
+    // point for point — a shared bound/dominance bug in the heuristics
+    // cannot hide here, because this side never runs their code.
+    {
+      const core::EvalContext ctx = session.make_eval_context();
+      const auto& lists = session.predictions().eligible;
+      const exact::ExactResult proven = exact::solve(ctx, lists, {});
+      if (proven.truncated) {
+        report.failures.push_back(
+            {"exact_certification", "solver truncated a space of " +
+                                        std::to_string(proven.space) +
+                                        " leaves below the oracle limit"});
+      } else {
+        if (proven.space != report.eligible_product) {
+          report.failures.push_back(
+              {"exact_certification",
+               "model space " + std::to_string(proven.space) +
+                   " != eligible product " +
+                   std::to_string(report.eligible_product)});
+        }
+        if (proven.frontier.size() != bounded.designs.size()) {
+          report.failures.push_back(
+              {"exact_certification",
+               "heuristic frontier has " +
+                   std::to_string(bounded.designs.size()) +
+                   " designs, exact optimum has " +
+                   std::to_string(proven.frontier.size())});
+        } else {
+          for (std::size_t i = 0; i < proven.frontier.size(); ++i) {
+            const exact::Witness& w = proven.frontier[i];
+            const core::GlobalDesign& d = bounded.designs[i];
+            if (w.choice != d.choice || w.ii_main != d.integration.ii_main ||
+                w.delay_main != d.integration.system_delay_main) {
+              report.failures.push_back(
+                  {"exact_certification",
+                   "frontier point " + std::to_string(i) +
+                       " differs from the certified optimum"});
+              break;
+            }
+          }
+        }
+        const exact::CheckResult check =
+            exact::verify_certificate(ctx, lists, proven.certificate);
+        if (!check.ok) {
+          report.failures.push_back(
+              {"exact_certification", "certificate rejected: " + check.detail});
+        }
+      }
     }
 
     // --- Oracle: shared frontier on ≡ off ------------------------------

@@ -1,0 +1,235 @@
+// Direct unit tests for the SharedFrontier edge cases the adversarial
+// parallel-search suite reaches only probabilistically: empty wave
+// commits, epoch probes on an untouched frontier, commit fold-order
+// independence, publication racing a record-cap exhaustion, and a space
+// that degenerates to a single work unit.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/mosis_packages.hpp"
+#include "core/eval/bound_state.hpp"
+#include "core/recorder.hpp"
+#include "core/search.hpp"
+#include "core/session.hpp"
+#include "dfg/benchmarks.hpp"
+#include "library/experiment_library.hpp"
+
+namespace chop::core {
+namespace {
+
+TEST(SharedFrontier, EmptyWaveCommitIsANoOp) {
+  SharedFrontier shared;
+  EXPECT_EQ(shared.commit(), 0u);
+  EXPECT_EQ(shared.epoch(), 0u);
+
+  // A wave that published nothing must not bump the epoch even after
+  // earlier waves did.
+  shared.publish(10, 20);
+  EXPECT_EQ(shared.commit(), 1u);
+  const std::uint64_t after_first = shared.epoch();
+  EXPECT_GT(after_first, 0u);
+  EXPECT_EQ(shared.commit(), 0u);
+  EXPECT_EQ(shared.epoch(), after_first);
+}
+
+TEST(SharedFrontier, EpochProbeOnAnUntouchedFrontierPullsNothing) {
+  SharedFrontier shared;
+  std::uint64_t seen = 0;
+  ParetoFrontier dest;
+  EXPECT_FALSE(shared.snapshot(seen, dest));
+  EXPECT_EQ(seen, 0u);
+  EXPECT_TRUE(dest.empty());
+
+  // Staged-but-uncommitted points stay invisible: the probe is still the
+  // one-atomic-load cheap path.
+  shared.publish(5, 5);
+  EXPECT_FALSE(shared.snapshot(seen, dest));
+  EXPECT_TRUE(dest.empty());
+}
+
+TEST(SharedFrontier, CommitBumpsTheEpochOnlyWhenSomethingTightens) {
+  SharedFrontier shared;
+  shared.publish(10, 20);
+  ASSERT_EQ(shared.commit(), 1u);
+  const std::uint64_t epoch = shared.epoch();
+
+  // A wave of weakly dominated finds commits zero points and leaves the
+  // epoch alone, so later units keep taking the cheap snapshot path.
+  shared.publish(10, 20);
+  shared.publish(12, 25);
+  EXPECT_EQ(shared.commit(), 0u);
+  EXPECT_EQ(shared.epoch(), epoch);
+
+  std::uint64_t seen = epoch;
+  ParetoFrontier dest;
+  EXPECT_FALSE(shared.snapshot(seen, dest));
+}
+
+TEST(SharedFrontier, SnapshotPullsOnceThenGoesQuiet) {
+  SharedFrontier shared;
+  shared.publish(10, 30);
+  shared.publish(20, 15);
+  shared.commit();
+
+  std::uint64_t seen = 0;
+  ParetoFrontier dest;
+  EXPECT_TRUE(shared.snapshot(seen, dest));
+  ASSERT_EQ(dest.size(), 2u);
+  EXPECT_TRUE(dest.dominates_strictly(10, 31));
+  EXPECT_FALSE(shared.snapshot(seen, dest));
+}
+
+TEST(SharedFrontier, CommitFoldOrderDoesNotChangeTheStaircase) {
+  const std::vector<std::pair<Cycles, Cycles>> wave = {
+      {10, 50}, {20, 40}, {30, 30}, {20, 45}, {10, 50}, {5, 60}, {30, 25}};
+  std::vector<std::vector<std::pair<Cycles, Cycles>>> staircases;
+  for (const std::uint64_t seed : {0ull, 1ull, 7ull, 1234567ull}) {
+    SharedFrontier::set_commit_shuffle_for_testing(seed);
+    SharedFrontier shared;
+    for (const auto& p : wave) shared.publish(p.first, p.second);
+    shared.commit();
+    std::uint64_t seen = 0;
+    ParetoFrontier dest;
+    EXPECT_TRUE(shared.snapshot(seen, dest));
+    staircases.push_back(dest.points());
+  }
+  SharedFrontier::set_commit_shuffle_for_testing(0);
+  for (std::size_t i = 1; i < staircases.size(); ++i) {
+    EXPECT_EQ(staircases[i], staircases[0]) << "shuffle seed index " << i;
+  }
+}
+
+TEST(SharedFrontier, ConcurrentPublicationStagesEveryFind) {
+  SharedFrontier shared;
+  ParetoFrontier serial;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 64;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&shared, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        shared.publish(1 + (t * kPerThread + i) % 37,
+                       100 - (t * 7 + i * 3) % 61);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.insert(1 + (t * kPerThread + i) % 37, 100 - (t * 7 + i * 3) % 61);
+    }
+  }
+  shared.commit();
+  std::uint64_t seen = 0;
+  ParetoFrontier dest;
+  ASSERT_TRUE(shared.snapshot(seen, dest));
+  EXPECT_EQ(dest.points(), serial.points());
+}
+
+/// Ready-to-search session on the AR filter (the Figure-7 experiment).
+ChopSession fig7_session(int nparts) {
+  static const lib::ComponentLibrary lib = lib::dac91_experiment_library();
+  static const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  std::vector<chip::ChipInstance> chips;
+  for (int c = 0; c < nparts; ++c) {
+    chips.push_back({"chip" + std::to_string(c), chip::mosis_package_84()});
+  }
+  Partitioning pt(ar.graph, std::move(chips));
+  const auto cuts =
+      nparts == 1 ? std::vector<std::vector<dfg::NodeId>>{ar.all_operations()}
+                  : dfg::ar_two_way_cut(ar);
+  for (int p = 0; p < nparts; ++p) {
+    pt.add_partition("P" + std::to_string(p + 1),
+                     cuts[static_cast<std::size_t>(p)], p);
+  }
+  ChopConfig config;
+  config.style.clocking = bad::ClockingStyle::SingleCycle;
+  config.clocks = {300.0, 10, 1};
+  config.constraints = {30000.0, 30000.0};
+  return ChopSession(lib, std::move(pt), config);
+}
+
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.feasible_raw, b.feasible_raw);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.pruned_subtrees, b.pruned_subtrees);
+  EXPECT_EQ(a.bound_skipped_leaves, b.bound_skipped_leaves);
+  ASSERT_EQ(a.designs.size(), b.designs.size());
+  for (std::size_t i = 0; i < a.designs.size(); ++i) {
+    EXPECT_EQ(a.designs[i].choice, b.designs[i].choice) << "design " << i;
+  }
+  EXPECT_EQ(a.recorder.total(), b.recorder.total());
+  EXPECT_EQ(a.recorder.unique(), b.recorder.unique());
+}
+
+/// A space degenerated to one candidate per partition plans exactly one
+/// work unit: waves are singletons, every commit after the first find is
+/// empty, and snapshots can never pull another unit's work. Shared-on
+/// must match shared-off and serial byte for byte.
+TEST(SharedFrontierSearch, SingleUnitSpaceIsInvariantUnderSharing) {
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+  PartitionPredictions pred;
+  for (const auto& list : session.predictions().eligible) {
+    ASSERT_FALSE(list.empty());
+    pred.eligible.push_back({list.front()});
+    pred.raw.push_back({list.front()});
+  }
+  const EvalContext ctx = session.make_eval_context();
+
+  SearchOptions opt;
+  opt.heuristic = Heuristic::Enumeration;
+  const SearchResult serial = find_feasible_implementations(ctx, pred, opt);
+  EXPECT_EQ(serial.trials, 1u);
+
+  for (const int threads : {2, 4}) {
+    for (const bool shared : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shared=" + std::to_string(shared));
+      SearchOptions popt = opt;
+      popt.threads = threads;
+      popt.shared_frontier = shared;
+      expect_identical(serial,
+                       find_feasible_implementations(ctx, pred, popt));
+    }
+  }
+}
+
+/// Units that hit the record cap stop *before* evaluating their next leaf
+/// while other units keep publishing into the shared frontier. The race
+/// must not leak into the merged result: capped parallel runs are
+/// byte-identical to the capped serial run at any thread count, twice.
+TEST(SharedFrontierSearch, PublicationRacingRecordCapStaysDeterministic) {
+  ChopSession session = fig7_session(2);
+  session.predict_partitions();
+
+  SearchOptions opt;
+  opt.heuristic = Heuristic::Enumeration;
+  opt.record_all = true;
+  opt.max_trials = 40;  // Well under the Fig-7 two-way space.
+
+  const SearchResult serial = session.search(opt);
+  EXPECT_TRUE(serial.truncated);
+  EXPECT_EQ(serial.trials, 40u);
+
+  for (const int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SearchOptions popt = opt;
+    popt.threads = threads;
+    popt.shared_frontier = true;
+    const SearchResult first = session.search(popt);
+    const SearchResult second = session.search(popt);
+    expect_identical(serial, first);
+    expect_identical(first, second);
+  }
+}
+
+}  // namespace
+}  // namespace chop::core

@@ -10,7 +10,6 @@
 #include <set>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "obs/exporter.hpp"
@@ -348,12 +347,12 @@ TEST(TelemetryDaemon, FlushDumpsWithoutClosingThenFinalizeCloses) {
   obs::MetricsRegistry::global().counter("telemetry_test.events").add(5);
   { obs::TraceSpan span("telemetry_test.span"); }
 
-  // The SIGUSR1 path (via the watcher, as the signal handler would).
+  // The SIGUSR1 path (via the watcher, as the signal handler would). The
+  // wait is condition-variable driven; the timeout is a generous CI
+  // ceiling, not a pacing knob.
   telemetry.request_flush();
-  for (int i = 0; i < 500 && telemetry.watcher_flushes() == 0; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  ASSERT_GE(telemetry.watcher_flushes(), 1u) << "watcher never flushed";
+  ASSERT_TRUE(telemetry.wait_for_flushes(1, std::chrono::seconds(30)))
+      << "watcher never flushed";
 
   // Mid-run dump: trace bytes on disk, array NOT terminated, tracing
   // still live afterwards.
@@ -398,9 +397,8 @@ TEST(TelemetryDaemon, ExporterTicksPeriodically) {
   obs::SnapshotExporter exporter(options);
   std::string error;
   ASSERT_TRUE(exporter.start(&error)) << error;
-  for (int i = 0; i < 500 && exporter.ticks() < 2; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  EXPECT_TRUE(exporter.wait_for_ticks(2, std::chrono::seconds(30)))
+      << "exporter never reached two periodic ticks";
   exporter.stop();
   EXPECT_GE(exporter.ticks(), 2u);
 

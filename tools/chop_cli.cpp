@@ -29,9 +29,19 @@
 //                       (open in chrome://tracing or Perfetto)
 //     --metrics=<file>  write the end-of-run metrics snapshot as JSON
 //     --progress        print live search progress to stderr
+//     --certify[=N]     prove the search frontier optimal with the exact
+//                       certification solver (forces --heuristic=E): the
+//                       independently-derived non-inferior set must match
+//                       the search point for point and its certificate
+//                       must replay through the standalone checker.
+//                       Prints CERTIFIED or REFUTED plus the certificate
+//                       path (<project-basename>.cert in the working
+//                       directory; --certify-out=<file> overrides). N
+//                       caps the selection-space size (default 200000).
 //
 // Exit status: 0 when at least one feasible design exists, 2 when none,
-// 1 on usage/parse errors.
+// 1 on usage/parse errors — and under --certify, 1 when the frontier is
+// refuted or the space exceeds the cap.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,6 +51,8 @@
 #include "core/auto_partition.hpp"
 #include "core/eval/thread_pool.hpp"
 #include "core/memory_optimizer.hpp"
+#include "exact/checker.hpp"
+#include "exact/solver.hpp"
 #include "dfg/dot.hpp"
 #include "io/spec_format.hpp"
 #include "io/report.hpp"
@@ -71,6 +83,9 @@ struct CliOptions {
   std::string trace_path;
   std::string metrics_path;
   bool progress = false;
+  bool certify = false;
+  std::size_t certify_max_leaves = 200000;
+  std::string certify_out;
 };
 
 int usage() {
@@ -81,6 +96,7 @@ int usage() {
          "                [--auto] [--optimize-memory] [--dot=<file>]\n"
          "                [--save=<file>] [--report=<file>] [--trace=<file>]\n"
          "                [--metrics=<file>] [--progress]\n"
+         "                [--certify[=<max-product>]] [--certify-out=<file>]\n"
          "  --threads=N runs the enumeration search on N workers (default 1,\n"
          "  or the CHOP_THREADS environment variable; N=0 auto-detects one\n"
          "  worker per hardware thread); any thread count produces\n"
@@ -152,13 +168,104 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.metrics_path = arg.substr(10);
     } else if (arg == "--progress") {
       options.progress = true;
+    } else if (arg == "--certify") {
+      options.certify = true;
+    } else if (arg.rfind("--certify=", 0) == 0) {
+      options.certify = true;
+      const std::string value = arg.substr(10);
+      try {
+        std::size_t used = 0;
+        options.certify_max_leaves = std::stoull(value, &used);
+        if (used != value.size() || options.certify_max_leaves == 0) {
+          return false;
+        }
+      } catch (...) {
+        return false;
+      }
+    } else if (arg.rfind("--certify-out=", 0) == 0) {
+      options.certify_out = arg.substr(14);
     } else if (!arg.empty() && arg[0] != '-' && options.project_path.empty()) {
       options.project_path = arg;
     } else {
       return false;
     }
   }
+  if (options.certify) {
+    // Certification compares the searched frontier point for point with
+    // the proven optimum, so it needs the enumeration heuristic over the
+    // pruned lists — --keep-all changes both sides of that contract.
+    if (options.keep_all) return false;
+    options.heuristic = core::Heuristic::Enumeration;
+  }
   return !options.project_path.empty();
+}
+
+/// Certificate artifact path: <project basename>.cert in the working
+/// directory unless --certify-out says otherwise.
+std::string certificate_path(const CliOptions& options) {
+  if (!options.certify_out.empty()) return options.certify_out;
+  std::string base = options.project_path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  return base + ".cert";
+}
+
+/// The --certify epilogue: solve the same eligible lists exactly, demand
+/// a point-for-point frontier match, replay the certificate through the
+/// standalone checker, and leave the certificate artifact behind.
+/// Returns true when the frontier is CERTIFIED.
+bool run_certification(const core::ChopSession& session,
+                       const core::SearchResult& result,
+                       const CliOptions& options) {
+  const core::EvalContext ctx = session.make_eval_context();
+  const auto& lists = session.predictions().eligible;
+  exact::ExactOptions exact_options;
+  exact_options.max_leaves = options.certify_max_leaves;
+  Timer timer;
+  const exact::ExactResult proven = exact::solve(ctx, lists, exact_options);
+  if (proven.truncated) {
+    std::cout << "REFUTED: selection space of " << proven.space
+              << " leaves exceeds the --certify cap of "
+              << options.certify_max_leaves << " (raise --certify=<n>)\n";
+    return false;
+  }
+  const auto mismatch = [&](const std::string& why) {
+    std::cout << "REFUTED: " << why << "\n";
+    return false;
+  };
+  if (proven.frontier.size() != result.designs.size()) {
+    return mismatch("search found " + std::to_string(result.designs.size()) +
+                    " non-inferior design(s), the proven optimum has " +
+                    std::to_string(proven.frontier.size()));
+  }
+  for (std::size_t i = 0; i < proven.frontier.size(); ++i) {
+    const exact::Witness& w = proven.frontier[i];
+    const core::GlobalDesign& d = result.designs[i];
+    if (w.choice != d.choice || w.ii_main != d.integration.ii_main ||
+        w.delay_main != d.integration.system_delay_main) {
+      return mismatch("frontier point " + std::to_string(i) +
+                      " differs from the certified optimum");
+    }
+  }
+  const exact::CheckResult check =
+      exact::verify_certificate(ctx, lists, proven.certificate);
+  if (!check.ok) {
+    return mismatch("certificate rejected by the checker: " + check.detail);
+  }
+  const std::string cert_path = certificate_path(options);
+  std::ofstream cert_stream(cert_path);
+  CHOP_REQUIRE(cert_stream.good(),
+               "cannot open certificate output: " + cert_path);
+  exact::write_certificate(proven.certificate, cert_stream);
+  std::cout << "CERTIFIED: " << proven.frontier.size()
+            << " non-inferior design(s) proven optimal over "
+            << proven.space << " combinations (" << proven.visited
+            << " evaluated, " << proven.pruned_regions << " bound proofs, "
+            << timer.elapsed_ms() << " ms)\ncertificate: " << cert_path
+            << "\n";
+  return true;
 }
 
 void print_designs(const core::ChopSession& session,
@@ -299,6 +406,10 @@ int main(int argc, char** argv) {
                 << result.recorder.ascii_scatter();
     }
     std::cout << "\n";
+
+    if (options.certify && !run_certification(session, result, options)) {
+      return 1;
+    }
 
     if (!options.report_path.empty()) {
       std::ofstream report(options.report_path);

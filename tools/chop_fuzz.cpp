@@ -40,6 +40,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -127,6 +128,10 @@ struct RunSummary {
     int shrink_steps;
   };
   std::vector<Failure> failures;
+  /// Every oracle name that failed anywhere this run (original or shrunk
+  /// reports) — the fault-injection self-test asserts on membership, and
+  /// the set is emitted to the JSON summary in sorted order.
+  std::set<std::string> oracles_failed;
   testing::SpecFuzzStats spec_fuzz;
   bool spec_fuzz_ran = false;
   testing::ServeFuzzStats serve_fuzz;
@@ -155,6 +160,13 @@ std::string to_json(const Args& args, const RunSummary& s) {
        << f.shrink_steps << "}";
   }
   os << (s.failures.empty() ? "],\n" : "\n  ],\n");
+  os << "  \"oracles_failed\": [";
+  bool first_oracle = true;
+  for (const std::string& oracle : s.oracles_failed) {
+    os << (first_oracle ? "\"" : ", \"") << json_escape(oracle) << "\"";
+    first_oracle = false;
+  }
+  os << "],\n";
   if (s.spec_fuzz_ran) {
     os << "  \"spec_fuzz\": {\"cases\": " << s.spec_fuzz.cases
        << ", \"parse_errors\": " << s.spec_fuzz.parse_errors
@@ -282,8 +294,12 @@ int main(int argc, char** argv) {
     if (report.ok()) continue;
 
     ++summary.failed;
+    for (const auto& f : report.failures) summary.oracles_failed.insert(f.oracle);
     const testing::ShrinkResult shrunk =
         testing::shrink_failure(knobs, limits);
+    for (const auto& f : shrunk.report.failures) {
+      summary.oracles_failed.insert(f.oracle);
+    }
     const std::string repro_name = "fuzz_fail_" + std::to_string(seed) +
                                    ".chop";
     const std::string repro_path = args.shrink_dir + "/" + repro_name;
@@ -342,15 +358,23 @@ int main(int argc, char** argv) {
   const bool green =
       summary.failed == 0 && summary.spec_fuzz.ok() && summary.serve_fuzz.ok();
   if (args.inject_bound_bug) {
-    // Self-test inversion: the injected bug must have been caught by the
-    // bound_pruning oracle and shrunk to a repro.
-    bool caught = false;
-    for (const auto& f : summary.failures) {
-      if (f.oracle == "bound_pruning") caught = true;
-    }
-    std::cerr << (caught ? "injected bound bug caught and shrunk\n"
-                         : "injected bound bug NOT caught\n");
-    return caught ? 0 : 1;
+    // Self-test inversion: the injected bug must have been caught AND
+    // caught twice over — by the differential bound_pruning oracle and,
+    // independently, by the exact certifier (whose solver never reads the
+    // corrupted slack, so its frontier stays true while the heuristic's
+    // diverges). Either oracle staying green means a detection gap.
+    const bool caught_differential =
+        summary.oracles_failed.count("bound_pruning") != 0;
+    const bool caught_exact =
+        summary.oracles_failed.count("exact_certification") != 0;
+    std::cerr << (caught_differential
+                      ? "injected bound bug caught by bound_pruning\n"
+                      : "injected bound bug NOT caught by bound_pruning\n")
+              << (caught_exact
+                      ? "injected bound bug caught by exact_certification\n"
+                      : "injected bound bug NOT caught by "
+                        "exact_certification\n");
+    return caught_differential && caught_exact ? 0 : 1;
   }
   return green ? 0 : 1;
 }
