@@ -8,6 +8,7 @@
 // handing the result to CHOP.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "dfg/graph.hpp"
@@ -31,5 +32,32 @@ std::vector<std::vector<dfg::NodeId>> random_partition(
 /// terminates with a CHOP-valid structure.
 std::vector<std::vector<dfg::NodeId>> make_acyclic(
     const dfg::Graph& g, std::vector<std::vector<dfg::NodeId>> parts);
+
+/// Kernighan-Lin cut repaired with make_acyclic(). The repair may merge
+/// parts, so the result can have fewer than `k` parts — callers that need
+/// exactly k must check. Requires ops.size() >= k.
+std::vector<std::vector<dfg::NodeId>> repaired_kl_partition(
+    const dfg::Graph& g, const std::vector<dfg::NodeId>& ops, int k, Rng& rng);
+
+/// Uniform random cut repaired with make_acyclic(). Same part-count caveat
+/// as repaired_kl_partition.
+std::vector<std::vector<dfg::NodeId>> repaired_random_partition(
+    const dfg::Graph& g, const std::vector<dfg::NodeId>& ops, int k, Rng& rng);
+
+/// One named candidate seed cut for a multi-start partitioner.
+struct SeedPartition {
+  std::string name;
+  std::vector<std::vector<dfg::NodeId>> parts;
+};
+
+/// The shared seed recipe of core::auto_partition and the gen portfolio:
+/// a level-order cut first (always quotient-acyclic), one repaired KL cut
+/// when `count` >= 2 and the graph is big enough to bisect (ops >= 2k),
+/// then repaired random cuts until `count` seeds exist. Repaired entries
+/// may carry fewer than k parts (see repaired_kl_partition); callers skip
+/// those.
+std::vector<SeedPartition> diverse_seed_partitions(
+    const dfg::Graph& g, const std::vector<dfg::NodeId>& ops, int k, int count,
+    Rng& rng);
 
 }  // namespace chop::baseline

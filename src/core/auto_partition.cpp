@@ -4,7 +4,6 @@
 #include <limits>
 #include <sstream>
 
-#include "baseline/kernighan_lin.hpp"
 #include "baseline/partition_builders.hpp"
 #include "core/eval/candidate_evaluator.hpp"
 #include "obs/metrics.hpp"
@@ -151,15 +150,7 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
                "auto_partition option out of range");
 
   // Seed: level-order cut, one partition per chip.
-  std::vector<dfg::NodeId> ops;
-  for (std::size_t i = 0; i < spec.node_count(); ++i) {
-    const dfg::Node& n = spec.node(static_cast<dfg::NodeId>(i));
-    if (dfg::needs_functional_unit(n.kind) ||
-        n.kind == dfg::OpKind::Select || n.kind == dfg::OpKind::MemRead ||
-        n.kind == dfg::OpKind::MemWrite) {
-      ops.push_back(static_cast<dfg::NodeId>(i));
-    }
-  }
+  const std::vector<dfg::NodeId> ops = spec.partitionable_operations();
   AutoPartitionResult result;
   const int k = static_cast<int>(chips.size());
   Rng rng(options.rng_seed);
@@ -175,22 +166,10 @@ AutoPartitionResult auto_partition(const dfg::Graph& spec,
     search_options.evaluator = &shared_evaluator;
   }
 
-  // Diverse seeds; each must be quotient-acyclic before use.
-  std::vector<std::pair<std::string, std::vector<std::vector<dfg::NodeId>>>>
-      seeds;
-  seeds.emplace_back("level-order cut",
-                     baseline::level_order_partition(spec, ops, k));
-  if (options.restarts >= 2 && static_cast<int>(ops.size()) >= 2 * k) {
-    seeds.emplace_back(
-        "kernighan-lin cut (repaired)",
-        baseline::make_acyclic(spec,
-                               baseline::kl_partition(spec, ops, k, rng)));
-  }
-  for (int r = static_cast<int>(seeds.size()); r < options.restarts; ++r) {
-    seeds.emplace_back(
-        "random cut (repaired)",
-        baseline::make_acyclic(spec, baseline::random_partition(ops, k, rng)));
-  }
+  // Diverse seeds (shared recipe with the gen portfolio); each must be
+  // quotient-acyclic before use.
+  const std::vector<baseline::SeedPartition> seeds =
+      baseline::diverse_seed_partitions(spec, ops, k, options.restarts, rng);
 
   Score global_best;
   bool have_global = false;

@@ -103,11 +103,7 @@ void Partitioning::validate() const {
 
   for (std::size_t i = 0; i < spec_->node_count(); ++i) {
     const dfg::Node& n = spec_->node(static_cast<dfg::NodeId>(i));
-    const bool is_operation = dfg::needs_functional_unit(n.kind) ||
-                              n.kind == dfg::OpKind::Select ||
-                              n.kind == dfg::OpKind::MemRead ||
-                              n.kind == dfg::OpKind::MemWrite;
-    if (is_operation) {
+    if (dfg::is_partitionable(n.kind)) {
       CHOP_REQUIRE(owner[i] >= 0, "operation not assigned to any partition");
     } else {
       CHOP_REQUIRE(owner[i] == -1,

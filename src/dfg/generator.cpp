@@ -23,6 +23,20 @@ BenchmarkGraph random_dag(Rng& rng, const RandomDagSpec& spec) {
 
   std::vector<NodeId> sources;  // values usable as operands
   const int n_inputs = std::max(2, spec.extra_inputs);
+  // Scale hardening: everything below is O(nodes + edges) as long as the
+  // growing containers never reallocate-and-copy more than a constant
+  // number of times, so size the big ones up front (100k-op graphs are a
+  // supported bench workload).
+  sources.reserve(static_cast<std::size_t>(n_inputs) +
+                  static_cast<std::size_t>(spec.mem_reads) +
+                  static_cast<std::size_t>(spec.operations));
+  bg.layers.reserve(static_cast<std::size_t>(spec.depth));
+  // Upper bound: every op may end up dangling and grow a dedicated output.
+  const std::size_t node_bound = 2 * static_cast<std::size_t>(spec.operations) +
+                                 static_cast<std::size_t>(n_inputs) +
+                                 static_cast<std::size_t>(spec.mem_reads) +
+                                 static_cast<std::size_t>(spec.mem_writes);
+  g.reserve(node_bound, 3 * node_bound);
   for (int i = 0; i < n_inputs; ++i) {
     sources.push_back(g.add_input("in" + std::to_string(i), spec.width));
   }

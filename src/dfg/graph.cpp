@@ -24,6 +24,11 @@ bool needs_functional_unit(OpKind kind) {
   return false;
 }
 
+bool is_partitionable(OpKind kind) {
+  return needs_functional_unit(kind) || kind == OpKind::Select ||
+         kind == OpKind::MemRead || kind == OpKind::MemWrite;
+}
+
 std::string to_string(OpKind kind) {
   switch (kind) {
     case OpKind::Input: return "input";
@@ -40,6 +45,13 @@ std::string to_string(OpKind kind) {
     case OpKind::MemWrite: return "mem_write";
   }
   return "?";
+}
+
+void Graph::reserve(std::size_t nodes, std::size_t edges) {
+  nodes_.reserve(nodes);
+  fanin_.reserve(nodes);
+  fanout_.reserve(nodes);
+  edges_.reserve(edges);
 }
 
 NodeId Graph::new_node(Node node) {
@@ -116,6 +128,15 @@ std::vector<NodeId> Graph::nodes_of_kind(OpKind kind) const {
     if (nodes_[i].kind == kind) out.push_back(static_cast<NodeId>(i));
   }
   return out;
+}
+
+std::vector<NodeId> Graph::partitionable_operations() const {
+  std::vector<NodeId> ops;
+  ops.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_partitionable(nodes_[i].kind)) ops.push_back(static_cast<NodeId>(i));
+  }
+  return ops;
 }
 
 std::size_t Graph::count_of_kind(OpKind kind) const {

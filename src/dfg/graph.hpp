@@ -41,6 +41,11 @@ enum class OpKind : std::uint8_t {
 /// True for kinds executed on a functional unit from the component library.
 bool needs_functional_unit(OpKind kind);
 
+/// True for kinds a partitioner assigns to chips: functional-unit
+/// operations plus Select (synthesized muxing) and the memory-mapped
+/// accesses. Input/Output boundary pseudo-ops are never partition members.
+bool is_partitionable(OpKind kind);
+
 /// Short mnemonic ("add", "mul", ...) for reports and DOT output.
 std::string to_string(OpKind kind);
 
@@ -81,6 +86,10 @@ class Graph {
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Pre-sizes the node/edge stores for bulk construction (generators,
+  /// unrollers). Purely an allocation hint; never shrinks.
+  void reserve(std::size_t nodes, std::size_t edges);
 
   /// Adds a primary input of `width` bits.
   NodeId add_input(std::string name, Bits width);
@@ -132,6 +141,9 @@ class Graph {
 
   /// All node ids of a given kind.
   std::vector<NodeId> nodes_of_kind(OpKind kind) const;
+
+  /// All partitionable operation nodes (see is_partitionable), id order.
+  std::vector<NodeId> partitionable_operations() const;
 
   /// Number of operations of `kind`.
   std::size_t count_of_kind(OpKind kind) const;

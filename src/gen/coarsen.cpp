@@ -1,0 +1,229 @@
+#include "gen/coarsen.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace chop::gen {
+
+Bits CoarseGraph::total_edge_bits() const {
+  Bits total = 0;
+  for (std::size_t v = 0; v < adjacency.size(); ++v) {
+    for (const auto& [u, w] : adjacency[v]) {
+      if (static_cast<std::size_t>(u) > v) total += w;
+    }
+  }
+  return total;
+}
+
+Bits CoarseGraph::total_internal_bits() const {
+  Bits total = 0;
+  for (Bits b : internal_bits) total += b;
+  return total;
+}
+
+Bits CoarseGraph::cut_bits(const std::vector<int>& part_of) const {
+  CHOP_REQUIRE(part_of.size() == adjacency.size(),
+               "assignment size does not match the graph");
+  Bits total = 0;
+  for (std::size_t v = 0; v < adjacency.size(); ++v) {
+    for (const auto& [u, w] : adjacency[v]) {
+      if (static_cast<std::size_t>(u) > v && part_of[v] != part_of[u]) {
+        total += w;
+      }
+    }
+  }
+  return total;
+}
+
+CoarseGraph build_operation_graph(const dfg::Graph& spec,
+                                  const std::vector<dfg::NodeId>& ops) {
+  CoarseGraph g;
+  g.adjacency.resize(ops.size());
+  g.weight.assign(ops.size(), 1);
+  g.internal_bits.assign(ops.size(), 0);
+
+  std::vector<int> vertex_of(spec.node_count(), -1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    vertex_of[static_cast<std::size_t>(ops[i])] = static_cast<int>(i);
+  }
+
+  for (std::size_t e = 0; e < spec.edge_count(); ++e) {
+    const dfg::Edge& edge = spec.edge(static_cast<dfg::EdgeId>(e));
+    const int a = vertex_of[static_cast<std::size_t>(edge.src)];
+    const int b = vertex_of[static_cast<std::size_t>(edge.dst)];
+    if (a < 0 || b < 0 || a == b) continue;
+    g.adjacency[static_cast<std::size_t>(a)].emplace_back(b, edge.width);
+    g.adjacency[static_cast<std::size_t>(b)].emplace_back(a, edge.width);
+  }
+
+  // Merge parallel edges; keep neighbor lists sorted for determinism.
+  for (auto& adj : g.adjacency) {
+    std::sort(adj.begin(), adj.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < adj.size();) {
+      std::size_t j = i;
+      Bits w = 0;
+      while (j < adj.size() && adj[j].first == adj[i].first) w += adj[j++].second;
+      adj[out++] = {adj[i].first, w};
+      i = j;
+    }
+    adj.resize(out);
+  }
+  return g;
+}
+
+std::vector<int> heavy_edge_matching(const CoarseGraph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  std::vector<int> match(n);
+  for (std::size_t i = 0; i < n; ++i) match[i] = static_cast<int>(i);
+  std::vector<bool> matched(n, false);
+  for (const int v : order) {
+    if (matched[static_cast<std::size_t>(v)]) continue;
+    int best = -1;
+    Bits best_w = 0;
+    for (const auto& [u, w] : g.adjacency[static_cast<std::size_t>(v)]) {
+      if (matched[static_cast<std::size_t>(u)]) continue;
+      if (best < 0 || w > best_w || (w == best_w && u < best)) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best < 0) continue;  // isolated or all neighbors taken
+    matched[static_cast<std::size_t>(v)] = true;
+    matched[static_cast<std::size_t>(best)] = true;
+    match[static_cast<std::size_t>(v)] = best;
+    match[static_cast<std::size_t>(best)] = v;
+  }
+  return match;
+}
+
+CoarseGraph contract(const CoarseGraph& g, const std::vector<int>& matching,
+                     std::vector<int>& parent_out) {
+  const std::size_t n = g.vertex_count();
+  CHOP_REQUIRE(matching.size() == n, "matching size does not match the graph");
+  parent_out.assign(n, -1);
+  std::size_t coarse = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_out[v] >= 0) continue;
+    const auto m = static_cast<std::size_t>(matching[v]);
+    CHOP_REQUIRE(m < n && static_cast<std::size_t>(matching[m]) == v,
+                 "matching is not an involution");
+    parent_out[v] = static_cast<int>(coarse);
+    parent_out[m] = static_cast<int>(coarse);  // no-op when unmatched (m == v)
+    ++coarse;
+  }
+
+  CoarseGraph out;
+  out.adjacency.resize(coarse);
+  out.weight.assign(coarse, 0);
+  out.internal_bits.assign(coarse, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto cv = static_cast<std::size_t>(parent_out[v]);
+    out.weight[cv] += g.weight[v];
+    out.internal_bits[cv] += g.internal_bits[v];
+    for (const auto& [u, w] : g.adjacency[v]) {
+      const int cu = parent_out[static_cast<std::size_t>(u)];
+      if (static_cast<std::size_t>(cu) == cv) {
+        // The matched pair's own edge becomes internal traffic; count it
+        // once (both endpoints walk it, so gate on u > v).
+        if (static_cast<std::size_t>(u) > v) out.internal_bits[cv] += w;
+      } else {
+        out.adjacency[cv].emplace_back(cu, w);
+      }
+    }
+  }
+  for (auto& adj : out.adjacency) {
+    std::sort(adj.begin(), adj.end());
+    std::size_t o = 0;
+    for (std::size_t i = 0; i < adj.size();) {
+      std::size_t j = i;
+      Bits w = 0;
+      while (j < adj.size() && adj[j].first == adj[i].first) w += adj[j++].second;
+      adj[o++] = {adj[i].first, w};
+      i = j;
+    }
+    adj.resize(o);
+  }
+  return out;
+}
+
+std::vector<int> Hierarchy::project_one(
+    std::size_t level, const std::vector<int>& assignment) const {
+  CHOP_REQUIRE(level >= 1 && level <= level_count(),
+               "projection level out of range");
+  const CoarseLevel& step = levels[level - 1];
+  CHOP_REQUIRE(assignment.size() == step.graph.vertex_count(),
+               "assignment does not match the level");
+  std::vector<int> out(step.parent.size());
+  for (std::size_t v = 0; v < step.parent.size(); ++v) {
+    out[v] = assignment[static_cast<std::size_t>(step.parent[v])];
+  }
+  return out;
+}
+
+std::vector<int> Hierarchy::project_to_base(
+    std::size_t level, const std::vector<int>& assignment) const {
+  std::vector<int> current = assignment;
+  for (std::size_t l = level; l >= 1; --l) current = project_one(l, current);
+  return current;
+}
+
+std::vector<std::vector<dfg::NodeId>> Hierarchy::members_of(
+    const std::vector<int>& base_assignment, int parts) const {
+  CHOP_REQUIRE(base_assignment.size() == ops.size(),
+               "assignment does not match the base level");
+  std::vector<std::vector<dfg::NodeId>> members(
+      static_cast<std::size_t>(parts));
+  for (std::size_t v = 0; v < ops.size(); ++v) {
+    const int p = base_assignment[v];
+    CHOP_REQUIRE(p >= 0 && p < parts, "assignment value out of range");
+    members[static_cast<std::size_t>(p)].push_back(ops[v]);
+  }
+  return members;
+}
+
+Hierarchy coarsen(const dfg::Graph& spec, std::vector<dfg::NodeId> ops,
+                  const CoarsenOptions& options) {
+  CHOP_REQUIRE(options.ratio > 0.0 && options.ratio < 1.0,
+               "coarsening ratio must lie in (0, 1)");
+  CHOP_REQUIRE(options.min_vertices >= 2, "min_vertices must be >= 2");
+  obs::TraceSpan span("gen.coarsen");
+  Hierarchy h;
+  h.ops = std::move(ops);
+  h.base = build_operation_graph(spec, h.ops);
+
+  Rng rng(options.seed);
+  static obs::Counter& levels_built =
+      obs::MetricsRegistry::global().counter("gen.coarsen_levels");
+  while (static_cast<int>(h.coarsest().vertex_count()) >
+             options.min_vertices &&
+         static_cast<int>(h.level_count()) < options.max_levels) {
+    const CoarseGraph& current = h.coarsest();
+    const std::vector<int> match = heavy_edge_matching(current, rng);
+    CoarseLevel level;
+    level.graph = contract(current, match, level.parent);
+    const double shrink = static_cast<double>(level.graph.vertex_count()) /
+                          static_cast<double>(current.vertex_count());
+    if (shrink > options.ratio &&
+        static_cast<int>(level.graph.vertex_count()) > options.min_vertices) {
+      break;  // diminishing returns: the matching found too few heavy pairs
+    }
+    h.levels.push_back(std::move(level));
+    levels_built.add();
+  }
+  span.arg("levels", h.level_count());
+  span.arg("coarsest", h.coarsest().vertex_count());
+  return h;
+}
+
+}  // namespace chop::gen

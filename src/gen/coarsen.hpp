@@ -1,0 +1,124 @@
+// Multilevel coarsening for partition generation (ROADMAP item #1,
+// Chaco/hMETIS-style): the behavioral DAG's partitionable operations are
+// folded into a hierarchy of successively smaller weighted graphs via
+// heavy-edge matching on transfer-weighted edges, so the generator can
+// seed cuts on a few dozen coarse vertices and refine them level by level
+// back to the full graph.
+//
+// The contraction graph is undirected: an edge between two vertices
+// carries the summed bit width of every spec value flowing between their
+// operations in either direction — exactly the traffic a cut between them
+// would put on chip pins. Precedence is NOT tracked here; candidate cuts
+// are projected onto the spec and validated (or repaired) against the
+// quotient-acyclicity rule (§2.3) by the caller.
+//
+// Everything in this header is deterministic: the same spec, op list and
+// options always produce byte-identical hierarchies, which is the base of
+// generate_partitions()'s cross-thread determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "util/rng.hpp"
+
+namespace chop::gen {
+
+/// Weighted undirected contraction graph over (coarse) operation vertices.
+struct CoarseGraph {
+  /// Per vertex: (neighbor, summed crossing bits), neighbor-ascending.
+  std::vector<std::vector<std::pair<int, Bits>>> adjacency;
+  /// Fine operations folded into each vertex (1 at the base level).
+  std::vector<int> weight;
+  /// Transfer traffic contracted *inside* each vertex so far.
+  std::vector<Bits> internal_bits;
+
+  std::size_t vertex_count() const { return adjacency.size(); }
+
+  /// Sum of all edge weights, each undirected edge counted once.
+  Bits total_edge_bits() const;
+
+  /// Sum of the traffic folded away by contractions below this level.
+  Bits total_internal_bits() const;
+
+  /// Traffic crossing the cut described by `part_of` (vertex -> part).
+  Bits cut_bits(const std::vector<int>& part_of) const;
+};
+
+struct CoarsenOptions {
+  /// A matching round must shrink the vertex count to <= ratio * n to be
+  /// worth keeping; the first round that misses the ratio ends the
+  /// hierarchy. (0.65 means "keep coarsening while each level removes at
+  /// least 35% of the vertices".)
+  double ratio = 0.65;
+  /// Stop once the coarsest graph has at most this many vertices
+  /// (generate_partitions passes ~2x the chip count).
+  int min_vertices = 8;
+  /// Tie-breaking visit order of the matching.
+  std::uint64_t seed = 1;
+  int max_levels = 64;
+};
+
+/// One coarsening step: `parent` maps every vertex of the previous level
+/// onto a vertex of `graph`.
+struct CoarseLevel {
+  std::vector<int> parent;
+  CoarseGraph graph;
+};
+
+/// The full hierarchy. Level 0 is `base` (one vertex per entry of `ops`);
+/// level L >= 1 is `levels[L-1].graph`.
+struct Hierarchy {
+  std::vector<dfg::NodeId> ops;  ///< Base vertex index -> spec node id.
+  CoarseGraph base;
+  std::vector<CoarseLevel> levels;
+
+  std::size_t level_count() const { return levels.size(); }
+  const CoarseGraph& at(std::size_t level) const {
+    return level == 0 ? base : levels[level - 1].graph;
+  }
+  const CoarseGraph& coarsest() const { return at(level_count()); }
+
+  /// Projects a per-vertex assignment at `level` down to the base level
+  /// (every fine vertex inherits its coarse vertex's value).
+  std::vector<int> project_to_base(std::size_t level,
+                                   const std::vector<int>& assignment) const;
+
+  /// Projects an assignment at `level` down exactly one level.
+  std::vector<int> project_one(std::size_t level,
+                               const std::vector<int>& assignment) const;
+
+  /// Spec member lists of a base-level assignment into `parts` parts.
+  /// Parts with no vertices come back empty.
+  std::vector<std::vector<dfg::NodeId>> members_of(
+      const std::vector<int>& base_assignment, int parts) const;
+};
+
+/// Builds the base transfer-weighted operation graph: one vertex per entry
+/// of `ops`, an undirected edge summing the widths of all values flowing
+/// between the two operations (values routed through non-partitionable
+/// nodes do not connect them — they reach the boundary instead).
+CoarseGraph build_operation_graph(const dfg::Graph& spec,
+                                  const std::vector<dfg::NodeId>& ops);
+
+/// Heavy-edge matching: visits vertices in an rng-shuffled order and pairs
+/// each unmatched vertex with its unmatched neighbor of maximum edge
+/// weight (ties: smaller index). Returns the match partner per vertex
+/// (its own index when unmatched). Every vertex appears in exactly one
+/// group of size 1 or 2.
+std::vector<int> heavy_edge_matching(const CoarseGraph& g, Rng& rng);
+
+/// Contracts `g` along a matching. Coarse ids are assigned in order of
+/// first appearance over ascending fine ids, so the result is independent
+/// of how the matching was produced. `parent_out` receives fine -> coarse.
+CoarseGraph contract(const CoarseGraph& g, const std::vector<int>& matching,
+                     std::vector<int>& parent_out);
+
+/// Full coarsening pass: repeated heavy-edge matching + contraction until
+/// options.min_vertices is reached or a round misses options.ratio.
+Hierarchy coarsen(const dfg::Graph& spec, std::vector<dfg::NodeId> ops,
+                  const CoarsenOptions& options);
+
+}  // namespace chop::gen

@@ -15,6 +15,9 @@ const char* to_string(SearchPhase phase) {
     case SearchPhase::kCacheWait: return "cache_wait";
     case SearchPhase::kPredict: return "predict";
     case SearchPhase::kRender: return "render";
+    case SearchPhase::kGenCoarsen: return "gen_coarsen";
+    case SearchPhase::kGenInitial: return "gen_initial";
+    case SearchPhase::kGenRefine: return "gen_refine";
     case SearchPhase::kCount: break;
   }
   return "unknown";

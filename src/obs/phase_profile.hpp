@@ -34,6 +34,9 @@ enum class SearchPhase : std::size_t {
   kCacheWait,        ///< Blocked acquiring an evaluator cache shard lock.
   kPredict,          ///< Per-partition BAD prediction (session research).
   kRender,           ///< Serve-side result JSON rendering.
+  kGenCoarsen,       ///< Partition generation: heavy-edge coarsening.
+  kGenInitial,       ///< Partition generation: coarsest-level seed cuts.
+  kGenRefine,        ///< Partition generation: uncoarsening refinement.
   kCount
 };
 

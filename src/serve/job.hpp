@@ -70,6 +70,12 @@ struct JobOptions {
   int priority = 0;
   /// Wall-clock budget in milliseconds from acceptance; 0 = none.
   long long deadline_ms = 0;
+  /// `generate` op: run the multilevel partition-generation engine over
+  /// the spec instead of searching its declared partitions.
+  bool generate = false;
+  int num_starts = 4;             ///< Portfolio starts (generate only).
+  double coarsening_ratio = 0.65; ///< Coarsening keep-going threshold.
+  std::uint64_t gen_seed = 1;     ///< Generation seed (determinism contract).
 };
 
 struct Job {

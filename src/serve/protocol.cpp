@@ -40,6 +40,7 @@ bool bool_field(const JsonValue& v, const std::string& key) {
 
 RequestOp parse_op(const std::string& op) {
   if (op == "submit") return RequestOp::Submit;
+  if (op == "generate") return RequestOp::Generate;
   if (op == "revise") return RequestOp::Revise;
   if (op == "status") return RequestOp::Status;
   if (op == "result") return RequestOp::Result;
@@ -59,6 +60,11 @@ const std::set<std::string>& allowed_keys(RequestOp op) {
       "op",          "id",         "spec",       "spec_path",
       "heuristic",   "threads",    "priority",   "deadline_ms",
       "max_trials",  "keep_all",   "bound_pruning"};
+  static const std::set<std::string> generate{
+      "op",          "id",         "spec",       "spec_path",
+      "threads",     "priority",   "deadline_ms",
+      "bound_pruning",
+      "num_starts",  "coarsening_ratio",         "gen_seed"};
   static const std::set<std::string> revise{"op", "id", "new_id", "delta"};
   static const std::set<std::string> by_id{"op", "id"};
   static const std::set<std::string> result{"op", "id", "wait"};
@@ -68,6 +74,7 @@ const std::set<std::string>& allowed_keys(RequestOp op) {
   static const std::set<std::string> shutdown{"op", "drain"};
   switch (op) {
     case RequestOp::Submit: return submit;
+    case RequestOp::Generate: return generate;
     case RequestOp::Revise: return revise;
     case RequestOp::Result: return result;
     case RequestOp::Status:
@@ -223,6 +230,10 @@ Request parse_request(const std::string& line, const ProtocolLimits& limits) {
   }
 
   switch (request.op) {
+    // generate shares submit's spec/threads/priority/deadline plumbing;
+    // the strict key filter above already rejected the submit-only knobs
+    // (heuristic, keep_all, max_trials) for it.
+    case RequestOp::Generate:
     case RequestOp::Submit: {
       if (const JsonValue* spec = doc.find("spec")) {
         request.spec = string_field(*spec, "spec");
@@ -269,6 +280,27 @@ Request parse_request(const std::string& line, const ProtocolLimits& limits) {
       }
       if (const JsonValue* b = doc.find("bound_pruning")) {
         request.options.bound_pruning = bool_field(*b, "bound_pruning");
+      }
+      if (request.op == RequestOp::Generate) {
+        request.options.generate = true;
+        if (const JsonValue* n = doc.find("num_starts")) {
+          request.options.num_starts =
+              static_cast<int>(int_field(*n, "num_starts", 1, 256));
+        }
+        if (const JsonValue* r = doc.find("coarsening_ratio")) {
+          if (!r->is_number()) {
+            invalid("field 'coarsening_ratio' must be a number");
+          }
+          const double ratio = r->as_number();
+          if (!(ratio > 0.0 && ratio < 1.0)) {
+            invalid("field 'coarsening_ratio' must lie in (0, 1)");
+          }
+          request.options.coarsening_ratio = ratio;
+        }
+        if (const JsonValue* s = doc.find("gen_seed")) {
+          request.options.gen_seed = static_cast<std::uint64_t>(
+              int_field(*s, "gen_seed", 0, 1000000000));
+        }
       }
       break;
     }
@@ -357,6 +389,40 @@ JsonValue render_search_result(const core::SearchResult& result) {
   search.set("truncated", JsonValue(result.truncated));
   search.set("cancelled", JsonValue(result.cancelled));
   return search;
+}
+
+JsonValue render_generate_result(const gen::GenerateResult& result,
+                                 const dfg::Graph& spec) {
+  JsonValue frontier((JsonValue::Array()));
+  for (const gen::FrontierPoint& p : result.frontier) {
+    JsonValue point;
+    point.set("ii", JsonValue(static_cast<double>(p.ii)));
+    point.set("delay", JsonValue(static_cast<double>(p.delay)));
+    point.set("area_mil2", JsonValue(p.area));
+    point.set("start", JsonValue(static_cast<double>(p.start)));
+    frontier.push(std::move(point));
+  }
+  JsonValue partitions((JsonValue::Array()));
+  for (const auto& members : result.members) {
+    JsonValue names((JsonValue::Array()));
+    for (const dfg::NodeId id : members) {
+      names.push(JsonValue(spec.node(id).name));
+    }
+    partitions.push(std::move(names));
+  }
+  JsonValue out;
+  out.set("frontier", std::move(frontier));
+  out.set("partitions", std::move(partitions));
+  out.set("starts", JsonValue(static_cast<double>(result.starts_run)));
+  out.set("starts_killed",
+          JsonValue(static_cast<double>(result.starts_killed)));
+  out.set("evaluations", JsonValue(static_cast<double>(result.evaluations)));
+  out.set("gated", JsonValue(static_cast<double>(result.gated)));
+  out.set("levels", JsonValue(static_cast<double>(result.levels)));
+  out.set("coarsest_vertices",
+          JsonValue(static_cast<double>(result.coarsest_vertices)));
+  out.set("cancelled", JsonValue(result.cancelled));
+  return out;
 }
 
 namespace {

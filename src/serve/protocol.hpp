@@ -54,6 +54,7 @@
 #include <string>
 
 #include "core/search.hpp"
+#include "gen/generate.hpp"
 #include "serve/job.hpp"
 #include "serve/json.hpp"
 
@@ -80,6 +81,7 @@ struct ProtocolLimits {
 
 enum class RequestOp {
   Submit,
+  Generate,  ///< Submit a generation job: the engine invents the cut.
   Revise,
   Status,
   Result,
@@ -149,6 +151,14 @@ std::string error_response(const std::string& code, const std::string& message,
 /// truncated, cancelled. Timing and identity fields deliberately live
 /// outside this fragment so it is byte-comparable across processes.
 JsonValue render_search_result(const core::SearchResult& result);
+
+/// The `generate` fragment of a generation job's result: portfolio stats
+/// (starts/killed/evaluations/gated), the (area, II, delay) frontier, and
+/// the best cut as partition member-name lists (resolvable against the
+/// submitted spec, e.g. to write a `partitions` section). Deterministic
+/// like the search fragment.
+JsonValue render_generate_result(const gen::GenerateResult& result,
+                                 const dfg::Graph& spec);
 
 /// Applies one DeltaSpec to a project, returning the patched copy. Name
 /// resolution happens here; the move semantics mirror

@@ -187,6 +187,10 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
   }
 
   try {
+    if (job->options.generate) {
+      run_generate_job(job, span);
+      return;
+    }
     core::ChopSession session = job->project.make_session();
     const core::PredictionStats stats = session.predict_partitions();
 
@@ -254,6 +258,56 @@ void ChopServer::run_job(const std::shared_ptr<Job>& job) {
     span.arg("state", "failed");
     finish_job(job, JobState::Failed);
   }
+}
+
+void ChopServer::run_generate_job(const std::shared_ptr<Job>& job,
+                                  obs::TraceSpan& span) {
+  gen::GenerateOptions options;
+  options.num_starts = job->options.num_starts;
+  options.coarsening_ratio = job->options.coarsening_ratio;
+  options.seed = job->options.gen_seed;
+  options.threads = core::ThreadPool::resolve_threads(job->options.threads);
+  // Starts interleave with other jobs' work on the server-wide pool; the
+  // per-candidate searches stay single-threaded (the portfolio is the
+  // parallelism). The engine brings its own cross-start evaluator, so the
+  // fingerprint-keyed pool (which needs a session to key off) is not used.
+  options.pool = search_pool_.get();
+  options.search.threads = 1;
+  options.search.bound_pruning = job->options.bound_pruning;
+  options.cancel = &job->cancel_requested;
+  options.deadline = job->deadline;
+  options.profile = &job->profile;
+
+  const gen::GenerateResult result = gen::generate_partitions(
+      job->project.graph, job->project.library, job->project.chips,
+      job->project.memory, job->project.config, options);
+
+  std::string rendered;
+  {
+    obs::ScopedPhase render_phase(&job->profile, obs::SearchPhase::kRender);
+    obs::TraceSpan render_span("serve.render");
+    JsonValue fragment = render_search_result(result.search);
+    fragment.set("generate",
+                 render_generate_result(result, job->project.graph));
+    rendered = fragment.dump();
+  }
+
+  JobState state = JobState::Done;
+  if (result.cancelled) {
+    state = job->cancel_requested.load(std::memory_order_relaxed)
+                ? JobState::Cancelled
+                : JobState::DeadlineExceeded;
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->result_json = std::move(rendered);
+    job->designs = result.frontier.size();
+  }
+  span.arg("starts", result.starts_run);
+  span.arg("evaluations", result.evaluations);
+  span.arg("designs", result.frontier.size());
+  span.arg("state", to_string(state));
+  finish_job(job, state);
 }
 
 void ChopServer::finish_job(const std::shared_ptr<Job>& job, JobState state) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/eval/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "serve/evaluator_pool.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
@@ -177,6 +178,10 @@ class ChopServer {
  private:
   void worker_loop();
   void run_job(const std::shared_ptr<Job>& job);
+  /// The generation path of run_job (JobOptions::generate): runs the
+  /// multilevel engine on the server pool and renders a result fragment
+  /// that carries both the search and the `generate` portfolio outcome.
+  void run_generate_job(const std::shared_ptr<Job>& job, obs::TraceSpan& span);
   /// Marks `job` terminal under jobs_mu_, stamps finished_at, bumps the
   /// outcome counters/histograms, and wakes waiters.
   void finish_job(const std::shared_ptr<Job>& job, JobState state);

@@ -87,7 +87,8 @@ std::string Service::handle_line(const std::string& line) {
 
 std::string Service::dispatch(const Request& request) {
   switch (request.op) {
-    case RequestOp::Submit: return handle_submit(request);
+    case RequestOp::Submit:
+    case RequestOp::Generate: return handle_submit(request);
     case RequestOp::Revise: return handle_revise(request);
     case RequestOp::Status: return handle_status(request);
     case RequestOp::Result: return handle_result(request);
@@ -133,7 +134,9 @@ std::string Service::handle_submit(const Request& request) {
 
   JsonValue response;
   response.set("ok", JsonValue(true));
-  response.set("op", JsonValue(std::string("submit")));
+  response.set("op", JsonValue(std::string(
+                         request.op == RequestOp::Generate ? "generate"
+                                                           : "submit")));
   response.set("id", JsonValue(outcome.id));
   response.set("state", JsonValue(std::string(to_string(JobState::Queued))));
   response.set("trace", JsonValue(obs::trace_id_hex(outcome.trace_id)));

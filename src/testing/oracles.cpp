@@ -14,6 +14,7 @@
 #include "core/transfer.hpp"
 #include "exact/checker.hpp"
 #include "exact/solver.hpp"
+#include "gen/generate.hpp"
 #include "io/spec_writer.hpp"
 #include "obs/observer.hpp"
 #include "serve/protocol.hpp"
@@ -180,6 +181,37 @@ std::optional<std::string> check_subset(const std::vector<bool>& sub,
     }
   }
   return std::nullopt;
+}
+
+/// Full-content serialization of a generation run: frontier points with
+/// their cuts and choices, the winning cut, every counter, and the
+/// decision log. Any scheduling dependence shows up as a digest diff.
+std::string generation_digest(const gen::GenerateResult& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "starts=" << r.starts_run << " killed=" << r.starts_killed
+      << " evals=" << r.evaluations << " gated=" << r.gated
+      << " levels=" << r.levels << " coarse=" << r.coarsest_vertices
+      << " cancelled=" << r.cancelled << '\n';
+  const auto cut = [&out](const std::vector<std::vector<dfg::NodeId>>& parts) {
+    for (const auto& part : parts) {
+      for (const dfg::NodeId id : part) out << id << ',';
+      out << '|';
+    }
+  };
+  for (const gen::FrontierPoint& p : r.frontier) {
+    out << "pt ii=" << p.ii << " delay=" << p.delay << " area=" << p.area
+        << " start=" << p.start << " choice=";
+    for (const std::size_t c : p.choice) out << c << ',';
+    out << " cut=";
+    cut(p.members);
+    out << '\n';
+  }
+  out << "best=";
+  cut(r.members);
+  out << '\n';
+  for (const std::string& line : r.log) out << line << '\n';
+  return out.str();
 }
 
 std::size_t count_true(const std::vector<bool>& v) {
@@ -374,6 +406,43 @@ ScenarioReport run_oracles(const io::Project& project,
       }
       if (auto d = diff_observers(serial_obs, parallel_obs)) {
         report.failures.push_back({"thread_determinism", tag + *d});
+      }
+    }
+
+    // --- Oracle: generation determinism --------------------------------
+    // The multilevel generator commits portfolio outcomes in start order
+    // at wave barriers, so its full result — frontier, winning cut,
+    // counters, and decision log — must be byte-identical at any thread
+    // count. A tight per-start budget keeps the arm cheap; the scenario's
+    // own partitioning is ignored (generation builds its own cuts).
+    if (project.graph.partitionable_operations().size() >=
+        project.chips.size()) {
+      gen::GenerateOptions gopt;
+      gopt.num_starts = 2;
+      gopt.wave_size = 2;
+      gopt.budget = 6;
+      const auto run = [&](int threads) {
+        gen::GenerateOptions o = gopt;
+        o.threads = threads;
+        return generation_digest(gen::generate_partitions(
+            project.graph, project.library, project.chips, project.memory,
+            project.config, o));
+      };
+      try {
+        const std::string serial = run(1);
+        for (const int threads : limits.thread_counts) {
+          const std::string parallel = run(threads);
+          if (parallel != serial) {
+            report.failures.push_back(
+                {"generation_determinism",
+                 "threads=" + std::to_string(threads) +
+                     ": digest diverged from the serial run"});
+          }
+        }
+      } catch (const Error&) {
+        // Generation may legitimately reject a scenario (e.g. no valid
+        // cut exists for this chip count) — rejection is deterministic
+        // and not a determinism failure.
       }
     }
 

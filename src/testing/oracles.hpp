@@ -9,6 +9,9 @@
 //                     trials + bound_skipped_leaves == product of lists
 //  thread_determinism E at 1/2/4/8 threads: identical designs, counters,
 //                     recorder contents and observer callback sequence
+//  generation_determinism
+//                     the multilevel partition generator's full result is
+//                     byte-identical at 1/2/4/8 portfolio threads
 //  eval_cache         memoized evaluator == caching disabled
 //  enum_vs_iterative  every iterative design is feasible and weakly
 //                     dominated by some enumeration design (E is complete)

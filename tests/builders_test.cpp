@@ -115,5 +115,54 @@ TEST_P(RepairProperty, RandomGraphRandomCutsAlwaysRepairable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RepairProperty,
                          ::testing::Values(201u, 202u, 203u, 204u, 205u));
 
+TEST(RepairedBuilders, KlCutsComeBackChopValid) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Rng rng(5);
+  const auto parts = repaired_kl_partition(ar.graph, ar.all_operations(), 2,
+                                           rng);
+  EXPECT_TRUE(chop_accepts(ar.graph, parts));
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 28u);
+}
+
+TEST(RepairedBuilders, RepairsDisconnectedImbalancedCuts) {
+  // A disconnected wide-and-shallow graph with a deliberately imbalanced
+  // random cut: repair must still produce a valid quotient covering every
+  // op, even when make_acyclic merges parts (callers check the count).
+  Rng rng(77);
+  dfg::RandomDagSpec spec;
+  spec.operations = 30;
+  spec.depth = 2;  // shallow => many independent components
+  spec.width = 10;
+  const dfg::BenchmarkGraph bg = dfg::random_dag(rng, spec);
+  for (int k : {2, 3, 5}) {
+    Rng cut_rng(static_cast<std::uint64_t>(k) * 13);
+    const auto parts =
+        repaired_random_partition(bg.graph, bg.all_operations(), k, cut_rng);
+    EXPECT_LE(parts.size(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(chop_accepts(bg.graph, parts)) << "k=" << k;
+    std::set<dfg::NodeId> seen;
+    for (const auto& p : parts) {
+      EXPECT_FALSE(p.empty());
+      for (dfg::NodeId id : p) EXPECT_TRUE(seen.insert(id).second);
+    }
+    EXPECT_EQ(seen.size(), 30u);
+  }
+}
+
+TEST(DiverseSeedPartitions, LevelOrderFirstAllValid) {
+  const dfg::BenchmarkGraph ar = dfg::ar_lattice_filter();
+  Rng rng(31);
+  const auto seeds =
+      diverse_seed_partitions(ar.graph, ar.all_operations(), 3, 5, rng);
+  ASSERT_GE(seeds.size(), 3u);
+  EXPECT_EQ(seeds.front().name, "level-order cut");
+  for (const auto& seed : seeds) {
+    if (seed.parts.size() != 3u) continue;  // repair merged; callers skip
+    EXPECT_TRUE(chop_accepts(ar.graph, seed.parts)) << seed.name;
+  }
+}
+
 }  // namespace
 }  // namespace chop::baseline

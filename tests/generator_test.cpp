@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "dfg/analysis.hpp"
 
 namespace chop::dfg {
@@ -103,6 +105,41 @@ INSTANTIATE_TEST_SUITE_P(
                       DagSweep{16, 4, 0.5, 3}, DagSweep{24, 6, 0.4, 4},
                       DagSweep{40, 8, 0.6, 5}, DagSweep{64, 4, 0.2, 6},
                       DagSweep{100, 10, 0.5, 7}, DagSweep{5, 5, 0.9, 8}));
+
+TEST(RandomDagScale, TenThousandOpsStaysLinear) {
+  // Generation-scale guard: building a 10k-op graph must stay in linear
+  // territory. The node/edge counts are pinned for this seed so a silent
+  // change in generator behavior (e.g. dangling-output handling) shows up
+  // as a diff, and the wall-time bound is generous enough for CI/TSan
+  // while still catching quadratic blowups (which take minutes here).
+  const auto start = std::chrono::steady_clock::now();
+  Rng rng(1234);
+  RandomDagSpec spec;
+  spec.operations = 10000;
+  spec.depth = 40;
+  spec.width = 16;
+  const BenchmarkGraph bg = random_dag(rng, spec);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_EQ(bg.graph.operation_count(), 10000u);
+  EXPECT_EQ(bg.graph.node_count(), 13409u);
+  EXPECT_EQ(bg.graph.edge_count(), 23405u);
+  EXPECT_NO_THROW(bg.graph.validate());
+  EXPECT_LT(ms, 10000.0) << "10k-op generation took " << ms
+                         << " ms - quadratic regression?";
+}
+
+TEST(RandomDagScale, HundredThousandOpsValidates) {
+  Rng rng(99);
+  RandomDagSpec spec;
+  spec.operations = 100000;
+  spec.depth = 60;
+  spec.width = 24;
+  const BenchmarkGraph bg = random_dag(rng, spec);
+  EXPECT_EQ(bg.graph.operation_count(), 100000u);
+  EXPECT_NO_THROW(bg.graph.validate());
+}
 
 }  // namespace
 }  // namespace chop::dfg

@@ -49,6 +49,7 @@
 #include <string>
 
 #include "core/auto_partition.hpp"
+#include "gen/generate.hpp"
 #include "core/eval/thread_pool.hpp"
 #include "core/memory_optimizer.hpp"
 #include "exact/checker.hpp"
@@ -76,6 +77,10 @@ struct CliOptions {
   bool keep_all = false;
   bool guideline = false;
   bool auto_partition = false;
+  bool generate = false;
+  int num_starts = 4;
+  double coarsening_ratio = 0.65;
+  std::uint64_t gen_seed = 1;
   bool optimize_memory = false;
   std::string dot_path;
   std::string save_path;
@@ -93,7 +98,9 @@ int usage() {
       << "usage: chop_cli <project.chop> [--heuristic=E|I] [--threads=N]\n"
          "                [--no-bound-pruning] [--no-shared-frontier]\n"
          "                [--keep-all] [--guideline]\n"
-         "                [--auto] [--optimize-memory] [--dot=<file>]\n"
+         "                [--auto] [--generate] [--num-starts=N]\n"
+         "                [--coarsening-ratio=R] [--gen-seed=N]\n"
+         "                [--optimize-memory] [--dot=<file>]\n"
          "                [--save=<file>] [--report=<file>] [--trace=<file>]\n"
          "                [--metrics=<file>] [--progress]\n"
          "                [--certify[=<max-product>]] [--certify-out=<file>]\n"
@@ -107,7 +114,11 @@ int usage() {
          "  CHOP_BOUND_PRUNING=0 environment variable does the same.\n"
          "  --no-shared-frontier disables the cross-unit incumbent\n"
          "  broadcast of the bounded enumeration (identical design set;\n"
-         "  more visited leaves). CHOP_SHARED_FRONTIER=0 does the same.\n";
+         "  more visited leaves). CHOP_SHARED_FRONTIER=0 does the same.\n"
+         "  --generate replaces the file's partitions with the multilevel\n"
+         "  generation engine's best cut (coarsen, partition, refine; a\n"
+         "  portfolio of --num-starts starts raced on --threads workers;\n"
+         "  byte-identical results at any thread count).\n";
   return 1;
 }
 
@@ -142,6 +153,35 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.guideline = true;
     } else if (arg == "--auto") {
       options.auto_partition = true;
+    } else if (arg == "--generate") {
+      options.generate = true;
+    } else if (arg.rfind("--num-starts=", 0) == 0) {
+      try {
+        std::size_t used = 0;
+        options.num_starts = std::stoi(arg.substr(13), &used);
+        if (used != arg.size() - 13 || options.num_starts < 1) return false;
+      } catch (...) {
+        return false;
+      }
+    } else if (arg.rfind("--coarsening-ratio=", 0) == 0) {
+      try {
+        std::size_t used = 0;
+        options.coarsening_ratio = std::stod(arg.substr(19), &used);
+        if (used != arg.size() - 19 || options.coarsening_ratio <= 0.0 ||
+            options.coarsening_ratio >= 1.0) {
+          return false;
+        }
+      } catch (...) {
+        return false;
+      }
+    } else if (arg.rfind("--gen-seed=", 0) == 0) {
+      try {
+        std::size_t used = 0;
+        options.gen_seed = std::stoull(arg.substr(11), &used);
+        if (used != arg.size() - 11) return false;
+      } catch (...) {
+        return false;
+      }
     } else if (arg == "--optimize-memory") {
       options.optimize_memory = true;
     } else if (arg.rfind("--heuristic=", 0) == 0) {
@@ -190,6 +230,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       return false;
     }
   }
+  // --auto and --generate both replace the file's partitions; one at a time.
+  if (options.generate && options.auto_partition) return false;
   if (options.certify) {
     // Certification compares the searched frontier point for point with
     // the proven optimum, so it needs the enumeration heuristic over the
@@ -371,6 +413,42 @@ int main(int argc, char** argv) {
           project.graph, project.library, project.chips, project.memory,
           project.config, auto_options);
       for (const std::string& line : r.log) std::cout << "  " << line << "\n";
+      project.partitions.clear();
+      for (std::size_t p = 0; p < r.members.size(); ++p) {
+        project.partitions.push_back(core::Partition{
+            "P" + std::to_string(p + 1), r.members[p], static_cast<int>(p)});
+      }
+    }
+
+    // --generate replaces the file's partitions with the multilevel
+    // engine's best cut, then the normal predict+search run below reports
+    // on that cut like any hand-written partitioning.
+    if (options.generate) {
+      std::cout << "generating partitions over " << project.chips.size()
+                << " chip(s), " << options.num_starts << " start(s)...\n";
+      gen::GenerateOptions gen_options;
+      gen_options.num_starts = options.num_starts;
+      gen_options.coarsening_ratio = options.coarsening_ratio;
+      gen_options.seed = options.gen_seed;
+      gen_options.threads = options.threads;
+      gen_options.search.threads = 1;  // parallelism lives at the start level
+      gen_options.search.bound_pruning = options.bound_pruning;
+      gen_options.search.shared_frontier = options.shared_frontier;
+      Timer gen_timer;
+      const gen::GenerateResult r = gen::generate_partitions(
+          project.graph, project.library, project.chips, project.memory,
+          project.config, gen_options);
+      for (const std::string& line : r.log) std::cout << "  " << line << "\n";
+      std::cout << "generate: " << r.starts_run << " start(s), "
+                << r.starts_killed << " killed, " << r.evaluations
+                << " evaluation(s), " << r.gated << " gated, frontier "
+                << r.frontier.size() << " point(s) (" << gen_timer.elapsed_ms()
+                << " ms)\n";
+      for (const gen::FrontierPoint& p : r.frontier) {
+        std::cout << "  frontier: II=" << p.ii << "c delay=" << p.delay
+                  << "c area=" << p.area << " mil^2 (start " << p.start
+                  << ")\n";
+      }
       project.partitions.clear();
       for (std::size_t p = 0; p < r.members.size(); ++p) {
         project.partitions.push_back(core::Partition{

@@ -67,6 +67,12 @@ struct ClientOptions {
   bool keep_all = false;
   bool no_bound_pruning = false;
   bool wait = false;
+  // Generate knobs (--generate turns a --spec submission into a
+  // partition-generation job).
+  bool generate = false;
+  int num_starts = -1;            ///< -1 = not sent (server default).
+  double coarsening_ratio = -1.0; ///< -1 = not sent.
+  long long gen_seed = -1;        ///< -1 = not sent.
 };
 
 int usage() {
@@ -80,6 +86,8 @@ int usage() {
          "           [--threads=N (0 = auto-detect)]\n"
          "           [--priority=N] [--deadline-ms=N] [--max-trials=N]\n"
          "           [--keep-all] [--no-bound-pruning] [--wait]\n"
+         "       generate knobs (with --spec): [--generate]\n"
+         "           [--num-starts=N] [--coarsening-ratio=R] [--gen-seed=N]\n"
          "       revise knobs: [--id=<new-id>] [--wait]\n"
          "       metrics knob: [--prom] (print raw Prometheus text)\n"
          "       shutdown knob: [--no-drain]\n";
@@ -135,6 +143,14 @@ bool parse_args(int argc, char** argv, ClientOptions& options) {
         options.deadline_ms = std::stoll(arg.substr(14));
       } else if (arg.rfind("--max-trials=", 0) == 0) {
         options.max_trials = std::stoll(arg.substr(13));
+      } else if (arg == "--generate") {
+        options.generate = true;
+      } else if (arg.rfind("--num-starts=", 0) == 0) {
+        options.num_starts = std::stoi(arg.substr(13));
+      } else if (arg.rfind("--coarsening-ratio=", 0) == 0) {
+        options.coarsening_ratio = std::stod(arg.substr(19));
+      } else if (arg.rfind("--gen-seed=", 0) == 0) {
+        options.gen_seed = std::stoll(arg.substr(11));
       } else if (arg == "--keep-all") {
         options.keep_all = true;
       } else if (arg == "--no-bound-pruning") {
@@ -182,10 +198,13 @@ std::string build_request(const ClientOptions& options, std::string* error) {
     }
     std::ostringstream text;
     text << file.rdbuf();
-    request.set("op", JsonValue(std::string("submit")));
+    request.set("op", JsonValue(std::string(options.generate ? "generate"
+                                                             : "submit")));
     request.set("spec", JsonValue(std::move(text).str()));
     if (!options.id.empty()) request.set("id", JsonValue(options.id));
-    if (!options.heuristic.empty()) {
+    // The server's strict key filter rejects submit-only knobs on a
+    // generate request, so only forward what the op accepts.
+    if (!options.heuristic.empty() && !options.generate) {
       request.set("heuristic", JsonValue(options.heuristic));
     }
     if (options.threads >= 0) {
@@ -198,13 +217,28 @@ std::string build_request(const ClientOptions& options, std::string* error) {
       request.set("deadline_ms",
                   JsonValue(static_cast<double>(options.deadline_ms)));
     }
-    if (options.max_trials >= 0) {
+    if (options.max_trials >= 0 && !options.generate) {
       request.set("max_trials",
                   JsonValue(static_cast<double>(options.max_trials)));
     }
-    if (options.keep_all) request.set("keep_all", JsonValue(true));
+    if (options.keep_all && !options.generate) {
+      request.set("keep_all", JsonValue(true));
+    }
     if (options.no_bound_pruning) {
       request.set("bound_pruning", JsonValue(false));
+    }
+    if (options.generate) {
+      if (options.num_starts >= 1) {
+        request.set("num_starts",
+                    JsonValue(static_cast<double>(options.num_starts)));
+      }
+      if (options.coarsening_ratio > 0.0) {
+        request.set("coarsening_ratio", JsonValue(options.coarsening_ratio));
+      }
+      if (options.gen_seed >= 0) {
+        request.set("gen_seed",
+                    JsonValue(static_cast<double>(options.gen_seed)));
+      }
     }
   } else if (!options.revise_id.empty()) {
     JsonValue delta;

@@ -33,6 +33,10 @@ file(APPEND ${input} "{\"op\":\"revise\",\"id\":\"fir4\",\"new_id\":\"fir4-r1\",
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"fir4-r1\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"revise\",\"id\":\"diffeq\",\"new_id\":\"diffeq-r1\",\"delta\":{\"kind\":\"set_clock\",\"main_clock_ns\":330,\"datapath_multiplier\":10,\"transfer_multiplier\":1}}\n")
 file(APPEND ${input} "{\"op\":\"result\",\"id\":\"diffeq-r1\",\"wait\":true}\n")
+# Round-trip the multilevel generator: the job must come back done with a
+# generated frontier nested in the search payload.
+file(APPEND ${input} "{\"op\":\"generate\",\"id\":\"diffeq-gen\",\"spec_path\":\"${SPEC_DIR}/diffeq.chop\",\"num_starts\":2,\"gen_seed\":7}\n")
+file(APPEND ${input} "{\"op\":\"result\",\"id\":\"diffeq-gen\",\"wait\":true}\n")
 file(APPEND ${input} "{\"op\":\"stats\"}\n")
 file(APPEND ${input} "{\"op\":\"healthz\"}\n")
 file(APPEND ${input} "{\"op\":\"metrics\"}\n")
@@ -60,6 +64,9 @@ foreach(needle
     "\"op\":\"result\",\"id\":\"fir4-r1\",\"state\":\"done\""
     "\"op\":\"revise\",\"id\":\"diffeq-r1\",\"base\":\"diffeq\""
     "\"op\":\"result\",\"id\":\"diffeq-r1\",\"state\":\"done\""
+    "\"op\":\"generate\",\"id\":\"diffeq-gen\",\"state\":\"queued\""
+    "\"op\":\"result\",\"id\":\"diffeq-gen\",\"state\":\"done\""
+    "\"generate\":{\"frontier\":"
     "\"op\":\"stats\""
     "\"op\":\"healthz\""
     "\"uptime_ms\""
